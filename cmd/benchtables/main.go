@@ -1,0 +1,52 @@
+// Command benchtables regenerates the paper's evaluation tables and
+// figures from the simulator.
+//
+// Usage:
+//
+//	benchtables              # run everything
+//	benchtables -only fig9   # one experiment
+//	benchtables -list        # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gemini/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment by ID (e.g. fig9, table1, ablation-gamma)")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	ablations := flag.Bool("ablations", false, "also run the design-choice ablations")
+	flag.Parse()
+
+	if *list {
+		for _, e := range append(experiments.All(), experiments.Ablations()...) {
+			fmt.Printf("%-18s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	run := experiments.All()
+	if *ablations {
+		run = append(run, experiments.Ablations()...)
+	}
+	if *only != "" {
+		e, err := experiments.ByID(*only)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		run = []experiments.Experiment{e}
+	}
+	for _, e := range run {
+		fmt.Printf("== %s — %s ==\n", e.ID, e.Title)
+		out, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+}

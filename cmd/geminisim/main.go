@@ -1,0 +1,97 @@
+// Command geminisim runs a configurable GEMINI training-with-failures
+// simulation and prints a full report: job sizing, checkpoint plan,
+// recovery probabilities, the live recovery trace, and the long-run
+// effective-training-time comparison against the baselines.
+//
+// Example:
+//
+//	geminisim -model "GPT-2 100B" -instance p4d.24xlarge -machines 16 \
+//	          -replicas 2 -days 10 -failures-per-day 4 -hardware 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gemini"
+	"gemini/internal/baselines"
+	"gemini/internal/failure"
+	"gemini/internal/runsim"
+	"gemini/internal/simclock"
+	"gemini/internal/training"
+)
+
+func main() {
+	var (
+		modelName   = flag.String("model", "GPT-2 100B", "Table 2 model name")
+		instance    = flag.String("instance", "p4d.24xlarge", "Table 1 instance type")
+		machines    = flag.Int("machines", 16, "number of training machines")
+		replicas    = flag.Int("replicas", 2, "checkpoint replicas m")
+		days        = flag.Float64("days", 10, "simulated horizon in days")
+		perDay      = flag.Float64("failures-per-day", 4, "cluster failure rate")
+		hwFraction  = flag.Float64("hardware", 0.5, "fraction of failures needing replacement")
+		seed        = flag.Int64("seed", 1, "failure-schedule seed (Poisson mode)")
+		poisson     = flag.Bool("poisson", false, "Poisson failure arrivals instead of fixed spacing")
+		replacement = flag.Duration("replacement", 0, "machine replacement delay (0 = standby machines)")
+		timeline    = flag.Bool("timeline", false, "render the iteration timeline with the checkpoint plan")
+	)
+	flag.Parse()
+
+	job, err := gemini.NewJob(gemini.JobSpec{
+		Model: *modelName, Instance: *instance, Machines: *machines, Replicas: *replicas,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("job: %s on %d× %s, m=%d replicas\n",
+		*modelName, *machines, *instance, *replicas)
+	fmt.Printf("  checkpoint: %.1f GB total, %.1f GB/machine shard\n",
+		job.Config.Model.CheckpointBytes()/1e9, job.Config.ShardBytesPerMachine()/1e9)
+	fmt.Printf("  iteration: %.1f s (%.1f s network idle)\n",
+		job.Timeline.Iteration.Seconds(), job.Timeline.IdleTime().Seconds())
+	fmt.Printf("  plan: %d chunks, fits in idle spans: %v\n", len(job.Plan.Chunks), job.Plan.Fits)
+	for k := 1; k <= 4 && k <= *machines; k++ {
+		fmt.Printf("  P(recover from CPU memory | %d simultaneous failures) = %.3f\n",
+			k, job.RecoveryProbability(k))
+	}
+	if *timeline {
+		fmt.Println()
+		fmt.Print(training.RenderTimeline(job.Timeline, job.Plan, 100))
+	}
+
+	horizon := simclock.Duration(*days) * simclock.Day
+	var fs failure.Schedule
+	if *poisson {
+		m := failure.Model{PerInstancePerDay: *perDay / float64(*machines), HardwareFraction: *hwFraction}
+		fs, err = m.Generate(*machines, horizon, *seed)
+	} else {
+		fs, err = failure.FixedRate(*machines, *perDay, *hwFraction, horizon)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nfailure schedule: %d failures over %.0f days\n", len(fs), *days)
+
+	fmt.Printf("\n%-10s %-10s %-12s %-12s %-22s\n", "solution", "ratio", "mean wasted", "total wasted", "recoveries (l/p/r)")
+	for _, spec := range []baselines.Spec{job.GeminiSpec(), job.HighFreqSpec(), job.StrawmanSpec()} {
+		cfg := runsim.Config{
+			Spec: spec, Failures: fs, Horizon: horizon,
+			ReplacementDelay: simclock.Duration(replacement.Seconds()),
+		}
+		if spec.UsesCPUMemory {
+			cfg.Placement = job.Placement
+		}
+		res, err := runsim.Run(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-10s %-10.3f %-12s %-12s %d/%d/%d\n",
+			spec.Name, res.EffectiveRatio, res.MeanWasted, res.TotalWasted,
+			res.FromLocal, res.FromPeer, res.FromRemote)
+	}
+}

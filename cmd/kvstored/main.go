@@ -1,0 +1,49 @@
+// Command kvstored serves the GEMINI coordination key-value store (the
+// etcd stand-in of §3.2) over TCP with a line-oriented protocol:
+//
+//	PUT <key> <value> [lease]    GET <key>           DEL <key>
+//	CAS <key> <rev> <value> [l]  RANGE [prefix]      REV
+//	GRANT <ttl-seconds>          KEEPALIVE <lease>   REVOKE <lease>
+//	WATCH [prefix]               (streams EVENT lines on the connection)
+//
+// Try it:
+//
+//	kvstored -addr 127.0.0.1:2379 &
+//	printf 'PUT hello world\nGET hello\n' | nc 127.0.0.1 2379
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"gemini/internal/kvstore"
+	"gemini/internal/simclock"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:2379", "listen address")
+	flag.Parse()
+
+	start := time.Now()
+	store := kvstore.New(func() simclock.Time {
+		return simclock.Time(time.Since(start).Seconds())
+	})
+	srv, err := kvstore.NewServer(store, *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("kvstored listening on %s\n", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("shutting down")
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

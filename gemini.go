@@ -1,0 +1,187 @@
+// Package gemini is a simulation-grade reproduction of "GEMINI: Fast
+// Failure Recovery in Distributed Training with In-Memory Checkpoints"
+// (SOSP 2023): checkpoint large-model training state into the CPU memory
+// of the training machines themselves — placed by a provably
+// near-optimal replica strategy and transmitted inside the network's
+// idle timespans — so failure recovery takes seconds instead of tens of
+// minutes.
+//
+// The package exposes the whole system the paper describes:
+//
+//   - Placement (Algorithm 1): group/ring/mixed checkpoint placement with
+//     the Theorem 1 optimality analysis and Corollary 1 probabilities.
+//   - Traffic scheduling (Algorithm 2): partition checkpoints into the
+//     profiled idle spans of the ZeRO-3 iteration timeline and pipeline
+//     them through GPU sub-buffers.
+//   - A deterministic discrete-event substrate (virtual clock, max-min
+//     fair network fabric, GPU→CPU copy channels) standing in for the
+//     paper's A100/V100 testbed.
+//   - The failure-recovery control plane: worker/root agents, an
+//     etcd-like lease/watch/election store, cloud-operator machine
+//     replacement, and the three recovery paths (local, peer, remote).
+//   - The evaluation harness reproducing every table and figure of §7.
+//
+// # Quickstart
+//
+//	job, err := gemini.NewJob(gemini.JobSpec{
+//		Model:    "GPT-2 100B",
+//		Instance: "p4d.24xlarge",
+//		Machines: 16,
+//	})
+//	if err != nil { ... }
+//	fmt.Println(job.Timeline.Iteration)        // ≈62 s
+//	fmt.Println(job.RecoveryProbability(2))    // 0.933
+//	res, _ := job.ExecuteScheme(gemini.SchemeGemini)
+//	fmt.Println(res.Overhead())                // ≈0
+//
+// See the examples/ directory for runnable end-to-end scenarios and
+// cmd/benchtables for the paper's tables and figures.
+package gemini
+
+import (
+	"gemini/internal/baselines"
+	"gemini/internal/cloud"
+	"gemini/internal/cluster"
+	"gemini/internal/core"
+	"gemini/internal/failure"
+	"gemini/internal/model"
+	"gemini/internal/placement"
+	"gemini/internal/runsim"
+	"gemini/internal/schedule"
+	"gemini/internal/simclock"
+	"gemini/internal/training"
+)
+
+// Core job API.
+type (
+	// JobSpec names a training job: a Table 2 model, a Table 1 instance
+	// type, the machine count, and the checkpoint replica count.
+	JobSpec = core.JobSpec
+	// Job is a fully derived GEMINI deployment: placement, profiled
+	// timeline, checkpoint plan, and solution specs.
+	Job = core.Job
+)
+
+// NewJob derives a GEMINI deployment from a job spec, validating GPU and
+// CPU memory budgets.
+func NewJob(spec JobSpec) (*Job, error) { return core.NewJob(spec) }
+
+// MustNewJob is NewJob for known-good specs.
+func MustNewJob(spec JobSpec) *Job { return core.MustNewJob(spec) }
+
+// Virtual time.
+type (
+	// Time is virtual seconds since simulation start.
+	Time = simclock.Time
+	// Duration is a span of virtual time in seconds.
+	Duration = simclock.Duration
+)
+
+// Duration units.
+const (
+	Millisecond = simclock.Millisecond
+	Second      = simclock.Second
+	Minute      = simclock.Minute
+	Hour        = simclock.Hour
+	Day         = simclock.Day
+)
+
+// Checkpoint placement (Algorithm 1 and its analysis).
+type Placement = placement.Placement
+
+// Placement constructors and probability analysis.
+var (
+	// NewPlacement is Algorithm 1: group placement when m | N, otherwise
+	// group + trailing ring.
+	NewPlacement = placement.Mixed
+	// NewRingPlacement is the pure ring strategy the paper compares
+	// against in Figure 9.
+	NewRingPlacement = placement.Ring
+	// Corollary1 is the closed-form CPU-memory recovery probability for
+	// the group strategy.
+	Corollary1 = placement.Corollary1
+	// RecoveryProbabilityExact enumerates a placement's recovery
+	// probability under k simultaneous failures (N ≤ 32).
+	RecoveryProbabilityExact = placement.BitmaskProbability
+	// RecoveryProbabilityMonteCarlo estimates it for large clusters.
+	RecoveryProbabilityMonteCarlo = placement.MonteCarlo
+)
+
+// Interleaving schemes of §7.4 (Figure 16).
+type Scheme = schedule.Scheme
+
+// Scheme values.
+const (
+	SchemeBaseline   = schedule.SchemeBaseline
+	SchemeBlocking   = schedule.SchemeBlocking
+	SchemeNaive      = schedule.SchemeNaive
+	SchemeNoPipeline = schedule.SchemeNoPipeline
+	SchemeGemini     = schedule.SchemeGemini
+)
+
+// ExecResult is what the interference executor measures for a scheme.
+type ExecResult = training.ExecResult
+
+// Parallelism selects the distribution strategy (§9 extension).
+type Parallelism = training.Parallelism
+
+// Parallelism values.
+const (
+	ParallelismZeRO3    = training.ZeRO3
+	ParallelismData     = training.DataParallel
+	ParallelismPipeline = training.PipelineParallel
+)
+
+// Checkpointing solutions (§7.1) and failure economics (§7.3).
+type (
+	// Spec describes one checkpointing solution's behavior.
+	Spec = baselines.Spec
+	// RunResult is the long-run effective-training-time accounting.
+	RunResult = runsim.Result
+	// FailureSchedule is a time-ordered list of injected failures.
+	FailureSchedule = failure.Schedule
+	// FailureModel is a stochastic per-instance failure-rate model.
+	FailureModel = failure.Model
+	// FailureEvent is one injected failure.
+	FailureEvent = failure.Event
+)
+
+// Failure kinds (§6.1).
+const (
+	SoftwareFailure = cluster.SoftwareFailed
+	HardwareFailure = cluster.HardwareFailed
+)
+
+// RecoverySource says which storage tier a recovery reads from.
+type RecoverySource = baselines.RecoverySource
+
+// Recovery sources, fastest first (§3.1's hierarchy).
+const (
+	FromLocalCPU         = baselines.FromLocal
+	FromPeerCPU          = baselines.FromPeer
+	FromPersistentRemote = baselines.FromRemote
+)
+
+// Failure-model helpers.
+var (
+	// OPTFailureModel is the OPT-175B logbook rate: 1.5% of instances
+	// fail per day.
+	OPTFailureModel = failure.OPTModel
+	// FixedFailureRate builds a deterministic failure schedule.
+	FixedFailureRate = failure.FixedRate
+)
+
+// CloudConfig configures the machine-replacement operator.
+type CloudConfig = cloud.Config
+
+// DefaultCloudConfig is the EC2-ASG behavior measured in §7.3
+// (4–7 minute provisioning).
+var DefaultCloudConfig = cloud.DefaultConfig
+
+// Catalog access.
+var (
+	// Models returns the Table 2 model configurations.
+	Models = model.Table2
+	// Instances returns the Table 1 instance catalog.
+	Instances = cluster.Table1
+)

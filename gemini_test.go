@@ -1,0 +1,98 @@
+package gemini
+
+import (
+	"math"
+	"testing"
+)
+
+// The facade tests exercise the README quickstart path end to end.
+
+func TestQuickstartPath(t *testing.T) {
+	job, err := NewJob(JobSpec{Model: "GPT-2 100B", Instance: "p4d.24xlarge", Machines: 16})
+	if err != nil {
+		t.Fatalf("NewJob: %v", err)
+	}
+	if iter := job.Timeline.Iteration.Seconds(); iter < 55 || iter > 70 {
+		t.Fatalf("iteration %.1fs, want ≈62s", iter)
+	}
+	if p := job.RecoveryProbability(2); math.Abs(p-0.933) > 0.01 {
+		t.Fatalf("recovery probability %.3f, want 0.933", p)
+	}
+	res, err := job.ExecuteScheme(SchemeGemini)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov := res.Overhead(); ov > 0.02 {
+		t.Fatalf("overhead %.2f%%, want ≈0", ov*100)
+	}
+}
+
+func TestCatalogsExposed(t *testing.T) {
+	if len(Models()) != 8 {
+		t.Fatalf("Models() has %d rows, want 8 (Table 2)", len(Models()))
+	}
+	if len(Instances()) != 7 {
+		t.Fatalf("Instances() has %d rows, want 7 (Table 1)", len(Instances()))
+	}
+}
+
+func TestPlacementHelpersExposed(t *testing.T) {
+	p, err := NewPlacement(16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRingPlacement(16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg := RecoveryProbabilityExact(p, 3)
+	pr := RecoveryProbabilityExact(r, 3)
+	if pg <= pr {
+		t.Fatalf("group %v should beat ring %v", pg, pr)
+	}
+	c, err := Corollary1(16, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-0.8) > 1e-9 {
+		t.Fatalf("Corollary1 = %v, want 0.8", c)
+	}
+	if mc := RecoveryProbabilityMonteCarlo(p, 3, 50_000, 1); math.Abs(mc-pg) > 0.02 {
+		t.Fatalf("Monte Carlo %v far from exact %v", mc, pg)
+	}
+}
+
+func TestParallelismExtensionExposed(t *testing.T) {
+	job, err := NewJob(JobSpec{
+		Model: "GPT-2 40B", Instance: "p3dn.24xlarge", Machines: 16,
+		Parallelism: ParallelismData,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !job.Plan.Fits {
+		t.Fatal("data-parallel idle time should absorb the checkpoint")
+	}
+	// The fluid interference executor is ZeRO-3-specific.
+	if _, err := job.ExecuteScheme(SchemeGemini); err == nil {
+		t.Fatal("executor accepted a non-ZeRO-3 job")
+	}
+}
+
+func TestFailureHelpersExposed(t *testing.T) {
+	fs, err := FixedFailureRate(16, 4, 0.5, Day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 4 {
+		t.Fatalf("%d failures, want 4", len(fs))
+	}
+	m := OPTFailureModel()
+	if m.PerInstancePerDay != 0.015 {
+		t.Fatal("OPT model rate wrong")
+	}
+	cc := DefaultCloudConfig()
+	if cc.ProvisionMin != 4*Minute {
+		t.Fatal("cloud config wrong")
+	}
+}

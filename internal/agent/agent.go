@@ -1,0 +1,363 @@
+// Package agent implements GEMINI's failure recovery module (§3.2, §6):
+// per-machine worker agents that heartbeat into the distributed key-value
+// store under leases, a root agent that polls health and orchestrates
+// recovery, lease-based root failover, and the three recovery paths —
+// software restart from local CPU memory, hardware replacement with peer
+// retrieval, and the remote-persistent-storage fallback when a whole
+// replica group is lost.
+package agent
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"gemini/internal/ckpt"
+	"gemini/internal/cloud"
+	"gemini/internal/cluster"
+	"gemini/internal/kvstore"
+	"gemini/internal/placement"
+	"gemini/internal/simclock"
+	"gemini/internal/statemgr"
+	"gemini/internal/trace"
+)
+
+// Store key layout.
+const (
+	hbPrefix      = "gemini/hb/"       // hb/<rank> = incarnation, under the worker's lease
+	failurePrefix = "gemini/failures/" // failures/<rank> = kind, posted by the detector
+	leaderKey     = "gemini/root"      // election key
+	iterationKey  = "gemini/iteration" // committed training iteration
+)
+
+// Options configures the recovery system.
+type Options struct {
+	// HeartbeatInterval is how often workers renew their lease.
+	HeartbeatInterval simclock.Duration
+	// LeaseTTL is the heartbeat lease TTL; a silent machine is declared
+	// failed once it expires (the paper's 15 s detection).
+	LeaseTTL simclock.Duration
+	// CheckInterval is the root agent's health-poll period.
+	CheckInterval simclock.Duration
+	// IterationTime advances the training loop.
+	IterationTime simclock.Duration
+	// RetrievalPeerBandwidth is the inter-machine bandwidth for peer
+	// checkpoint retrieval.
+	RetrievalPeerBandwidth float64
+	// RetrievalRemoteBandwidth is the remote persistent store bandwidth
+	// (aggregate) for fallback retrieval.
+	RetrievalRemoteBandwidth float64
+	// SerializeTime stalls all machines to torch.save the in-memory
+	// checkpoints before recovery (§7.3: 162 s).
+	SerializeTime simclock.Duration
+	// WarmupTime is the framework restart time before training resumes.
+	WarmupTime simclock.Duration
+}
+
+// DefaultOptions mirrors the paper's measured values.
+func DefaultOptions(iterTime simclock.Duration) Options {
+	return Options{
+		HeartbeatInterval:        5 * simclock.Second,
+		LeaseTTL:                 15 * simclock.Second,
+		CheckInterval:            5 * simclock.Second,
+		IterationTime:            iterTime,
+		RetrievalPeerBandwidth:   400e9 / 8,
+		RetrievalRemoteBandwidth: 20e9 / 8,
+		SerializeTime:            162 * simclock.Second,
+		WarmupTime:               4 * simclock.Minute,
+	}
+}
+
+func (o Options) validate() error {
+	switch {
+	case o.HeartbeatInterval <= 0 || o.LeaseTTL <= 0 || o.CheckInterval <= 0:
+		return fmt.Errorf("agent: heartbeat/lease/check intervals must be positive")
+	case o.LeaseTTL <= o.HeartbeatInterval:
+		return fmt.Errorf("agent: lease TTL %v must exceed heartbeat interval %v", o.LeaseTTL, o.HeartbeatInterval)
+	case o.IterationTime <= 0:
+		return fmt.Errorf("agent: iteration time must be positive")
+	case o.RetrievalPeerBandwidth <= 0 || o.RetrievalRemoteBandwidth <= 0:
+		return fmt.Errorf("agent: retrieval bandwidths must be positive")
+	case o.SerializeTime < 0 || o.WarmupTime < 0:
+		return fmt.Errorf("agent: negative recovery costs")
+	}
+	return nil
+}
+
+// worker is one machine's agent.
+type worker struct {
+	rank        int
+	incarnation int
+	lease       kvstore.LeaseID
+	ticker      *simclock.Ticker
+	alive       bool
+}
+
+// System wires the whole failure-recovery control plane together on one
+// simulation engine.
+type System struct {
+	engine    *simclock.Engine
+	store     *kvstore.Store
+	cluster   *cluster.Cluster
+	ckpt      *ckpt.Engine
+	operator  *cloud.Operator
+	placement *placement.Placement
+	opts      Options
+	log       *trace.Log
+
+	workers  []*worker
+	election *kvstore.Election
+	rootRank int
+	rootTick *simclock.Ticker
+
+	iteration        int64
+	remoteEveryIters int64
+	training         bool
+	recovering       bool
+	iterEv           simclock.EventID
+	data             *statemgr.Manager // optional byte-level data plane
+
+	recoveries int
+	sweepEv    simclock.EventID
+}
+
+// NewSystem builds the control plane for an n-machine cluster.
+func NewSystem(engine *simclock.Engine, cl *cluster.Cluster, ck *ckpt.Engine,
+	op *cloud.Operator, opts Options, log *trace.Log) (*System, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if cl.Size() != ck.Placement().N {
+		return nil, fmt.Errorf("agent: cluster size %d != placement size %d", cl.Size(), ck.Placement().N)
+	}
+	if log == nil {
+		log = trace.NewLog(engine.Now)
+	}
+	s := &System{
+		engine:    engine,
+		store:     kvstore.New(engine.Now),
+		cluster:   cl,
+		ckpt:      ck,
+		operator:  op,
+		placement: ck.Placement(),
+		opts:      opts,
+		log:       log,
+		rootRank:  -1,
+	}
+	el, err := kvstore.NewElection(s.store, leaderKey)
+	if err != nil {
+		return nil, err
+	}
+	s.election = el
+	return s, nil
+}
+
+// Log returns the system's event log.
+func (s *System) Log() *trace.Log { return s.log }
+
+// SetDataPlane attaches a byte-level checkpoint data plane: every
+// iteration moves real shard payloads, every recovery restores and
+// fingerprint-verifies them. The manager must share the system's
+// placement and shard size. Call before Start.
+func (s *System) SetDataPlane(mgr *statemgr.Manager) {
+	if mgr.Placement().N != s.placement.N || mgr.Placement().M != s.placement.M {
+		panic("agent: data plane placement does not match the system's")
+	}
+	s.data = mgr
+	// Seed the remote tier with the initial states so a fallback before
+	// the first remote checkpoint has something to load.
+	if err := mgr.CheckpointRemote(0); err != nil {
+		panic(err)
+	}
+}
+
+// Iteration returns the last completed training iteration.
+func (s *System) Iteration() int64 { return s.iteration }
+
+// Training reports whether the training loop is running.
+func (s *System) Training() bool { return s.training }
+
+// RootRank returns the current root machine's rank, or -1.
+func (s *System) RootRank() int { return s.rootRank }
+
+// Recoveries returns how many recoveries have completed.
+func (s *System) Recoveries() int { return s.recoveries }
+
+// Start boots every worker agent, elects the initial root, and begins
+// training at iteration 0.
+func (s *System) Start() {
+	s.workers = make([]*worker, s.cluster.Size())
+	for rank := range s.workers {
+		s.startWorker(rank, 0)
+	}
+	s.promoteRoot()
+	s.WatchRootFailover()
+	s.training = true
+	s.scheduleIteration()
+	s.scheduleSweep()
+	s.log.Add("system", "started", "%d machines, m=%d", s.cluster.Size(), s.placement.M)
+}
+
+// scheduleSweep keeps lease expiry timely: the store expires lazily, so
+// the system arms an event at the next lease deadline.
+func (s *System) scheduleSweep() {
+	s.sweepEv.Cancel()
+	next := s.store.NextExpiry()
+	if next == simclock.Forever {
+		return
+	}
+	if next <= s.engine.Now() {
+		next = s.engine.Now()
+	}
+	s.sweepEv = s.engine.AtPriority(next, 5, func() {
+		s.store.Sweep()
+		s.scheduleSweep()
+	})
+}
+
+func (s *System) startWorker(rank, incarnation int) {
+	w := &worker{rank: rank, incarnation: incarnation, alive: true}
+	s.workers[rank] = w
+	lease, err := s.store.Grant(s.opts.LeaseTTL)
+	if err != nil {
+		panic(fmt.Sprintf("agent: grant heartbeat lease: %v", err))
+	}
+	w.lease = lease
+	if _, err := s.store.Put(hbKey(rank), strconv.Itoa(incarnation), lease); err != nil {
+		panic(fmt.Sprintf("agent: write heartbeat: %v", err))
+	}
+	w.ticker = simclock.NewTicker(s.engine, s.opts.HeartbeatInterval, func(simclock.Time) {
+		if !w.alive {
+			return
+		}
+		if err := s.store.KeepAlive(w.lease); err != nil {
+			// Lease lost (e.g. a long stall): re-grant and re-publish.
+			lease, gerr := s.store.Grant(s.opts.LeaseTTL)
+			if gerr != nil {
+				return
+			}
+			w.lease = lease
+			_, _ = s.store.Put(hbKey(rank), strconv.Itoa(w.incarnation), lease)
+		}
+		s.scheduleSweep()
+	})
+}
+
+func hbKey(rank int) string { return hbPrefix + fmt.Sprintf("%04d", rank) }
+
+// promoteRoot elects a root among alive workers (lowest alive rank
+// campaigns first and wins) and starts its health-check loop.
+func (s *System) promoteRoot() {
+	for rank, w := range s.workers {
+		if w == nil || !w.alive {
+			continue
+		}
+		won, err := s.election.Campaign(fmt.Sprintf("rank-%d", rank), w.lease)
+		if err != nil {
+			panic(fmt.Sprintf("agent: campaign: %v", err))
+		}
+		if won {
+			s.rootRank = rank
+			s.log.Add("root-agent", "elected", "rank %d is root", rank)
+			break
+		}
+	}
+	if s.rootTick != nil {
+		s.rootTick.Stop()
+	}
+	s.rootTick = simclock.NewTicker(s.engine, s.opts.CheckInterval, func(simclock.Time) {
+		s.rootCheck()
+	})
+}
+
+// InjectFailure delivers a failure to a machine: its agent stops
+// heartbeating, its cluster state flips, and — for hardware failures —
+// its CPU-memory checkpoints vanish. The failure kind is published where
+// the cloud detector would put it (SageMaker-style tooling, §6.2).
+func (s *System) InjectFailure(rank int, kind cluster.MachineState) {
+	w := s.workers[rank]
+	if w == nil || !w.alive {
+		return
+	}
+	w.alive = false
+	w.ticker.Stop()
+	s.cluster.Fail(rank, kind)
+	if kind == cluster.HardwareFailed {
+		s.ckpt.Wipe(rank)
+		if s.data != nil {
+			s.data.WipeMachine(rank)
+		}
+	}
+	if _, err := s.store.Put(failurePrefix+strconv.Itoa(rank), kind.String(), 0); err != nil {
+		panic(err)
+	}
+	s.log.Add("injector", "failure", "rank %d: %v", rank, kind)
+	s.scheduleSweep()
+}
+
+// rootCheck is the root agent's periodic health poll: every expected
+// heartbeat must be present; a missing one starts recovery. The root also
+// verifies its own machine is alive — a dead root's ticker dies with it.
+func (s *System) rootCheck() {
+	if s.rootRank < 0 || s.recovering {
+		return
+	}
+	root := s.workers[s.rootRank]
+	if root == nil || !root.alive {
+		// The root machine itself died; its lease will expire and a
+		// worker will take over via watchRootFailure.
+		s.rootTick.Stop()
+		return
+	}
+	entries := s.store.Range(hbPrefix)
+	seen := make(map[int]bool, len(entries))
+	for _, e := range entries {
+		rank, err := strconv.Atoi(strings.TrimPrefix(e.Key, hbPrefix))
+		if err != nil {
+			continue
+		}
+		seen[rank] = true
+	}
+	var failed []int
+	for rank := range s.workers {
+		if !seen[rank] {
+			failed = append(failed, rank)
+		}
+	}
+	if len(failed) > 0 {
+		s.beginRecovery(failed)
+	} else {
+		// Heartbeats are healthy; check for a vanished root key (lease
+		// hiccup) and re-campaign.
+		if _, ok := s.election.Leader(); !ok {
+			s.promoteRoot()
+		}
+	}
+}
+
+// WatchRootFailover arms every worker to notice the root key vanishing
+// (the root machine died) and promote a new root. In etcd terms this is
+// a watch on the election key.
+func (s *System) WatchRootFailover() {
+	s.store.Watch(leaderKey, func(ev kvstore.Event) {
+		if ev.Type != kvstore.EventDelete {
+			return
+		}
+		// Defer to an event so the promotion happens outside the watch
+		// delivery path.
+		s.engine.After(0, func() {
+			if _, ok := s.election.Leader(); ok {
+				return
+			}
+			prevRoot := s.rootRank
+			s.rootRank = -1
+			s.promoteRoot()
+			if s.rootRank >= 0 && s.rootRank != prevRoot {
+				s.log.Add("root-agent", "failover", "root moved %d → %d", prevRoot, s.rootRank)
+				// The new root immediately checks cluster health: the old
+				// root's machine is typically the failed one.
+				s.rootCheck()
+			}
+		})
+	})
+}

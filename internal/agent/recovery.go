@@ -1,0 +1,261 @@
+package agent
+
+import (
+	"fmt"
+	"strconv"
+
+	"gemini/internal/ckpt"
+	"gemini/internal/cluster"
+	"gemini/internal/simclock"
+)
+
+// RemoteEveryIterations is how often the remote persistent tier gets a
+// checkpoint, in iterations. With 62-second iterations, 174 iterations ≈
+// 3 hours, matching the Strawman cadence GEMINI keeps for non-recovery
+// purposes (§7.1). Configured on the system via SetRemoteEvery.
+const defaultRemoteEvery = 174
+
+// scheduleIteration arms the next training-iteration completion.
+func (s *System) scheduleIteration() {
+	if !s.training || s.recovering {
+		return
+	}
+	s.iterEv = s.engine.After(s.opts.IterationTime, func() {
+		s.completeIteration()
+		s.scheduleIteration()
+	})
+}
+
+// completeIteration advances training by one iteration and commits the
+// per-iteration CPU-memory checkpoint in the bookkeeping engine. (The
+// traffic side of checkpointing is exercised by the training executor;
+// the control plane tracks versions and placement.)
+func (s *System) completeIteration() {
+	s.iteration++
+	iter := s.iteration
+	healthy := func(rank int) bool { return s.cluster.Machine(rank).Healthy() }
+	if s.data != nil {
+		// Byte-level path: move real payloads; statemgr registers the
+		// commits with the version tracker itself.
+		s.data.Step(iter, healthy)
+		if err := s.data.Checkpoint(s.ckpt, iter, healthy); err != nil {
+			panic(fmt.Sprintf("agent: data-plane checkpoint: %v", err))
+		}
+		if iter%s.remoteEvery() == 0 {
+			if err := s.data.CheckpointRemote(iter); err != nil {
+				panic(fmt.Sprintf("agent: remote checkpoint: %v", err))
+			}
+		}
+	} else {
+		for owner := 0; owner < s.placement.N; owner++ {
+			if !healthy(owner) {
+				continue
+			}
+			for _, holder := range s.placement.Replicas(owner) {
+				if !healthy(holder) {
+					continue
+				}
+				s.ckpt.Begin(holder, owner, iter)
+				s.ckpt.Receive(holder, owner, iter, s.ckpt.ShardBytes())
+				s.ckpt.Commit(holder, owner, iter, 0)
+			}
+		}
+	}
+	if _, err := s.store.Put(iterationKey, strconv.FormatInt(iter, 10), 0); err != nil {
+		panic(err)
+	}
+}
+
+// remoteEvery returns the remote-tier cadence in iterations.
+func (s *System) remoteEvery() int64 {
+	if s.remoteEveryIters > 0 {
+		return s.remoteEveryIters
+	}
+	return defaultRemoteEvery
+}
+
+// SetRemoteEvery overrides the remote persistent checkpoint cadence.
+func (s *System) SetRemoteEvery(iterations int64) {
+	if iterations < 1 {
+		panic(fmt.Sprintf("agent: remote cadence %d must be ≥ 1", iterations))
+	}
+	s.remoteEveryIters = iterations
+}
+
+// lastRemoteIteration returns the newest iteration captured in the
+// remote persistent store.
+func (s *System) lastRemoteIteration() int64 {
+	every := s.remoteEvery()
+	return s.iteration - s.iteration%every
+}
+
+// beginRecovery is the root agent's recovery workflow (§6.2):
+//
+//  1. stop training, classify the failed machines;
+//  2. serialize the resident CPU-memory checkpoints (torch.save);
+//  3. replace hardware-failed machines through the cloud operator;
+//  4. retrieve checkpoints — local, peer, or remote fallback;
+//  5. restart and warm up, then resume from the recovered iteration.
+func (s *System) beginRecovery(failed []int) {
+	s.recovering = true
+	s.iterEv.Cancel()
+
+	hardware := make(map[int]bool)
+	for _, rank := range failed {
+		entry, ok := s.store.Get(failurePrefix + strconv.Itoa(rank))
+		if ok && entry.Value == cluster.HardwareFailed.String() {
+			hardware[rank] = true
+		}
+		s.store.Delete(failurePrefix + strconv.Itoa(rank))
+	}
+	s.log.Add("root-agent", "failure-detected", "ranks %v (hardware: %d)", failed, len(hardware))
+
+	// Step 2: serialize resident checkpoints on all alive machines.
+	s.engine.After(s.opts.SerializeTime, func() {
+		s.log.Add("root-agent", "serialized", "in-memory checkpoints saved in %v", s.opts.SerializeTime)
+		// Step 3: replace hardware failures (in parallel; wait for all).
+		pending := 0
+		proceed := func() {
+			if pending != 0 {
+				return
+			}
+			s.retrieveAndResume(failed, hardware)
+		}
+		for rank := range hardware {
+			rank := rank
+			pending++
+			s.operator.RequestReplacement(rank, func(delay simclock.Duration) {
+				s.cluster.Replace(rank)
+				s.log.Add("root-agent", "replaced", "rank %d after %v", rank, delay)
+				pending--
+				proceed()
+			})
+		}
+		if pending == 0 {
+			// Software-only failure: restart processes in place.
+			for _, rank := range failed {
+				if err := s.cluster.Restart(rank); err != nil {
+					panic(err)
+				}
+			}
+			proceed()
+		}
+	})
+}
+
+// retrieveAndResume plans checkpoint retrieval, simulates its duration,
+// and restarts training.
+func (s *System) retrieveAndResume(failed []int, hardware map[int]bool) {
+	// CPU-memory availability: hardware-failed machines were wiped; the
+	// replacements arrive empty. Software-failed machines kept memory.
+	hasMemory := func(rank int) bool { return !hardware[rank] }
+
+	version, ok := s.ckpt.ConsistentVersion(hasMemory)
+	var retrieval simclock.Duration
+	var source string
+	if ok {
+		plan, err := s.ckpt.PlanRecovery(version, hasMemory)
+		if err != nil {
+			panic(fmt.Sprintf("agent: consistent version %d but no plan: %v", version, err))
+		}
+		// Peer fetches run in parallel; a peer serving several fetches
+		// serializes them on its NIC.
+		perPeer := make(map[int]int)
+		anyPeer := false
+		for _, r := range plan {
+			if r.Source == ckpt.SourceRemoteCPU {
+				perPeer[r.Peer]++
+				anyPeer = true
+			}
+		}
+		maxFetches := 0
+		for _, c := range perPeer {
+			if c > maxFetches {
+				maxFetches = c
+			}
+		}
+		retrieval = simclock.Duration(float64(maxFetches) * s.ckpt.ShardBytes() / s.opts.RetrievalPeerBandwidth)
+		source = "local"
+		if anyPeer {
+			source = "peer"
+		}
+		// Some survivors may hold generations newer than the common
+		// version (staggered commits); drop them so the cluster resumes
+		// consistently, then restore replaced machines' local replicas.
+		s.ckpt.RollbackTo(version)
+		if s.data != nil {
+			// Move and fingerprint-verify the real shard bytes before
+			// registering the restored replicas.
+			if err := s.data.Recover(s.ckpt, plan, version); err != nil {
+				panic(fmt.Sprintf("agent: data-plane recovery: %v", err))
+			}
+			if err := s.data.VerifyConsistent(version); err != nil {
+				panic(fmt.Sprintf("agent: post-recovery verification: %v", err))
+			}
+		}
+		for _, r := range plan {
+			if r.Source == ckpt.SourceRemoteCPU {
+				s.ckpt.Begin(r.Rank, r.Rank, version)
+				s.ckpt.Receive(r.Rank, r.Rank, version, s.ckpt.ShardBytes())
+				s.ckpt.Commit(r.Rank, r.Rank, version, 0)
+			}
+		}
+	} else {
+		// §6.2 case 2: a whole replica group died — everyone reloads the
+		// newest remote checkpoint through the store's aggregate
+		// bandwidth.
+		version = s.lastRemoteIteration()
+		if s.data != nil {
+			version = s.data.RemoteIteration()
+		}
+		total := float64(s.placement.N) * s.ckpt.ShardBytes()
+		retrieval = simclock.Duration(total / s.opts.RetrievalRemoteBandwidth)
+		source = "remote"
+		// The survivors' CPU-memory checkpoints are inconsistent with the
+		// remote version; drop anything newer and reseed local replicas.
+		s.ckpt.RollbackTo(version)
+		if s.data != nil {
+			if err := s.data.Recover(s.ckpt, s.ckpt.PersistentPlan(), version); err != nil {
+				panic(fmt.Sprintf("agent: remote data-plane recovery: %v", err))
+			}
+			if err := s.data.VerifyConsistent(version); err != nil {
+				panic(fmt.Sprintf("agent: post-fallback verification: %v", err))
+			}
+		}
+		for rank := 0; rank < s.placement.N; rank++ {
+			if _, ok := s.ckpt.Completed(rank, rank); !ok {
+				s.ckpt.Begin(rank, rank, version)
+				s.ckpt.Receive(rank, rank, version, s.ckpt.ShardBytes())
+				s.ckpt.Commit(rank, rank, version, 0)
+			}
+		}
+	}
+	s.engine.After(retrieval, func() {
+		s.log.Add("root-agent", "retrieved", "version %d from %s in %v", version, source, retrieval)
+		s.engine.After(s.opts.WarmupTime, func() {
+			// Roll back any progress past the recovered version and
+			// restart agents on the failed machines.
+			if version < s.iteration {
+				s.ckpt.RollbackTo(version)
+			}
+			s.iteration = version
+			for _, rank := range failed {
+				inc := s.workers[rank].incarnation
+				if hardware[rank] {
+					inc++
+				}
+				s.startWorker(rank, inc)
+			}
+			s.recovering = false
+			s.recoveries++
+			s.log.Add("root-agent", "recovery-complete", "resumed at iteration %d", version)
+			// The root itself may have been among the failed; ensure a
+			// root exists and training restarts.
+			if _, ok := s.election.Leader(); !ok {
+				s.promoteRoot()
+			}
+			s.scheduleIteration()
+			s.scheduleSweep()
+		})
+	})
+}

@@ -1,0 +1,88 @@
+package baselines
+
+import (
+	"fmt"
+
+	"gemini/internal/metrics"
+	"gemini/internal/simclock"
+)
+
+// RecoverySource says which storage tier a recovery reads from.
+type RecoverySource int
+
+const (
+	// FromLocal: checkpoints are in the machine's own CPU memory
+	// (software failures under GEMINI).
+	FromLocal RecoverySource = iota
+	// FromPeer: fetched from another machine's CPU memory (hardware
+	// failure, replicas survive).
+	FromPeer
+	// FromRemote: fetched from the remote persistent store (baselines
+	// always; GEMINI only when a whole replica group was lost).
+	FromRemote
+)
+
+func (s RecoverySource) String() string {
+	switch s {
+	case FromLocal:
+		return "local"
+	case FromPeer:
+		return "peer"
+	case FromRemote:
+		return "remote"
+	default:
+		return fmt.Sprintf("RecoverySource(%d)", int(s))
+	}
+}
+
+// Retrieval returns the spec's t_rtvl for a recovery source. Solutions
+// without a CPU-memory tier always pay the remote cost.
+func (s Spec) Retrieval(src RecoverySource) simclock.Duration {
+	if !s.UsesCPUMemory {
+		return s.RetrievalRemote
+	}
+	switch src {
+	case FromLocal:
+		return s.RetrievalLocal
+	case FromPeer:
+		return s.RetrievalPeer
+	default:
+		return s.RetrievalRemote
+	}
+}
+
+// WastedModel returns the Equation 1 model for a recovery source. When a
+// CPU-memory solution falls back to the remote tier, the effective
+// checkpoint interval is the remote cadence, not the per-iteration one.
+func (s Spec) WastedModel(src RecoverySource) metrics.WastedTimeModel {
+	interval := s.Interval
+	lag := s.CompletionLag
+	if s.UsesCPUMemory && src == FromRemote {
+		interval = s.RemoteInterval
+		lag = s.RetrievalRemote // remote push takes its own transfer time
+	}
+	return metrics.WastedTimeModel{
+		CheckpointTime: lag,
+		Interval:       interval,
+		RetrievalTime:  s.Retrieval(src),
+	}
+}
+
+// AverageWasted is Equation 1's expected wasted time for a failure
+// recovered from the given source.
+func (s Spec) AverageWasted(src RecoverySource) simclock.Duration {
+	return s.WastedModel(src).Average()
+}
+
+// RecoveryDowntime is the non-Equation-1 overhead of one recovery
+// (§7.3 / Fig. 14): detection, serialization of the in-memory
+// checkpoints, machine replacement when hardware failed, and the
+// framework restart warmup. replacementDelay is zero for software
+// failures or when a standby machine absorbs the replacement.
+func (s Spec) RecoveryDowntime(src RecoverySource, replacementDelay simclock.Duration) simclock.Duration {
+	d := DetectionTime + s.Retrieval(src) + replacementDelay + RestartWarmup
+	if s.UsesCPUMemory {
+		d += s.SerializeOnRecovery
+	}
+	return d
+}

@@ -1,0 +1,366 @@
+// Package ckpt is GEMINI's checkpoint engine: it tracks which machine's
+// CPU memory holds which checkpoint shards at which training iteration,
+// enforces the double-buffer discipline (one buffer for the completed
+// checkpoint, one for the in-progress one, §7.1) so a crash mid-write
+// never corrupts the recoverable version, and answers the recovery
+// queries — what is the newest globally consistent version, and from
+// where should each machine fetch its shard (§3.1's hierarchy: local CPU
+// memory, then remote CPU memory, then remote persistent storage).
+package ckpt
+
+import (
+	"fmt"
+	"sort"
+
+	"gemini/internal/placement"
+)
+
+// Shard identifies one machine's checkpoint shard at one iteration.
+type Shard struct {
+	Owner     int   // rank whose model states these are
+	Iteration int64 // training iteration the shard captures
+	Bytes     float64
+	// Fingerprint is the content checksum (tensor.State.Fingerprint) when
+	// payloads are simulated with real bytes; zero in pure-timing runs.
+	Fingerprint uint32
+}
+
+// slot is the double buffer holding one owner's shards on one machine.
+// The two physical buffers cycle through three logical roles: newest
+// complete shard, previous complete shard, and in-progress shard. Between
+// Commit(v+1) and Begin(v+2), both v and v+1 are complete and resident —
+// that overlap is what guarantees a globally consistent version always
+// exists while machines commit at slightly different instants within an
+// iteration. Begin(v+2) reclaims the buffer holding v.
+type slot struct {
+	newest     *Shard // latest committed shard
+	prev       *Shard // previously committed shard, until the next Begin
+	inProgress *Shard
+	received   float64 // bytes of inProgress received so far
+}
+
+// machineStore is the checkpoint area of one machine's CPU memory.
+type machineStore struct {
+	slots map[int]*slot // keyed by owner rank
+}
+
+// Source says where a shard can be retrieved from during recovery.
+type Source int
+
+const (
+	// SourceLocal means the machine's own CPU memory has the shard
+	// (software failures recover this way, Fig. 6b).
+	SourceLocal Source = iota
+	// SourceRemoteCPU means a peer machine's CPU memory has the shard
+	// (hardware failure case 1, Fig. 6c).
+	SourceRemoteCPU
+	// SourcePersistent means only the remote persistent store can supply
+	// the shard (hardware failure case 2, Fig. 6a).
+	SourcePersistent
+)
+
+func (s Source) String() string {
+	switch s {
+	case SourceLocal:
+		return "local-cpu"
+	case SourceRemoteCPU:
+		return "remote-cpu"
+	case SourcePersistent:
+		return "persistent"
+	default:
+		return fmt.Sprintf("Source(%d)", int(s))
+	}
+}
+
+// Retrieval is one machine's recovery instruction.
+type Retrieval struct {
+	Rank   int
+	Source Source
+	// Peer is the machine to fetch from when Source == SourceRemoteCPU.
+	Peer int
+	// Bytes to move (zero when the shard is already local).
+	Bytes float64
+}
+
+// Engine tracks checkpoint shard placement and versions for a cluster.
+type Engine struct {
+	n         int
+	placement *placement.Placement
+	machines  []*machineStore
+	shardSize float64
+}
+
+// NewEngine creates an engine for the given placement; shardBytes is the
+// per-machine checkpoint shard size.
+func NewEngine(p *placement.Placement, shardBytes float64) (*Engine, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if shardBytes < 0 {
+		return nil, fmt.Errorf("ckpt: negative shard size %v", shardBytes)
+	}
+	e := &Engine{n: p.N, placement: p, machines: make([]*machineStore, p.N), shardSize: shardBytes}
+	for i := range e.machines {
+		e.machines[i] = &machineStore{slots: make(map[int]*slot)}
+	}
+	return e, nil
+}
+
+// MustNewEngine is NewEngine for known-good arguments.
+func MustNewEngine(p *placement.Placement, shardBytes float64) *Engine {
+	e, err := NewEngine(p, shardBytes)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Placement returns the placement the engine operates under.
+func (e *Engine) Placement() *placement.Placement { return e.placement }
+
+// ShardBytes returns the per-machine shard size.
+func (e *Engine) ShardBytes() float64 { return e.shardSize }
+
+// CPUMemoryRequiredPerMachine returns the host memory each machine must
+// reserve: two buffers (completed + in-progress) for each of the m shards
+// it stores.
+func (e *Engine) CPUMemoryRequiredPerMachine() float64 {
+	return 2 * float64(e.placement.M) * e.shardSize
+}
+
+func (e *Engine) store(rank int) *machineStore {
+	if rank < 0 || rank >= e.n {
+		panic(fmt.Sprintf("ckpt: rank %d out of range [0,%d)", rank, e.n))
+	}
+	return e.machines[rank]
+}
+
+func (e *Engine) slotFor(holder, owner int) *slot {
+	ms := e.store(holder)
+	sl := ms.slots[owner]
+	if sl == nil {
+		sl = &slot{}
+		ms.slots[owner] = sl
+	}
+	return sl
+}
+
+// checkPlacementPair panics unless holder is in owner's replica set —
+// misrouted shards indicate an agent bug, not a runtime condition.
+func (e *Engine) checkPlacementPair(holder, owner int) {
+	for _, r := range e.placement.Replicas(owner) {
+		if r == holder {
+			return
+		}
+	}
+	panic(fmt.Sprintf("ckpt: machine %d is not a replica holder for rank %d", holder, owner))
+}
+
+// Begin opens the in-progress buffer on holder for owner's shard at the
+// given iteration, reclaiming the buffer that held the previous complete
+// generation. An unfinished shard in the slot is discarded — only
+// complete checkpoints ever become recoverable. Iterations must be
+// monotonically increasing per slot.
+func (e *Engine) Begin(holder, owner int, iteration int64) {
+	e.checkPlacementPair(holder, owner)
+	sl := e.slotFor(holder, owner)
+	if sl.newest != nil && iteration <= sl.newest.Iteration {
+		panic(fmt.Sprintf("ckpt: machine %d beginning iteration %d but already completed %d for rank %d",
+			holder, iteration, sl.newest.Iteration, owner))
+	}
+	sl.prev = nil // its buffer now holds the new in-progress shard
+	sl.inProgress = &Shard{Owner: owner, Iteration: iteration, Bytes: e.shardSize}
+	sl.received = 0
+}
+
+// Receive records bytes of the in-progress shard arriving at holder.
+func (e *Engine) Receive(holder, owner int, iteration int64, bytes float64) {
+	sl := e.slotFor(holder, owner)
+	if sl.inProgress == nil || sl.inProgress.Iteration != iteration {
+		panic(fmt.Sprintf("ckpt: machine %d receiving iteration %d for rank %d without matching Begin",
+			holder, iteration, owner))
+	}
+	if bytes < 0 {
+		panic(fmt.Sprintf("ckpt: negative receive %v", bytes))
+	}
+	sl.received += bytes
+	if sl.received > e.shardSize*(1+1e-9) {
+		panic(fmt.Sprintf("ckpt: machine %d over-received shard of rank %d: %v of %v bytes",
+			holder, owner, sl.received, e.shardSize))
+	}
+}
+
+// Commit atomically promotes the in-progress shard to the completed
+// buffer. It requires all bytes to have arrived. fingerprint may be zero
+// in timing-only simulations.
+func (e *Engine) Commit(holder, owner int, iteration int64, fingerprint uint32) {
+	sl := e.slotFor(holder, owner)
+	if sl.inProgress == nil || sl.inProgress.Iteration != iteration {
+		panic(fmt.Sprintf("ckpt: machine %d committing iteration %d for rank %d without matching Begin",
+			holder, iteration, owner))
+	}
+	if sl.received < e.shardSize*(1-1e-9) {
+		panic(fmt.Sprintf("ckpt: machine %d committing incomplete shard of rank %d: %v of %v bytes",
+			holder, owner, sl.received, e.shardSize))
+	}
+	sl.inProgress.Fingerprint = fingerprint
+	sl.prev = sl.newest
+	sl.newest = sl.inProgress
+	sl.inProgress = nil
+	sl.received = 0
+}
+
+// Abort discards the in-progress shard, leaving the completed buffer
+// untouched — what happens when a sender dies mid-checkpoint.
+func (e *Engine) Abort(holder, owner int, iteration int64) {
+	sl := e.slotFor(holder, owner)
+	if sl.inProgress != nil && sl.inProgress.Iteration == iteration {
+		sl.inProgress = nil
+		sl.received = 0
+	}
+}
+
+// Completed returns the newest committed shard of owner held by holder.
+func (e *Engine) Completed(holder, owner int) (Shard, bool) {
+	sl := e.store(holder).slots[owner]
+	if sl == nil || sl.newest == nil {
+		return Shard{}, false
+	}
+	return *sl.newest, true
+}
+
+// CompletedVersions returns every committed generation of owner's shard
+// resident on holder (at most two: newest and previous), newest first.
+func (e *Engine) CompletedVersions(holder, owner int) []Shard {
+	sl := e.store(holder).slots[owner]
+	if sl == nil {
+		return nil
+	}
+	var out []Shard
+	if sl.newest != nil {
+		out = append(out, *sl.newest)
+	}
+	if sl.prev != nil {
+		out = append(out, *sl.prev)
+	}
+	return out
+}
+
+// hasVersion reports whether holder has a committed copy of owner's shard
+// at exactly iteration v.
+func (e *Engine) hasVersion(holder, owner int, v int64) bool {
+	for _, sh := range e.CompletedVersions(holder, owner) {
+		if sh.Iteration == v {
+			return true
+		}
+	}
+	return false
+}
+
+// RollbackTo drops every shard generation newer than the given iteration
+// on all machines, plus any in-progress shards. Recovery calls this after
+// choosing the rollback version so the whole cluster's checkpoint state
+// is consistent with the resumed training position.
+func (e *Engine) RollbackTo(iteration int64) {
+	for _, ms := range e.machines {
+		for _, sl := range ms.slots {
+			if sl.newest != nil && sl.newest.Iteration > iteration {
+				sl.newest = sl.prev
+				sl.prev = nil
+			}
+			if sl.newest != nil && sl.newest.Iteration > iteration {
+				sl.newest = nil
+			}
+			if sl.prev != nil && sl.prev.Iteration > iteration {
+				sl.prev = nil
+			}
+			sl.inProgress = nil
+			sl.received = 0
+		}
+	}
+}
+
+// Wipe erases everything a machine held — both buffers of every slot.
+// Called when the machine hardware-fails or is replaced.
+func (e *Engine) Wipe(rank int) {
+	e.store(rank).slots = make(map[int]*slot)
+}
+
+// holderIterations returns every committed generation of owner's shard on
+// alive holders, newest first.
+func (e *Engine) holderIterations(owner int, alive func(int) bool) []Shard {
+	var out []Shard
+	for _, holder := range e.placement.Replicas(owner) {
+		if alive != nil && !alive(holder) {
+			continue
+		}
+		out = append(out, e.CompletedVersions(holder, owner)...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Iteration > out[j].Iteration })
+	return out
+}
+
+// ConsistentVersion returns the newest iteration v such that every rank's
+// shard at exactly v is committed on at least one alive machine. ok is
+// false when no common version exists — recovery must fall back to the
+// remote persistent store (§6.2 case 2: partial survivors at mixed
+// iterations are useless because all ranks must roll back together).
+func (e *Engine) ConsistentVersion(alive func(int) bool) (int64, bool) {
+	versions := make(map[int64]int) // iteration → ranks covered
+	for owner := 0; owner < e.n; owner++ {
+		seen := make(map[int64]bool)
+		for _, sh := range e.holderIterations(owner, alive) {
+			if !seen[sh.Iteration] {
+				seen[sh.Iteration] = true
+				versions[sh.Iteration]++
+			}
+		}
+	}
+	best := int64(-1)
+	found := false
+	for v, covered := range versions {
+		if covered == e.n && (!found || v > best) {
+			best, found = v, true
+		}
+	}
+	return best, found
+}
+
+// PlanRecovery produces each rank's retrieval instruction for recovering
+// at version v (as returned by ConsistentVersion). Machines whose local
+// slot has the shard read locally; others fetch from the lowest-ranked
+// alive peer holding it. An error means v is not actually consistent.
+func (e *Engine) PlanRecovery(v int64, alive func(int) bool) ([]Retrieval, error) {
+	plan := make([]Retrieval, 0, e.n)
+	for rank := 0; rank < e.n; rank++ {
+		if (alive == nil || alive(rank)) && e.hasVersion(rank, rank, v) {
+			plan = append(plan, Retrieval{Rank: rank, Source: SourceLocal})
+			continue
+		}
+		found := false
+		for _, holder := range e.placement.Replicas(rank) {
+			if holder == rank || (alive != nil && !alive(holder)) {
+				continue
+			}
+			if e.hasVersion(holder, rank, v) {
+				plan = append(plan, Retrieval{Rank: rank, Source: SourceRemoteCPU, Peer: holder, Bytes: e.shardSize})
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("ckpt: version %d not consistent: rank %d has no alive holder", v, rank)
+		}
+	}
+	return plan, nil
+}
+
+// PersistentPlan returns the all-from-persistent-storage recovery plan
+// (what existing solutions always do, Fig. 6a).
+func (e *Engine) PersistentPlan() []Retrieval {
+	plan := make([]Retrieval, 0, e.n)
+	for rank := 0; rank < e.n; rank++ {
+		plan = append(plan, Retrieval{Rank: rank, Source: SourcePersistent, Bytes: e.shardSize})
+	}
+	return plan
+}

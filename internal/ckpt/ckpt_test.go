@@ -1,0 +1,394 @@
+package ckpt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gemini/internal/placement"
+)
+
+const shardSize = 1000.0
+
+func newEngine(t *testing.T, n, m int) *Engine {
+	t.Helper()
+	return MustNewEngine(placement.MustMixed(n, m), shardSize)
+}
+
+// checkpointAll runs a full checkpoint of the given iteration: every
+// owner's shard lands committed on every machine in its replica set.
+func checkpointAll(e *Engine, iteration int64) {
+	p := e.Placement()
+	for owner := 0; owner < p.N; owner++ {
+		for _, holder := range p.Replicas(owner) {
+			e.Begin(holder, owner, iteration)
+			e.Receive(holder, owner, iteration, e.ShardBytes())
+			e.Commit(holder, owner, iteration, 0)
+		}
+	}
+}
+
+func allAlive(int) bool { return true }
+
+func TestCheckpointCommitAndConsistency(t *testing.T) {
+	e := newEngine(t, 4, 2)
+	checkpointAll(e, 100)
+	v, ok := e.ConsistentVersion(allAlive)
+	if !ok || v != 100 {
+		t.Fatalf("consistent version %d/%v, want 100/true", v, ok)
+	}
+	checkpointAll(e, 101)
+	v, ok = e.ConsistentVersion(allAlive)
+	if !ok || v != 101 {
+		t.Fatalf("consistent version %d/%v after second checkpoint, want 101", v, ok)
+	}
+}
+
+func TestInProgressNeverVisible(t *testing.T) {
+	e := newEngine(t, 4, 2)
+	checkpointAll(e, 100)
+	// Start iteration 101 everywhere but commit nowhere.
+	p := e.Placement()
+	for owner := 0; owner < p.N; owner++ {
+		for _, holder := range p.Replicas(owner) {
+			e.Begin(holder, owner, 101)
+			e.Receive(holder, owner, 101, shardSize/2)
+		}
+	}
+	v, ok := e.ConsistentVersion(allAlive)
+	if !ok || v != 100 {
+		t.Fatalf("half-written checkpoint leaked: version %d/%v, want 100", v, ok)
+	}
+}
+
+func TestCommitRequiresAllBytes(t *testing.T) {
+	e := newEngine(t, 4, 2)
+	e.Begin(0, 0, 1)
+	e.Receive(0, 0, 1, shardSize/2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("incomplete commit did not panic")
+		}
+	}()
+	e.Commit(0, 0, 1, 0)
+}
+
+func TestAbortDiscardsOnlyInProgress(t *testing.T) {
+	e := newEngine(t, 4, 2)
+	checkpointAll(e, 5)
+	e.Begin(0, 0, 6)
+	e.Receive(0, 0, 6, 10)
+	e.Abort(0, 0, 6)
+	sh, ok := e.Completed(0, 0)
+	if !ok || sh.Iteration != 5 {
+		t.Fatalf("completed shard %+v/%v, want iteration 5 intact", sh, ok)
+	}
+	// Abort of a non-matching iteration is a no-op.
+	e.Begin(0, 0, 7)
+	e.Abort(0, 0, 99)
+	e.Receive(0, 0, 7, shardSize)
+	e.Commit(0, 0, 7, 0)
+}
+
+func TestMisroutedShardPanics(t *testing.T) {
+	e := newEngine(t, 4, 2) // groups {0,1}, {2,3}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("misrouted Begin did not panic")
+		}
+	}()
+	e.Begin(2, 0, 1) // machine 2 does not hold rank 0's shard
+}
+
+func TestStaleBeginPanics(t *testing.T) {
+	e := newEngine(t, 4, 2)
+	checkpointAll(e, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Begin at an old iteration did not panic")
+		}
+	}()
+	e.Begin(0, 0, 10)
+}
+
+func TestOverReceivePanics(t *testing.T) {
+	e := newEngine(t, 4, 2)
+	e.Begin(0, 0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-receive did not panic")
+		}
+	}()
+	e.Receive(0, 0, 1, shardSize*2)
+}
+
+func TestReceiveWithoutBeginPanics(t *testing.T) {
+	e := newEngine(t, 4, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Receive without Begin did not panic")
+		}
+	}()
+	e.Receive(0, 0, 1, 10)
+}
+
+func TestWipeLosesShards(t *testing.T) {
+	e := newEngine(t, 4, 2)
+	checkpointAll(e, 100)
+	e.Wipe(1)
+	if _, ok := e.Completed(1, 0); ok {
+		t.Fatal("wiped machine still holds shards")
+	}
+	// Rank 0's shard survives on machine 0 (its own local copy) so the
+	// version remains consistent with machine 1 alive-but-empty.
+	v, ok := e.ConsistentVersion(allAlive)
+	if !ok || v != 100 {
+		t.Fatalf("version %d/%v after single wipe, want 100", v, ok)
+	}
+	// Wiping the whole group {0,1} loses rank 0 and 1's shards entirely.
+	e.Wipe(0)
+	if _, ok := e.ConsistentVersion(allAlive); ok {
+		t.Fatal("version still consistent after losing a whole group")
+	}
+}
+
+func TestConsistencyRequiresSameIterationEverywhere(t *testing.T) {
+	// §6.2 case 2: survivors at mixed iterations are useless.
+	e := newEngine(t, 4, 2)
+	checkpointAll(e, 100)
+	// Advance only rank 0/1's group to 101.
+	for _, owner := range []int{0, 1} {
+		for _, holder := range e.Placement().Replicas(owner) {
+			e.Begin(holder, owner, 101)
+			e.Receive(holder, owner, 101, shardSize)
+			e.Commit(holder, owner, 101, 0)
+		}
+	}
+	v, ok := e.ConsistentVersion(allAlive)
+	if !ok || v != 100 {
+		t.Fatalf("version %d/%v with mixed iterations, want 100 (both groups hold 100)", v, ok)
+	}
+}
+
+func TestConsistentVersionWithDeadMachines(t *testing.T) {
+	e := newEngine(t, 4, 2)
+	checkpointAll(e, 50)
+	dead := map[int]bool{1: true}
+	alive := func(r int) bool { return !dead[r] }
+	e.Wipe(1)
+	v, ok := e.ConsistentVersion(alive)
+	if !ok || v != 50 {
+		t.Fatalf("version %d/%v with one dead machine, want 50", v, ok)
+	}
+	// Kill the whole group.
+	dead[0] = true
+	e.Wipe(0)
+	if _, ok := e.ConsistentVersion(alive); ok {
+		t.Fatal("group loss should break CPU-memory consistency")
+	}
+}
+
+func TestDoubleBufferHoldsTwoGenerationsUntilNextBegin(t *testing.T) {
+	e := newEngine(t, 4, 2)
+	checkpointAll(e, 1)
+	checkpointAll(e, 2)
+	// Between Commit(2) and Begin(3), both generations are resident.
+	versions := e.CompletedVersions(0, 0)
+	if len(versions) != 2 || versions[0].Iteration != 2 || versions[1].Iteration != 1 {
+		t.Fatalf("resident versions %+v, want [2 1]", versions)
+	}
+	// Begin(3) reclaims the buffer holding generation 1.
+	e.Begin(0, 0, 3)
+	versions = e.CompletedVersions(0, 0)
+	if len(versions) != 1 || versions[0].Iteration != 2 {
+		t.Fatalf("after Begin(3) versions %+v, want [2]", versions)
+	}
+}
+
+func TestConsistentVersionDuringStaggeredCommits(t *testing.T) {
+	// The window the double buffer exists for: half the cluster has
+	// committed v+1, half is still mid-transfer. A consistent version (v)
+	// must still exist.
+	e := newEngine(t, 4, 2)
+	checkpointAll(e, 10)
+	for owner := 0; owner < 4; owner++ {
+		for _, holder := range e.Placement().Replicas(owner) {
+			e.Begin(holder, owner, 11)
+			e.Receive(holder, owner, 11, shardSize)
+		}
+	}
+	// Only group {0,1} commits 11.
+	for _, owner := range []int{0, 1} {
+		for _, holder := range e.Placement().Replicas(owner) {
+			e.Commit(holder, owner, 11, 0)
+		}
+	}
+	v, ok := e.ConsistentVersion(allAlive)
+	if !ok || v != 10 {
+		t.Fatalf("staggered commit: version %d/%v, want 10", v, ok)
+	}
+	// The rest commits: 11 becomes consistent.
+	for _, owner := range []int{2, 3} {
+		for _, holder := range e.Placement().Replicas(owner) {
+			e.Commit(holder, owner, 11, 0)
+		}
+	}
+	v, ok = e.ConsistentVersion(allAlive)
+	if !ok || v != 11 {
+		t.Fatalf("after all commits: version %d/%v, want 11", v, ok)
+	}
+}
+
+func TestPlanRecoverySoftwareFailure(t *testing.T) {
+	// All machines alive with local shards: everyone recovers locally.
+	e := newEngine(t, 4, 2)
+	checkpointAll(e, 7)
+	plan, err := e.PlanRecovery(7, allAlive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 4 {
+		t.Fatalf("plan has %d entries, want 4", len(plan))
+	}
+	for _, r := range plan {
+		if r.Source != SourceLocal || r.Bytes != 0 {
+			t.Fatalf("rank %d plan %+v, want local", r.Rank, r)
+		}
+	}
+}
+
+func TestPlanRecoveryHardwareCase1(t *testing.T) {
+	// Machine 1 replaced: its slot is wiped, it fetches from its group
+	// peer machine 0 (Fig. 6c).
+	e := newEngine(t, 4, 2)
+	checkpointAll(e, 7)
+	e.Wipe(1)
+	plan, err := e.PlanRecovery(7, allAlive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r1 Retrieval
+	for _, r := range plan {
+		if r.Rank == 1 {
+			r1 = r
+		} else if r.Source != SourceLocal {
+			t.Fatalf("rank %d should recover locally, got %+v", r.Rank, r)
+		}
+	}
+	if r1.Source != SourceRemoteCPU || r1.Peer != 0 || r1.Bytes != shardSize {
+		t.Fatalf("replaced machine plan %+v, want remote fetch from peer 0", r1)
+	}
+}
+
+func TestPlanRecoveryFailsWhenNotConsistent(t *testing.T) {
+	e := newEngine(t, 4, 2)
+	checkpointAll(e, 7)
+	e.Wipe(0)
+	e.Wipe(1) // whole group gone
+	if _, err := e.PlanRecovery(7, allAlive); err == nil {
+		t.Fatal("recovery planned for an inconsistent version")
+	}
+}
+
+func TestPersistentPlan(t *testing.T) {
+	e := newEngine(t, 3, 2)
+	plan := e.PersistentPlan()
+	if len(plan) != 3 {
+		t.Fatalf("plan has %d entries", len(plan))
+	}
+	for i, r := range plan {
+		if r.Rank != i || r.Source != SourcePersistent || r.Bytes != shardSize {
+			t.Fatalf("entry %d = %+v", i, r)
+		}
+	}
+}
+
+func TestCPUMemoryRequirement(t *testing.T) {
+	e := newEngine(t, 4, 2)
+	// Two buffers × m shards.
+	if got := e.CPUMemoryRequiredPerMachine(); got != 2*2*shardSize {
+		t.Fatalf("CPU requirement %v, want %v", got, 2*2*shardSize)
+	}
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	if _, err := NewEngine(placement.MustMixed(4, 2), -1); err == nil {
+		t.Fatal("negative shard size accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNewEngine on bad args did not panic")
+		}
+	}()
+	MustNewEngine(placement.MustMixed(4, 2), -5)
+}
+
+func TestSourceString(t *testing.T) {
+	names := map[Source]string{
+		SourceLocal: "local-cpu", SourceRemoteCPU: "remote-cpu",
+		SourcePersistent: "persistent", Source(9): "Source(9)",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), s.String(), want)
+		}
+	}
+}
+
+// Property: after checkpointing iterations 1..k and wiping a random set
+// of machines, ConsistentVersion is k iff the placement survives that
+// failure set, and any consistent version always yields a valid recovery
+// plan whose remote fetches name alive holders.
+func TestPropertyConsistencyMatchesPlacementSurvival(t *testing.T) {
+	f := func(nRaw, mRaw uint8, failMask uint16) bool {
+		n := int(nRaw%6) + 3
+		m := 2 + int(mRaw%2)
+		if m > n {
+			m = n
+		}
+		p := placement.MustMixed(n, m)
+		e := MustNewEngine(p, 100)
+		for iter := int64(1); iter <= 3; iter++ {
+			checkpointAll(e, iter)
+		}
+		failed := make(map[int]bool)
+		for r := 0; r < n; r++ {
+			if failMask&(1<<uint(r)) != 0 {
+				failed[r] = true
+				e.Wipe(r)
+			}
+		}
+		alive := func(r int) bool { return !failed[r] }
+		v, ok := e.ConsistentVersion(alive)
+		if p.Survives(failed) != ok {
+			return false
+		}
+		if !ok {
+			return true
+		}
+		if v != 3 {
+			return false
+		}
+		plan, err := e.PlanRecovery(v, alive)
+		if err != nil || len(plan) != n {
+			return false
+		}
+		for _, r := range plan {
+			switch r.Source {
+			case SourceLocal:
+				if failed[r.Rank] {
+					return false
+				}
+			case SourceRemoteCPU:
+				if failed[r.Peer] || r.Peer == r.Rank {
+					return false
+				}
+			default:
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

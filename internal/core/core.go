@@ -1,0 +1,242 @@
+// Package core assembles the GEMINI system out of its parts: given a
+// training job (model × instance type × machine count) and a replica
+// count, it derives the checkpoint placement (Algorithm 1), profiles the
+// iteration timeline, partitions checkpoint traffic (Algorithm 2), and
+// exposes the solution specs, the interference executor, the long-run
+// failure simulator, and the live agent-based recovery system. The public
+// gemini package is a thin veneer over this one.
+package core
+
+import (
+	"fmt"
+
+	"gemini/internal/agent"
+	"gemini/internal/baselines"
+	"gemini/internal/ckpt"
+	"gemini/internal/cloud"
+	"gemini/internal/cluster"
+	"gemini/internal/failure"
+	"gemini/internal/model"
+	"gemini/internal/placement"
+	"gemini/internal/profile"
+	"gemini/internal/runsim"
+	"gemini/internal/schedule"
+	"gemini/internal/simclock"
+	"gemini/internal/tensor"
+	"gemini/internal/trace"
+	"gemini/internal/training"
+)
+
+// JobSpec names a training job in user terms.
+type JobSpec struct {
+	// Model is a Table 2 name, e.g. "GPT-2 100B".
+	Model string
+	// Instance is a Table 1 name, e.g. "p4d.24xlarge".
+	Instance string
+	// Machines is the cluster size N.
+	Machines int
+	// Replicas is the checkpoint replica count m (default 2).
+	Replicas int
+	// RemoteBandwidth is the persistent store's aggregate bandwidth
+	// (default 20 Gbps, the paper's FSx setup).
+	RemoteBandwidth float64
+	// Parallelism selects the distribution strategy (default ZeRO-3, the
+	// paper's setting; data-parallel and pipeline-parallel are the §9
+	// future-work extensions).
+	Parallelism training.Parallelism
+}
+
+func (j JobSpec) withDefaults() JobSpec {
+	if j.Replicas == 0 {
+		j.Replicas = 2
+	}
+	if j.RemoteBandwidth == 0 {
+		j.RemoteBandwidth = baselines.DefaultRemoteBandwidth
+	}
+	return j
+}
+
+// Job is a fully derived GEMINI deployment for one training job.
+type Job struct {
+	Spec      JobSpec
+	Config    training.Config
+	Placement *placement.Placement
+	Timeline  *training.Timeline
+	Profile   *profile.Profile
+	Plan      *schedule.Plan
+	Costs     tensor.CostModel
+
+	specGemini, specStrawman, specHighFreq baselines.Spec
+}
+
+// NewJob derives everything from a job spec.
+func NewJob(spec JobSpec) (*Job, error) {
+	spec = spec.withDefaults()
+	m, err := model.ByName(spec.Model)
+	if err != nil {
+		return nil, err
+	}
+	it, err := cluster.InstanceByName(spec.Instance)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := training.NewConfig(m, it, spec.Machines)
+	if err != nil {
+		return nil, err
+	}
+	if !cfg.FitsInGPUMemory() {
+		return nil, fmt.Errorf("core: %s does not fit in GPU memory on %d× %s (needs %.1f GB/GPU of %.1f GB)",
+			spec.Model, spec.Machines, spec.Instance,
+			cfg.GPUMemoryDemandBytes()/1e9, float64(it.GPUMemBytes)/1e9)
+	}
+	plc, err := placement.Mixed(spec.Machines, spec.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	// The checkpoint double buffers must fit in host memory.
+	needed := 2 * float64(spec.Replicas) * cfg.ShardBytesPerMachine()
+	if needed > float64(it.CPUMemBytes) {
+		return nil, fmt.Errorf("core: m=%d needs %.0f GB of CPU memory per machine, %s has %.0f GB",
+			spec.Replicas, needed/1e9, spec.Instance, float64(it.CPUMemBytes)/1e9)
+	}
+	tl, err := training.BuildTimelineFor(cfg, spec.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	prof, err := tl.Profile(20)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := schedule.Partition(schedule.Params{
+		Spans:                prof.Spans,
+		CheckpointBytes:      cfg.ShardBytesPerMachine(),
+		Replicas:             spec.Replicas,
+		BufferBytes:          8 * 128e6,
+		BufferParts:          4,
+		BandwidthBytesPerSec: it.NetworkBytesPerSec,
+		Alpha:                cfg.Calib.CollectiveAlpha,
+		Gamma:                0.9,
+	})
+	if err != nil {
+		return nil, err
+	}
+	costs := tensor.DefaultCostModel()
+	j := &Job{Spec: spec, Config: cfg, Placement: plc, Timeline: tl, Profile: prof, Plan: plan, Costs: costs}
+	if j.specGemini, err = baselines.Gemini(cfg, spec.Replicas, spec.RemoteBandwidth, costs); err != nil {
+		return nil, err
+	}
+	if j.specStrawman, err = baselines.Strawman(cfg, spec.RemoteBandwidth, costs); err != nil {
+		return nil, err
+	}
+	if j.specHighFreq, err = baselines.HighFreq(cfg, spec.RemoteBandwidth, costs); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// MustNewJob is NewJob for known-good specs.
+func MustNewJob(spec JobSpec) *Job {
+	j, err := NewJob(spec)
+	if err != nil {
+		panic(err)
+	}
+	return j
+}
+
+// GeminiSpec returns GEMINI's checkpointing behavior for the job.
+func (j *Job) GeminiSpec() baselines.Spec { return j.specGemini }
+
+// StrawmanSpec returns the three-hourly remote baseline.
+func (j *Job) StrawmanSpec() baselines.Spec { return j.specStrawman }
+
+// HighFreqSpec returns the saturate-the-remote-store baseline.
+func (j *Job) HighFreqSpec() baselines.Spec { return j.specHighFreq }
+
+// RecoveryProbability returns the probability that GEMINI recovers from
+// CPU memory when k machines fail simultaneously, by exact enumeration
+// for small clusters and Monte Carlo beyond.
+func (j *Job) RecoveryProbability(k int) float64 {
+	if j.Placement.N <= 31 {
+		return placement.BitmaskProbability(j.Placement, k)
+	}
+	return placement.MonteCarlo(j.Placement, k, 200_000, 1)
+}
+
+// ExecuteScheme runs the interference executor with one of the §7.4
+// schemes. The fluid executor models the ZeRO-3 traffic pattern; for the
+// other parallelisms use the analytic plan (Job.Plan) instead.
+func (j *Job) ExecuteScheme(s schedule.Scheme) (*training.ExecResult, error) {
+	if j.Spec.Parallelism != training.ZeRO3 {
+		return nil, fmt.Errorf("core: the interference executor supports ZeRO-3 only, job uses %v", j.Spec.Parallelism)
+	}
+	opts := training.DefaultExecOptions(j.Placement, s)
+	return training.Execute(j.Config, opts)
+}
+
+// ExecuteSchemeWithBuffers runs the executor with an explicit reserved
+// GPU buffer size R and sub-buffer count p — the pipeline-depth ablation.
+func (j *Job) ExecuteSchemeWithBuffers(s schedule.Scheme, bufferBytes float64, parts int) (*training.ExecResult, error) {
+	opts := training.DefaultExecOptions(j.Placement, s)
+	opts.BufferBytes = bufferBytes
+	opts.BufferParts = parts
+	return training.Execute(j.Config, opts)
+}
+
+// SimulateRun plays a failure schedule against a solution spec and
+// returns the effective-training-time accounting of §7.3.
+func (j *Job) SimulateRun(spec baselines.Spec, fs failure.Schedule, horizon simclock.Duration,
+	replacementDelay simclock.Duration) (*runsim.Result, error) {
+	return runsim.Run(runsim.Config{
+		Spec:             spec,
+		Placement:        j.Placement,
+		Failures:         fs,
+		Horizon:          horizon,
+		ReplacementDelay: replacementDelay,
+	})
+}
+
+// SimulateRunScaled is SimulateRun with the placement rebuilt over a
+// different cluster size — the Fig. 15b methodology, where the testbed's
+// measured overheads are kept while the failure frequency scales with N.
+func (j *Job) SimulateRunScaled(spec baselines.Spec, machines int, fs failure.Schedule,
+	horizon simclock.Duration, replacementDelay simclock.Duration) (*runsim.Result, error) {
+	plc, err := placement.Mixed(machines, j.Spec.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	return runsim.Run(runsim.Config{
+		Spec:             spec,
+		Placement:        plc,
+		Failures:         fs,
+		Horizon:          horizon,
+		ReplacementDelay: replacementDelay,
+	})
+}
+
+// RecoverySystem assembles the live agent-based control plane for the
+// job on a fresh simulation engine.
+func (j *Job) RecoverySystem(cloudCfg cloud.Config) (*simclock.Engine, *agent.System, error) {
+	engine := simclock.NewEngine()
+	clus, err := cluster.New(j.Spec.Machines, j.Config.Instance, engine.Now)
+	if err != nil {
+		return nil, nil, err
+	}
+	ck, err := ckpt.NewEngine(j.Placement, j.Config.ShardBytesPerMachine())
+	if err != nil {
+		return nil, nil, err
+	}
+	op, err := cloud.NewOperator(engine, cloudCfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	opts := agent.DefaultOptions(j.Timeline.Iteration)
+	opts.RetrievalPeerBandwidth = j.Config.Instance.NetworkBytesPerSec
+	opts.RetrievalRemoteBandwidth = j.Spec.RemoteBandwidth
+	opts.SerializeTime = j.Costs.SerializeTime(2 * j.Config.ShardBytesPerMachine())
+	log := trace.NewLog(engine.Now)
+	sys, err := agent.NewSystem(engine, clus, ck, op, opts, log)
+	if err != nil {
+		return nil, nil, err
+	}
+	return engine, sys, nil
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"gemini/internal/cloud"
+	"gemini/internal/cluster"
+	"gemini/internal/failure"
+	"gemini/internal/schedule"
+	"gemini/internal/simclock"
+)
+
+func paperJob(t *testing.T) *Job {
+	t.Helper()
+	j, err := NewJob(JobSpec{Model: "GPT-2 100B", Instance: "p4d.24xlarge", Machines: 16})
+	if err != nil {
+		t.Fatalf("NewJob: %v", err)
+	}
+	return j
+}
+
+func TestNewJobDerivesEverything(t *testing.T) {
+	j := paperJob(t)
+	if j.Spec.Replicas != 2 {
+		t.Fatalf("default replicas %d, want 2", j.Spec.Replicas)
+	}
+	if j.Placement.N != 16 || j.Placement.M != 2 {
+		t.Fatalf("placement %dx%d", j.Placement.N, j.Placement.M)
+	}
+	if j.Timeline.Iteration <= 0 || len(j.Profile.Spans) == 0 {
+		t.Fatal("timeline/profile empty")
+	}
+	if !j.Plan.Fits {
+		t.Fatal("checkpoint plan does not fit the idle spans for the paper's flagship config")
+	}
+	if j.GeminiSpec().Name != "GEMINI" || j.StrawmanSpec().Name != "Strawman" || j.HighFreqSpec().Name != "HighFreq" {
+		t.Fatal("spec names wrong")
+	}
+}
+
+func TestNewJobValidatesResources(t *testing.T) {
+	if _, err := NewJob(JobSpec{Model: "GPT-2 100B", Instance: "p3dn.24xlarge", Machines: 16}); err == nil {
+		t.Error("100B on p3dn should fail GPU memory validation")
+	}
+	if _, err := NewJob(JobSpec{Model: "Nonexistent 1B", Instance: "p4d.24xlarge", Machines: 16}); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if _, err := NewJob(JobSpec{Model: "GPT-2 100B", Instance: "z9.metal", Machines: 16}); err == nil {
+		t.Error("unknown instance accepted")
+	}
+	if _, err := NewJob(JobSpec{Model: "GPT-2 100B", Instance: "p4d.24xlarge", Machines: 0}); err == nil {
+		t.Error("zero machines accepted")
+	}
+	// CPU-memory budget: m huge enough to exceed 1152 GB of host memory.
+	// Shard on 2 machines = 600 GB; two buffers × m=2 replicas = 2.4 TB.
+	if _, err := NewJob(JobSpec{Model: "GPT-2 100B", Instance: "p4d.24xlarge", Machines: 2, Replicas: 2}); err == nil {
+		t.Error("CPU-memory over-budget accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNewJob did not panic on bad spec")
+		}
+	}()
+	MustNewJob(JobSpec{Model: "nope", Instance: "p4d.24xlarge", Machines: 16})
+}
+
+func TestRecoveryProbabilityMatchesCorollary(t *testing.T) {
+	j := paperJob(t)
+	if got := j.RecoveryProbability(2); math.Abs(got-0.9333) > 1e-3 {
+		t.Fatalf("P(recover | k=2) = %v, want 0.933", got)
+	}
+	if got := j.RecoveryProbability(3); math.Abs(got-0.8) > 1e-3 {
+		t.Fatalf("P(recover | k=3) = %v, want 0.8", got)
+	}
+	// Large clusters switch to Monte Carlo.
+	big := MustNewJob(JobSpec{Model: "GPT-2 100B", Instance: "p4d.24xlarge", Machines: 64})
+	if got := big.RecoveryProbability(2); got < 0.97 || got > 1 {
+		t.Fatalf("P(recover | N=64, k=2) = %v, want ≈0.984", got)
+	}
+}
+
+func TestExecuteSchemeThroughJob(t *testing.T) {
+	j := paperJob(t)
+	res, err := j.ExecuteScheme(schedule.SchemeGemini)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov := res.Overhead(); ov > 0.02 {
+		t.Fatalf("GEMINI overhead %.2f%%", ov*100)
+	}
+}
+
+func TestExecuteSchemeWithBuffers(t *testing.T) {
+	j := MustNewJob(JobSpec{Model: "GPT-2 40B", Instance: "p3dn.24xlarge", Machines: 16})
+	single, err := j.ExecuteSchemeWithBuffers(schedule.SchemeGemini, 8*128e6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	piped, err := j.ExecuteSchemeWithBuffers(schedule.SchemeGemini, 8*128e6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.IterationTime <= piped.IterationTime {
+		t.Fatalf("p=1 (%v) should be slower than p=4 (%v)", single.IterationTime, piped.IterationTime)
+	}
+}
+
+func TestSimulateRunScaled(t *testing.T) {
+	j := paperJob(t)
+	horizon := 3 * simclock.Day
+	fs, err := failure.FixedRate(100, 10, 0, horizon) // ranks up to 29 over 3 days
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := j.SimulateRunScaled(j.GeminiSpec(), 100, fs, horizon, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EffectiveRatio <= 0.5 || res.EffectiveRatio >= 1 {
+		t.Fatalf("scaled ratio %.3f implausible", res.EffectiveRatio)
+	}
+	// A failure rank ≥ the job's own 16 machines proves the placement
+	// really was rebuilt at the scaled size.
+	if _, err := j.SimulateRun(j.GeminiSpec(), fs, horizon, 0); err == nil {
+		t.Fatal("unscaled run should reject ranks beyond the testbed size")
+	}
+}
+
+func TestSimulateRunThroughJob(t *testing.T) {
+	j := paperJob(t)
+	horizon := 5 * simclock.Day
+	fs, err := failure.FixedRate(16, 4, 0, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gem, err := j.SimulateRun(j.GeminiSpec(), fs, horizon, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	straw, err := j.SimulateRun(j.StrawmanSpec(), fs, horizon, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gem.EffectiveRatio <= straw.EffectiveRatio {
+		t.Fatalf("GEMINI %.3f should beat Strawman %.3f", gem.EffectiveRatio, straw.EffectiveRatio)
+	}
+}
+
+func TestRecoverySystemEndToEnd(t *testing.T) {
+	j := MustNewJob(JobSpec{Model: "GPT-2 40B", Instance: "p3dn.24xlarge", Machines: 16})
+	engine, sys, err := j.RecoverySystem(cloud.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Start()
+	iter := j.Timeline.Iteration
+	engine.At(simclock.Time(3*iter+1), func() {
+		sys.InjectFailure(5, cluster.HardwareFailed)
+	})
+	engine.Run(simclock.Time(40 * iter))
+	if sys.Recoveries() != 1 {
+		t.Fatalf("%d recoveries, want 1", sys.Recoveries())
+	}
+	if !sys.Training() {
+		t.Fatal("training did not resume")
+	}
+}

@@ -1,0 +1,96 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§7) plus the two catalog tables. Each experiment returns
+// structured rows and renders a text table, so the same code backs both
+// cmd/benchtables and the root bench_test.go benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Experiment identifies one table or figure.
+type Experiment struct {
+	ID    string // "table1", "fig9", "fig15a", …
+	Title string
+	Run   func() (string, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "Table 1: GPU vs CPU memory of cloud GPU instances", Table1},
+		{"table2", "Table 2: language model configurations", Table2},
+		{"fig7", "Figure 7: iteration time of 100B models, no-checkpoint vs GEMINI", Fig7},
+		{"fig8", "Figure 8: network idle time and checkpoint time, 100B models", Fig8},
+		{"fig9", "Figure 9: probability of recovery from CPU memory", Fig9},
+		{"fig10", "Figure 10: average wasted time vs replaced instances", Fig10},
+		{"fig11", "Figure 11: checkpoint-time reduction over the baselines", Fig11},
+		{"fig12", "Figure 12: checkpoint frequency", Fig12},
+		{"fig13", "Figure 13: p3dn.24xlarge generalization (10B–40B models)", Fig13},
+		{"fig14", "Figure 14: failure-recovery timeline", Fig14},
+		{"fig15a", "Figure 15a: effective training-time ratio vs failure rate", Fig15a},
+		{"fig15b", "Figure 15b: effective training-time ratio vs cluster size", Fig15b},
+		{"fig16", "Figure 16: interleaving-scheme ablation (GPT-2 40B)", Fig16},
+	}
+}
+
+// ByID returns the experiment (including ablations) with the given ID.
+func ByID(id string) (Experiment, error) {
+	for _, e := range append(All(), Ablations()...) {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// table is a tiny text-table builder.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func newTable(header ...string) *table { return &table{header: header} }
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) addf(format string, args ...any) {
+	t.add(strings.Split(fmt.Sprintf(format, args...), "|")...)
+}
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}

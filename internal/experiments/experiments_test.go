@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every experiment must run and produce a non-trivial table. Content
+// correctness is asserted by the per-package tests; here we verify the
+// harness end to end and a few headline numbers embedded in the output.
+
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			out, err := e.Run()
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(strings.Split(out, "\n")) < 3 {
+				t.Fatalf("%s produced a trivial table:\n%s", e.ID, out)
+			}
+		})
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	for _, e := range Ablations() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			out, err := e.Run()
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(strings.Split(out, "\n")) < 3 {
+				t.Fatalf("%s produced a trivial table:\n%s", e.ID, out)
+			}
+		})
+	}
+}
+
+func TestAblationGammaShowsOverflowAtLowGamma(t *testing.T) {
+	out, err := AblationGamma()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "false") {
+		t.Fatalf("γ sweep never overflows — the knob does nothing:\n%s", out)
+	}
+	if !strings.Contains(out, "true") {
+		t.Fatalf("γ sweep never fits:\n%s", out)
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("fig9")
+	if err != nil || e.ID != "fig9" {
+		t.Fatalf("ByID(fig9) = %+v, %v", e, err)
+	}
+	if _, err := ByID("fig99"); err == nil {
+		t.Fatal("unknown ID accepted")
+	}
+}
+
+func TestTable1ShowsRatioAboveOne(t *testing.T) {
+	out, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "p4d.24xlarge") || !strings.Contains(out, "1152 GB") {
+		t.Fatalf("Table 1 missing p4d row:\n%s", out)
+	}
+}
+
+func TestFig9ShowsPaperNumbers(t *testing.T) {
+	out, err := Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// N=16 row: GEMINI k=2 0.933, k=3 0.800, ring k=3 0.600.
+	var found bool
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "16 ") {
+			found = true
+			for _, want := range []string{"0.933", "0.800", "0.600"} {
+				if !strings.Contains(line, want) {
+					t.Fatalf("Fig 9 N=16 row %q missing %s", line, want)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("Fig 9 has no N=16 row:\n%s", out)
+	}
+}
+
+func TestFig16ShowsNaiveOOM(t *testing.T) {
+	out, err := Fig16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "OOM") {
+		t.Fatalf("Fig 16 missing the naive-interleave OOM:\n%s", out)
+	}
+	if !strings.Contains(out, "GEMINI") || !strings.Contains(out, "Blocking") {
+		t.Fatalf("Fig 16 missing schemes:\n%s", out)
+	}
+}
+
+func TestFig14ShowsRecoveryPhases(t *testing.T) {
+	out, err := Fig14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, phase := range []string{"failure-detected", "serialized", "replaced", "retrieved", "recovery-complete"} {
+		if !strings.Contains(out, phase) {
+			t.Fatalf("Fig 14 timeline missing %q:\n%s", phase, out)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"gemini/internal/baselines"
+	"gemini/internal/cloud"
+	"gemini/internal/cluster"
+	"gemini/internal/failure"
+	"gemini/internal/placement"
+	"gemini/internal/runsim"
+	"gemini/internal/simclock"
+)
+
+// Fig14 reproduces the failure-recovery timeline: GPT-2 100B training on
+// 16 p4d machines, one hardware failure during iteration 4, driven
+// through the live agent system. The output is the event trace with the
+// per-phase durations the paper annotates (detection 15 s, serialization
+// 162 s, replacement 4–7 min, retrieval <3 s, warmup >4 min).
+func Fig14() (string, error) {
+	job, err := jobFor("GPT-2 100B", "p4d.24xlarge")
+	if err != nil {
+		return "", err
+	}
+	engine, sys, err := job.RecoverySystem(cloud.DefaultConfig())
+	if err != nil {
+		return "", err
+	}
+	sys.Start()
+	iter := job.Timeline.Iteration
+	engine.At(simclock.Time(3*iter)+simclock.Time(iter)/2, func() {
+		sys.InjectFailure(7, cluster.HardwareFailed)
+	})
+	engine.Run(simclock.Time(30 * iter))
+	if sys.Recoveries() != 1 {
+		return "", fmt.Errorf("experiments: fig14 expected one recovery, got %d", sys.Recoveries())
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "iteration time %.1f s; failure injected during iteration 4\n\n", iter.Seconds())
+	var prev simclock.Time
+	for _, ev := range sys.Log().Events() {
+		fmt.Fprintf(&b, "%10.1fs  (+%6.1fs)  %-12s %-18s %s\n",
+			float64(ev.At), float64(ev.At.Sub(prev)), ev.Subject, ev.Kind, ev.Detail)
+		prev = ev.At
+	}
+	return b.String(), nil
+}
+
+// fig15Specs builds the three solutions for the §7.3 simulations using
+// the 16-machine testbed overheads, per the paper's methodology.
+func fig15Specs() (straw, high, gem baselines.Spec, err error) {
+	job, err := jobFor("GPT-2 100B", "p4d.24xlarge")
+	if err != nil {
+		return
+	}
+	return job.StrawmanSpec(), job.HighFreqSpec(), job.GeminiSpec(), nil
+}
+
+// simulateRatio averages the effective ratio over several Poisson
+// failure schedules (fixed seeds, so output stays deterministic) to avoid
+// phase aliasing between failure spacing and checkpoint intervals.
+func simulateRatio(spec baselines.Spec, n int, failuresPerDay float64, horizon simclock.Duration) (float64, error) {
+	const seeds = 5
+	var plc *placement.Placement
+	if spec.UsesCPUMemory {
+		var err error
+		if plc, err = placement.Mixed(n, 2); err != nil {
+			return 0, err
+		}
+	}
+	m := failure.Model{PerInstancePerDay: failuresPerDay / float64(n)}
+	var sum float64
+	for seed := int64(1); seed <= seeds; seed++ {
+		fs, err := m.Generate(n, horizon, seed)
+		if err != nil {
+			return 0, err
+		}
+		res, err := runsim.Run(runsim.Config{Spec: spec, Placement: plc, Failures: fs, Horizon: horizon})
+		if err != nil {
+			return 0, err
+		}
+		sum += res.EffectiveRatio
+	}
+	return sum / seeds, nil
+}
+
+// Fig15a sweeps the failure rate (software failures, standby machines
+// assumed for hardware per §7.3) at 16 instances.
+func Fig15a() (string, error) {
+	straw, high, gem, err := fig15Specs()
+	if err != nil {
+		return "", err
+	}
+	horizon := 10 * simclock.Day
+	t := newTable("Failures/day", "Strawman", "HighFreq", "GEMINI")
+	for _, perDay := range []float64{0, 2, 4, 6, 8} {
+		s, err := simulateRatio(straw, testbedMachines, perDay, horizon)
+		if err != nil {
+			return "", err
+		}
+		h, err := simulateRatio(high, testbedMachines, perDay, horizon)
+		if err != nil {
+			return "", err
+		}
+		g, err := simulateRatio(gem, testbedMachines, perDay, horizon)
+		if err != nil {
+			return "", err
+		}
+		t.addf("%.0f|%.3f|%.3f|%.3f", perDay, s, h, g)
+	}
+	return t.String(), nil
+}
+
+// Fig15b sweeps the cluster size with the OPT-175B failure rate (1.5% of
+// instances per day).
+func Fig15b() (string, error) {
+	straw, high, gem, err := fig15Specs()
+	if err != nil {
+		return "", err
+	}
+	horizon := 10 * simclock.Day
+	rate := failure.OPTModel()
+	t := newTable("Instances", "Failures/day", "Strawman", "HighFreq", "GEMINI")
+	for _, n := range []int{16, 100, 200, 400, 600, 800, 1000} {
+		perDay := rate.ClusterFailuresPerDay(n)
+		s, err := simulateRatio(straw, n, perDay, horizon)
+		if err != nil {
+			return "", err
+		}
+		h, err := simulateRatio(high, n, perDay, horizon)
+		if err != nil {
+			return "", err
+		}
+		g, err := simulateRatio(gem, n, perDay, horizon)
+		if err != nil {
+			return "", err
+		}
+		t.addf("%d|%.1f|%.3f|%.3f|%.3f", n, perDay, s, h, g)
+	}
+	return t.String(), nil
+}

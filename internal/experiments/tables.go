@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gemini/internal/cluster"
+	"gemini/internal/model"
+)
+
+// Table1 renders the instance catalog with the paper's observation — CPU
+// memory far exceeds GPU memory everywhere.
+func Table1() (string, error) {
+	t := newTable("Instance type", "Cloud", "GPU", "GPU memory", "CPU memory", "CPU/GPU ratio")
+	for _, it := range cluster.Table1() {
+		t.addf("%s|%s|%d× %s|%d × %d GB|%d GB|%.1f×",
+			it.Name, it.Cloud, it.GPUs, gpuName(it), it.GPUs, it.GPUMemBytes>>30,
+			it.CPUMemBytes>>30, it.CPUOverGPURatio())
+	}
+	return t.String(), nil
+}
+
+func gpuName(it cluster.InstanceType) string {
+	if it.GPUMemBytes >= 40<<30 {
+		return "A100"
+	}
+	return "V100"
+}
+
+// Table2 renders the model configurations plus the sizes everything else
+// derives from.
+func Table2() (string, error) {
+	t := newTable("Model", "Hidden", "Intermediate", "#Layers", "#AH", "Ckpt size", "Shard/machine (N=16)")
+	for _, m := range model.Table2() {
+		shard := model.Sharding{Machines: 16, GPUsPerNode: 8}.ShardBytesPerMachine(m)
+		t.addf("%s|%d|%d|%d|%d|%.1f GB|%.1f GB",
+			m.Name(), m.HiddenSize, m.Intermediate, m.Layers, m.AttentionHeads,
+			m.CheckpointBytes()/1e9, shard/1e9)
+	}
+	return t.String(), nil
+}
+
+func gb(bytes float64) string { return fmt.Sprintf("%.1f GB", bytes/1e9) }

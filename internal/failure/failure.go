@@ -1,0 +1,185 @@
+// Package failure models the failures that interrupt large-model
+// training (§6.1): software failures (process crashes; hardware and CPU
+// memory survive) and hardware failures (the machine is lost and must be
+// replaced). It generates deterministic failure schedules from the rate
+// models the paper uses — e.g. OPT-175B's observation that 1.5% of
+// instances fail per day (§7.3).
+package failure
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"gemini/internal/cluster"
+	"gemini/internal/simclock"
+)
+
+// Event is one injected failure.
+type Event struct {
+	At   simclock.Time
+	Rank int
+	Kind cluster.MachineState // SoftwareFailed or HardwareFailed
+}
+
+// Schedule is a time-ordered list of failure events.
+type Schedule []Event
+
+// Validate checks ordering and event sanity.
+func (s Schedule) Validate(n int) error {
+	for i, ev := range s {
+		if ev.Rank < 0 || ev.Rank >= n {
+			return fmt.Errorf("failure: event %d rank %d out of range [0,%d)", i, ev.Rank, n)
+		}
+		if ev.Kind != cluster.SoftwareFailed && ev.Kind != cluster.HardwareFailed {
+			return fmt.Errorf("failure: event %d has non-failure kind %v", i, ev.Kind)
+		}
+		if i > 0 && ev.At < s[i-1].At {
+			return fmt.Errorf("failure: events out of order at %d", i)
+		}
+	}
+	return nil
+}
+
+// Model is a stochastic failure model for a cluster.
+type Model struct {
+	// PerInstancePerDay is the probability that a given machine fails in
+	// a day (OPT-175B: 0.015).
+	PerInstancePerDay float64
+	// HardwareFraction is the share of failures that are hardware
+	// failures needing machine replacement; the paper observes most
+	// failures are software or single-machine hardware (§6.2).
+	HardwareFraction float64
+}
+
+// Validate checks the model parameters.
+func (m Model) Validate() error {
+	if m.PerInstancePerDay < 0 || m.PerInstancePerDay > 1 {
+		return fmt.Errorf("failure: per-instance daily rate %v out of [0,1]", m.PerInstancePerDay)
+	}
+	if m.HardwareFraction < 0 || m.HardwareFraction > 1 {
+		return fmt.Errorf("failure: hardware fraction %v out of [0,1]", m.HardwareFraction)
+	}
+	return nil
+}
+
+// OPTModel is the failure model from the OPT-175B logbook: 1.5% of
+// instances fail per day, with half the failures needing replacement.
+func OPTModel() Model {
+	return Model{PerInstancePerDay: 0.015, HardwareFraction: 0.5}
+}
+
+// ClusterFailuresPerDay returns the expected cluster-wide failure rate.
+func (m Model) ClusterFailuresPerDay(machines int) float64 {
+	return m.PerInstancePerDay * float64(machines)
+}
+
+// Generate draws a Poisson failure schedule over [0, horizon) for a
+// cluster of n machines. The schedule is deterministic for a fixed seed.
+func (m Model) Generate(n int, horizon simclock.Duration, seed int64) (Schedule, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("failure: need at least one machine, got %d", n)
+	}
+	if horizon < 0 {
+		return nil, fmt.Errorf("failure: negative horizon %v", horizon)
+	}
+	rate := m.ClusterFailuresPerDay(n) / simclock.Day.Seconds() // events per second
+	rng := rand.New(rand.NewSource(seed))
+	var out Schedule
+	if rate > 0 {
+		t := simclock.Time(0)
+		for {
+			// Exponential inter-arrival times.
+			t = t.Add(simclock.Duration(rng.ExpFloat64() / rate))
+			if t >= simclock.Time(horizon) {
+				break
+			}
+			kind := cluster.SoftwareFailed
+			if rng.Float64() < m.HardwareFraction {
+				kind = cluster.HardwareFailed
+			}
+			out = append(out, Event{At: t, Rank: rng.Intn(n), Kind: kind})
+		}
+	}
+	return out, nil
+}
+
+// FixedRate builds a deterministic schedule with exactly failuresPerDay
+// failures per day, evenly spaced, round-robin over machines and
+// alternating kinds per the hardware fraction. Used by the §7.3
+// failure-rate sweep so every solution sees identical failures.
+func FixedRate(n int, failuresPerDay float64, hwFraction float64, horizon simclock.Duration) (Schedule, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("failure: need at least one machine, got %d", n)
+	}
+	if failuresPerDay < 0 || hwFraction < 0 || hwFraction > 1 {
+		return nil, fmt.Errorf("failure: bad rate %v / fraction %v", failuresPerDay, hwFraction)
+	}
+	if failuresPerDay == 0 {
+		return nil, nil
+	}
+	interval := simclock.Duration(simclock.Day.Seconds() / failuresPerDay)
+	var out Schedule
+	hwDebt := 0.0
+	for i := 0; ; i++ {
+		at := simclock.Time(0).Add(interval/2 + interval*simclock.Duration(i))
+		if at >= simclock.Time(horizon) {
+			break
+		}
+		kind := cluster.SoftwareFailed
+		hwDebt += hwFraction
+		if hwDebt >= 1 {
+			hwDebt -= 1
+			kind = cluster.HardwareFailed
+		}
+		out = append(out, Event{At: at, Rank: i % n, Kind: kind})
+	}
+	return out, nil
+}
+
+// SimultaneousGroups extracts, for a window w, the maximal sets of
+// distinct machines failing within w of each other — the k of
+// Corollary 1. Used to study correlated failures.
+func (s Schedule) SimultaneousGroups(w simclock.Duration) []int {
+	if len(s) == 0 {
+		return nil
+	}
+	var sizes []int
+	i := 0
+	for i < len(s) {
+		j := i
+		ranks := map[int]bool{}
+		for j < len(s) && s[j].At.Sub(s[i].At) <= w {
+			ranks[s[j].Rank] = true
+			j++
+		}
+		sizes = append(sizes, len(ranks))
+		i = j
+	}
+	return sizes
+}
+
+// ExpectedSimultaneousProbability returns the probability that two or
+// more machines are simultaneously down, given the per-instance daily
+// failure rate and a mean repair window — the back-of-envelope behind
+// "it is rare to have two or more machine failures at the same time"
+// (§6.2).
+func (m Model) ExpectedSimultaneousProbability(machines int, repairWindow simclock.Duration) float64 {
+	lambda := m.ClusterFailuresPerDay(machines) * repairWindow.Seconds() / simclock.Day.Seconds()
+	// P(≥2 overlapping) under Poisson arrivals within the window.
+	return 1 - math.Exp(-lambda) - lambda*math.Exp(-lambda)
+}
+
+// Merge combines schedules into one ordered schedule.
+func Merge(schedules ...Schedule) Schedule {
+	var out Schedule
+	for _, s := range schedules {
+		out = append(out, s...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}

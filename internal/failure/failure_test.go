@@ -1,0 +1,225 @@
+package failure
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gemini/internal/cluster"
+	"gemini/internal/simclock"
+)
+
+func TestOPTModelMatchesPaper(t *testing.T) {
+	m := OPTModel()
+	if m.PerInstancePerDay != 0.015 {
+		t.Fatalf("per-instance rate %v, want 0.015 (OPT-175B: 1.5%%/day)", m.PerInstancePerDay)
+	}
+	// 1000 instances ⇒ 15 failures/day, the Fig. 15b regime.
+	if got := m.ClusterFailuresPerDay(1000); math.Abs(got-15) > 1e-12 {
+		t.Fatalf("cluster rate %v, want 15/day", got)
+	}
+}
+
+func TestGenerateDeterministicAndOrdered(t *testing.T) {
+	m := OPTModel()
+	a, err := m.Generate(16, 30*simclock.Day, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Generate(16, 30*simclock.Day, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed gave %d and %d events", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at event %d", i)
+		}
+	}
+	if err := a.Validate(16); err != nil {
+		t.Fatalf("generated schedule invalid: %v", err)
+	}
+	c, _ := m.Generate(16, 30*simclock.Day, 43)
+	if len(c) == len(a) {
+		same := true
+		for i := range c {
+			if c[i] != a[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical schedules")
+		}
+	}
+}
+
+func TestGenerateRateIsPlausible(t *testing.T) {
+	// 16 machines at 1.5%/day ⇒ 0.24/day ⇒ ≈72 events in 300 days.
+	m := OPTModel()
+	s, err := m.Generate(16, 300*simclock.Day, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.ClusterFailuresPerDay(16) * 300
+	if got := float64(len(s)); got < want*0.6 || got > want*1.4 {
+		t.Fatalf("%v events over 300 days, want ≈%v", got, want)
+	}
+	hw := 0
+	for _, ev := range s {
+		if ev.Kind == cluster.HardwareFailed {
+			hw++
+		}
+	}
+	frac := float64(hw) / float64(len(s))
+	if frac < 0.3 || frac > 0.7 {
+		t.Fatalf("hardware fraction %v, want ≈0.5", frac)
+	}
+}
+
+func TestGenerateZeroRate(t *testing.T) {
+	m := Model{PerInstancePerDay: 0}
+	s, err := m.Generate(16, simclock.Day, 1)
+	if err != nil || len(s) != 0 {
+		t.Fatalf("zero-rate schedule: %d events, err %v", len(s), err)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := (Model{PerInstancePerDay: -1}).Generate(4, simclock.Day, 1); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, err := (Model{HardwareFraction: 2}).Generate(4, simclock.Day, 1); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+	if _, err := OPTModel().Generate(0, simclock.Day, 1); err == nil {
+		t.Error("zero machines accepted")
+	}
+	if _, err := OPTModel().Generate(4, -1, 1); err == nil {
+		t.Error("negative horizon accepted")
+	}
+}
+
+func TestFixedRateExactCount(t *testing.T) {
+	s, err := FixedRate(16, 8, 0.5, simclock.Day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 8 {
+		t.Fatalf("%d events in one day, want 8", len(s))
+	}
+	if err := s.Validate(16); err != nil {
+		t.Fatal(err)
+	}
+	hw := 0
+	for _, ev := range s {
+		if ev.Kind == cluster.HardwareFailed {
+			hw++
+		}
+	}
+	if hw != 4 {
+		t.Fatalf("%d hardware failures of 8, want 4", hw)
+	}
+	// Ranks round-robin.
+	if s[0].Rank == s[1].Rank {
+		t.Fatal("round-robin ranks repeated immediately")
+	}
+}
+
+func TestFixedRateZero(t *testing.T) {
+	s, err := FixedRate(16, 0, 0.5, simclock.Day)
+	if err != nil || s != nil {
+		t.Fatalf("zero rate: %v events, err %v", len(s), err)
+	}
+	if _, err := FixedRate(0, 1, 0.5, simclock.Day); err == nil {
+		t.Error("zero machines accepted")
+	}
+	if _, err := FixedRate(4, -1, 0.5, simclock.Day); err == nil {
+		t.Error("negative rate accepted")
+	}
+}
+
+func TestValidateCatchesBadSchedules(t *testing.T) {
+	bad := Schedule{{At: 5, Rank: 99, Kind: cluster.SoftwareFailed}}
+	if err := bad.Validate(4); err == nil {
+		t.Error("out-of-range rank accepted")
+	}
+	bad = Schedule{{At: 5, Rank: 0, Kind: cluster.Healthy}}
+	if err := bad.Validate(4); err == nil {
+		t.Error("healthy kind accepted")
+	}
+	bad = Schedule{{At: 5, Rank: 0, Kind: cluster.SoftwareFailed}, {At: 1, Rank: 1, Kind: cluster.SoftwareFailed}}
+	if err := bad.Validate(4); err == nil {
+		t.Error("out-of-order schedule accepted")
+	}
+}
+
+func TestSimultaneousGroups(t *testing.T) {
+	s := Schedule{
+		{At: 0, Rank: 0, Kind: cluster.HardwareFailed},
+		{At: 1, Rank: 1, Kind: cluster.HardwareFailed},
+		{At: 2, Rank: 1, Kind: cluster.HardwareFailed}, // same rank, not counted twice
+		{At: 100, Rank: 2, Kind: cluster.SoftwareFailed},
+	}
+	groups := s.SimultaneousGroups(10)
+	if len(groups) != 2 || groups[0] != 2 || groups[1] != 1 {
+		t.Fatalf("groups %v, want [2 1]", groups)
+	}
+	if got := Schedule(nil).SimultaneousGroups(10); got != nil {
+		t.Fatalf("empty schedule groups %v", got)
+	}
+}
+
+func TestExpectedSimultaneousProbabilitySmall(t *testing.T) {
+	// §6.2: even at thousand-instance scale, simultaneous multi-machine
+	// failures are rare with short repair windows.
+	m := OPTModel()
+	p := m.ExpectedSimultaneousProbability(1000, 12*simclock.Minute)
+	if p <= 0 || p > 0.01 {
+		t.Fatalf("simultaneous probability %v, want small but positive", p)
+	}
+	// Probability grows with the repair window.
+	p2 := m.ExpectedSimultaneousProbability(1000, 2*simclock.Hour)
+	if p2 <= p {
+		t.Fatalf("longer window probability %v not above %v", p2, p)
+	}
+}
+
+func TestMergeOrders(t *testing.T) {
+	a := Schedule{{At: 5, Rank: 0, Kind: cluster.SoftwareFailed}}
+	b := Schedule{{At: 1, Rank: 1, Kind: cluster.HardwareFailed}, {At: 9, Rank: 2, Kind: cluster.SoftwareFailed}}
+	merged := Merge(a, b)
+	if len(merged) != 3 || merged[0].At != 1 || merged[1].At != 5 || merged[2].At != 9 {
+		t.Fatalf("merged %v", merged)
+	}
+	if err := merged.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: generated schedules are always ordered, in range, and within
+// the horizon.
+func TestPropertyGeneratedSchedulesValid(t *testing.T) {
+	f := func(seed int64, nRaw, daysRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		days := simclock.Duration(daysRaw%60+1) * simclock.Day
+		s, err := OPTModel().Generate(n, days, seed)
+		if err != nil {
+			return false
+		}
+		if err := s.Validate(n); err != nil {
+			return false
+		}
+		for _, ev := range s {
+			if ev.At < 0 || ev.At >= simclock.Time(days) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

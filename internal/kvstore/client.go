@@ -1,0 +1,281 @@
+package kvstore
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+
+	"gemini/internal/simclock"
+)
+
+func durationSeconds(s float64) simclock.Duration { return simclock.Duration(s) }
+
+// Client talks to a Server over TCP. It is safe for concurrent use;
+// requests are serialized over one connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Scanner
+	w    *bufio.Writer
+}
+
+// Dial connects to a kvstore server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: dial %s: %w", addr, err)
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	return &Client{conn: conn, r: sc, w: bufio.NewWriter(conn)}, nil
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request line and reads extra+1 response lines.
+func (c *Client) roundTrip(req string, extraOf func(first string) int) ([]string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.w.WriteString(req + "\n"); err != nil {
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	if !c.r.Scan() {
+		if err := c.r.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("kvstore: connection closed")
+	}
+	first := c.r.Text()
+	if strings.HasPrefix(first, "ERR ") {
+		return nil, fmt.Errorf("%w: %s", ErrServer, strings.TrimPrefix(first, "ERR "))
+	}
+	lines := []string{first}
+	if extraOf != nil {
+		for n := extraOf(first); n > 0; n-- {
+			if !c.r.Scan() {
+				return nil, fmt.Errorf("kvstore: truncated response")
+			}
+			lines = append(lines, c.r.Text())
+		}
+	}
+	return lines, nil
+}
+
+// Put writes key=value under an optional lease and returns the revision.
+func (c *Client) Put(key, value string, lease LeaseID) (int64, error) {
+	req := fmt.Sprintf("PUT %s %s", key, url.QueryEscape(value))
+	if lease != 0 {
+		req += fmt.Sprintf(" %d", lease)
+	}
+	lines, err := c.roundTrip(req, nil)
+	if err != nil {
+		return 0, err
+	}
+	return parseInt(strings.TrimPrefix(lines[0], "OK "))
+}
+
+// Get fetches an entry.
+func (c *Client) Get(key string) (Entry, bool, error) {
+	lines, err := c.roundTrip("GET "+key, nil)
+	if err != nil {
+		return Entry{}, false, err
+	}
+	if lines[0] == "NONE" {
+		return Entry{}, false, nil
+	}
+	fields := strings.SplitN(strings.TrimPrefix(lines[0], "OK "), " ", 3)
+	if len(fields) != 3 {
+		return Entry{}, false, fmt.Errorf("kvstore: malformed GET response %q", lines[0])
+	}
+	rev, err := parseInt(fields[0])
+	if err != nil {
+		return Entry{}, false, err
+	}
+	leaseID, err := parseInt(fields[1])
+	if err != nil {
+		return Entry{}, false, err
+	}
+	value, err := url.QueryUnescape(fields[2])
+	if err != nil {
+		return Entry{}, false, err
+	}
+	return Entry{Key: key, Value: value, Rev: rev, Lease: LeaseID(leaseID)}, true, nil
+}
+
+// Delete removes a key, reporting whether it existed.
+func (c *Client) Delete(key string) (bool, error) {
+	lines, err := c.roundTrip("DEL "+key, nil)
+	if err != nil {
+		return false, err
+	}
+	return strings.TrimPrefix(lines[0], "OK ") == "1", nil
+}
+
+// CompareAndSwap performs a revision-guarded write.
+func (c *Client) CompareAndSwap(key string, expectRev int64, value string, lease LeaseID) (int64, bool, error) {
+	req := fmt.Sprintf("CAS %s %d %s", key, expectRev, url.QueryEscape(value))
+	if lease != 0 {
+		req += fmt.Sprintf(" %d", lease)
+	}
+	lines, err := c.roundTrip(req, nil)
+	if err != nil {
+		return 0, false, err
+	}
+	fields := strings.Fields(strings.TrimPrefix(lines[0], "OK "))
+	if len(fields) != 2 {
+		return 0, false, fmt.Errorf("kvstore: malformed CAS response %q", lines[0])
+	}
+	rev, err := parseInt(fields[0])
+	if err != nil {
+		return 0, false, err
+	}
+	return rev, fields[1] == "1", nil
+}
+
+// Range lists entries under a prefix.
+func (c *Client) Range(prefix string) ([]Entry, error) {
+	lines, err := c.roundTrip(strings.TrimSpace("RANGE "+prefix), func(first string) int {
+		n, err := parseInt(strings.TrimPrefix(first, "OK "))
+		if err != nil {
+			return 0
+		}
+		return int(n)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []Entry
+	for _, line := range lines[1:] {
+		fields := strings.SplitN(line, " ", 4)
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("kvstore: malformed RANGE row %q", line)
+		}
+		rev, err := parseInt(fields[1])
+		if err != nil {
+			return nil, err
+		}
+		leaseID, err := parseInt(fields[2])
+		if err != nil {
+			return nil, err
+		}
+		value, err := url.QueryUnescape(fields[3])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Entry{Key: fields[0], Value: value, Rev: rev, Lease: LeaseID(leaseID)})
+	}
+	return out, nil
+}
+
+// Grant creates a lease with the TTL in seconds.
+func (c *Client) Grant(ttlSeconds float64) (LeaseID, error) {
+	lines, err := c.roundTrip(fmt.Sprintf("GRANT %g", ttlSeconds), nil)
+	if err != nil {
+		return 0, err
+	}
+	id, err := parseInt(strings.TrimPrefix(lines[0], "OK "))
+	return LeaseID(id), err
+}
+
+// KeepAlive renews a lease.
+func (c *Client) KeepAlive(id LeaseID) error {
+	_, err := c.roundTrip(fmt.Sprintf("KEEPALIVE %d", id), nil)
+	return err
+}
+
+// Revoke drops a lease.
+func (c *Client) Revoke(id LeaseID) error {
+	_, err := c.roundTrip(fmt.Sprintf("REVOKE %d", id), nil)
+	return err
+}
+
+// Rev returns the store revision.
+func (c *Client) Rev() (int64, error) {
+	lines, err := c.roundTrip("REV", nil)
+	if err != nil {
+		return 0, err
+	}
+	return parseInt(strings.TrimPrefix(lines[0], "OK "))
+}
+
+// WatchPrefix opens a dedicated streaming watch connection to a server.
+// Events arrive on the returned channel, which closes when the stream
+// ends; cancel closes the connection.
+func WatchPrefix(addr, prefix string) (<-chan Event, func() error, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("kvstore: dial %s: %w", addr, err)
+	}
+	req := strings.TrimSpace("WATCH " + prefix)
+	if _, err := fmt.Fprintf(conn, "%s\n", req); err != nil {
+		conn.Close()
+		return nil, nil, err
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	if !sc.Scan() {
+		conn.Close()
+		return nil, nil, fmt.Errorf("kvstore: watch handshake failed")
+	}
+	if first := sc.Text(); first != "OK" {
+		conn.Close()
+		return nil, nil, fmt.Errorf("%w: %s", ErrServer, strings.TrimPrefix(first, "ERR "))
+	}
+	events := make(chan Event, 64)
+	go func() {
+		defer close(events)
+		for sc.Scan() {
+			ev, err := parseEventLine(sc.Text())
+			if err != nil {
+				return
+			}
+			events <- ev
+		}
+	}()
+	return events, conn.Close, nil
+}
+
+func parseEventLine(line string) (Event, error) {
+	fields := strings.SplitN(line, " ", 6)
+	if len(fields) != 6 || fields[0] != "EVENT" {
+		return Event{}, fmt.Errorf("kvstore: malformed event %q", line)
+	}
+	var typ EventType
+	switch fields[1] {
+	case "put":
+		typ = EventPut
+	case "delete":
+		typ = EventDelete
+	default:
+		return Event{}, fmt.Errorf("kvstore: unknown event type %q", fields[1])
+	}
+	rev, err := parseInt(fields[3])
+	if err != nil {
+		return Event{}, err
+	}
+	leaseID, err := parseInt(fields[4])
+	if err != nil {
+		return Event{}, err
+	}
+	value, err := url.QueryUnescape(fields[5])
+	if err != nil {
+		return Event{}, err
+	}
+	return Event{Type: typ, Entry: Entry{Key: fields[2], Value: value, Rev: rev, Lease: LeaseID(leaseID)}}, nil
+}
+
+func parseInt(s string) (int64, error) {
+	v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("kvstore: bad integer %q", s)
+	}
+	return v, nil
+}

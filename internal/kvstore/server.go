@@ -1,0 +1,347 @@
+package kvstore
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Server exposes a Store over TCP with a line-oriented protocol, standing
+// in for an etcd endpoint. One request per line, fields separated by
+// spaces, values percent-encoded. Responses are single lines beginning
+// with "OK", "ERR", or "NONE".
+//
+//	PUT <key> <value> [lease]     → OK <rev>
+//	GET <key>                     → OK <rev> <lease> <value> | NONE
+//	DEL <key>                     → OK <1|0>
+//	CAS <key> <rev> <value> [l]   → OK <rev> <1|0>
+//	RANGE <prefix>                → OK <n> then n lines: <key> <rev> <lease> <value>
+//	GRANT <ttl-seconds>           → OK <lease>
+//	KEEPALIVE <lease>             → OK
+//	REVOKE <lease>                → OK
+//	REV                           → OK <rev>
+//	WATCH <prefix>                → OK, then the connection streams
+//	                                EVENT <put|delete> <key> <rev> <lease> <value>
+//	                                lines until the client closes it.
+type Server struct {
+	store *Store
+	ln    net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]bool
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer starts serving the store on the given address (e.g.
+// "127.0.0.1:0") and returns the bound server.
+func NewServer(store *Store, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: listen: %w", err)
+	}
+	s := &Server{store: store, ln: ln, conns: make(map[net.Conn]bool)}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and all connections, and waits for handler
+// goroutines to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	r := bufio.NewScanner(conn)
+	r.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	w := bufio.NewWriter(conn)
+	for r.Scan() {
+		line := r.Text()
+		if fields := strings.Fields(line); len(fields) >= 1 && strings.ToUpper(fields[0]) == "WATCH" {
+			s.serveWatch(conn, w, fields[1:])
+			return // the connection is consumed by the stream
+		}
+		resp := s.dispatch(line)
+		if _, err := w.WriteString(resp + "\n"); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// serveWatch turns the connection into an event stream: every store
+// event under the prefix is pushed as one EVENT line. The stream ends
+// when the client closes the connection (the write fails) or the server
+// shuts down.
+func (s *Server) serveWatch(conn net.Conn, w *bufio.Writer, args []string) {
+	if len(args) > 1 {
+		w.WriteString("ERR WATCH wants [prefix]\n")
+		w.Flush()
+		return
+	}
+	prefix := ""
+	if len(args) == 1 {
+		prefix = args[0]
+	}
+	// Events are forwarded through a buffered channel so the store's
+	// delivery path never blocks on a slow client; overflow closes the
+	// watch (the client must re-sync with RANGE, as with etcd compaction).
+	events := make(chan Event, 256)
+	var overflow atomic.Bool
+	id := s.store.Watch(prefix, func(ev Event) {
+		select {
+		case events <- ev:
+		default:
+			overflow.Store(true)
+		}
+	})
+	defer s.store.Unwatch(id)
+	if _, err := w.WriteString("OK\n"); err != nil {
+		return
+	}
+	if err := w.Flush(); err != nil {
+		return
+	}
+	dead := s.watchPoll(conn)
+	for {
+		select {
+		case ev := <-events:
+			if overflow.Load() {
+				w.WriteString("ERR watch overflow\n")
+				w.Flush()
+				return
+			}
+			line := fmt.Sprintf("EVENT %s %s %d %d %s\n",
+				ev.Type, ev.Entry.Key, ev.Entry.Rev, ev.Entry.Lease, url.QueryEscape(ev.Entry.Value))
+			if _, err := w.WriteString(line); err != nil {
+				return
+			}
+			if err := w.Flush(); err != nil {
+				return
+			}
+		case <-dead:
+			return
+		}
+	}
+}
+
+// watchPoll returns a channel that fires when the connection dies or the
+// server closes, checked by a light read with deadline.
+func (s *Server) watchPoll(conn net.Conn) <-chan struct{} {
+	ch := make(chan struct{})
+	go func() {
+		defer close(ch)
+		buf := make([]byte, 1)
+		for {
+			conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+			_, err := conn.Read(buf)
+			if err == nil {
+				continue // clients must not write during a watch; ignore
+			}
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				s.mu.Lock()
+				closed := s.closed
+				s.mu.Unlock()
+				if closed {
+					return
+				}
+				continue
+			}
+			return
+		}
+	}()
+	return ch
+}
+
+func (s *Server) dispatch(line string) string {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return "ERR empty request"
+	}
+	cmd := strings.ToUpper(fields[0])
+	args := fields[1:]
+	fail := func(err error) string { return "ERR " + strings.ReplaceAll(err.Error(), "\n", " ") }
+	switch cmd {
+	case "PUT":
+		if len(args) < 2 || len(args) > 3 {
+			return "ERR PUT wants key value [lease]"
+		}
+		value, err := url.QueryUnescape(args[1])
+		if err != nil {
+			return fail(err)
+		}
+		leaseID, err := parseLease(args, 2)
+		if err != nil {
+			return fail(err)
+		}
+		rev, err := s.store.Put(args[0], value, leaseID)
+		if err != nil {
+			return fail(err)
+		}
+		return fmt.Sprintf("OK %d", rev)
+	case "GET":
+		if len(args) != 1 {
+			return "ERR GET wants key"
+		}
+		e, ok := s.store.Get(args[0])
+		if !ok {
+			return "NONE"
+		}
+		return fmt.Sprintf("OK %d %d %s", e.Rev, e.Lease, url.QueryEscape(e.Value))
+	case "DEL":
+		if len(args) != 1 {
+			return "ERR DEL wants key"
+		}
+		if s.store.Delete(args[0]) {
+			return "OK 1"
+		}
+		return "OK 0"
+	case "CAS":
+		if len(args) < 3 || len(args) > 4 {
+			return "ERR CAS wants key rev value [lease]"
+		}
+		expect, err := strconv.ParseInt(args[1], 10, 64)
+		if err != nil {
+			return fail(err)
+		}
+		value, err := url.QueryUnescape(args[2])
+		if err != nil {
+			return fail(err)
+		}
+		leaseID, err := parseLease(args, 3)
+		if err != nil {
+			return fail(err)
+		}
+		rev, won, err := s.store.CompareAndSwap(args[0], expect, value, leaseID)
+		if err != nil {
+			return fail(err)
+		}
+		if won {
+			return fmt.Sprintf("OK %d 1", rev)
+		}
+		return "OK 0 0"
+	case "RANGE":
+		prefix := ""
+		if len(args) == 1 {
+			prefix = args[0]
+		} else if len(args) > 1 {
+			return "ERR RANGE wants [prefix]"
+		}
+		entries := s.store.Range(prefix)
+		var b strings.Builder
+		fmt.Fprintf(&b, "OK %d", len(entries))
+		for _, e := range entries {
+			fmt.Fprintf(&b, "\n%s %d %d %s", e.Key, e.Rev, e.Lease, url.QueryEscape(e.Value))
+		}
+		return b.String()
+	case "GRANT":
+		if len(args) != 1 {
+			return "ERR GRANT wants ttl-seconds"
+		}
+		ttl, err := strconv.ParseFloat(args[0], 64)
+		if err != nil {
+			return fail(err)
+		}
+		id, err := s.store.Grant(durationSeconds(ttl))
+		if err != nil {
+			return fail(err)
+		}
+		return fmt.Sprintf("OK %d", id)
+	case "KEEPALIVE":
+		if len(args) != 1 {
+			return "ERR KEEPALIVE wants lease"
+		}
+		id, err := strconv.ParseInt(args[0], 10, 64)
+		if err != nil {
+			return fail(err)
+		}
+		if err := s.store.KeepAlive(LeaseID(id)); err != nil {
+			return fail(err)
+		}
+		return "OK"
+	case "REVOKE":
+		if len(args) != 1 {
+			return "ERR REVOKE wants lease"
+		}
+		id, err := strconv.ParseInt(args[0], 10, 64)
+		if err != nil {
+			return fail(err)
+		}
+		s.store.Revoke(LeaseID(id))
+		return "OK"
+	case "REV":
+		return fmt.Sprintf("OK %d", s.store.Rev())
+	default:
+		return "ERR unknown command " + cmd
+	}
+}
+
+func parseLease(args []string, idx int) (LeaseID, error) {
+	if len(args) <= idx {
+		return 0, nil
+	}
+	id, err := strconv.ParseInt(args[idx], 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad lease id %q", args[idx])
+	}
+	return LeaseID(id), nil
+}
+
+// ErrServer is returned by the client when the server reports an error.
+var ErrServer = errors.New("kvstore: server error")

@@ -1,0 +1,384 @@
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"gemini/internal/simclock"
+)
+
+// wallClock adapts the wall clock for server tests.
+func wallClock() func() simclock.Time {
+	start := time.Now()
+	return func() simclock.Time { return simclock.Time(time.Since(start).Seconds()) }
+}
+
+func newServerClient(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	srv, err := NewServer(New(wallClock()), "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	t.Cleanup(func() { cli.Close() })
+	return srv, cli
+}
+
+func TestServerPutGetRoundTrip(t *testing.T) {
+	_, cli := newServerClient(t)
+	rev, err := cli.Put("greeting", "hello world / with spaces & symbols", 0)
+	if err != nil || rev != 1 {
+		t.Fatalf("Put: rev=%d err=%v", rev, err)
+	}
+	e, ok, err := cli.Get("greeting")
+	if err != nil || !ok {
+		t.Fatalf("Get: %v %v", ok, err)
+	}
+	if e.Value != "hello world / with spaces & symbols" {
+		t.Fatalf("value %q survived transit wrong", e.Value)
+	}
+	if _, ok, _ := cli.Get("missing"); ok {
+		t.Fatal("missing key found")
+	}
+}
+
+func TestServerDeleteAndCAS(t *testing.T) {
+	_, cli := newServerClient(t)
+	if _, err := cli.Put("k", "v1", 0); err != nil {
+		t.Fatal(err)
+	}
+	_, won, err := cli.CompareAndSwap("k", 0, "nope", 0)
+	if err != nil || won {
+		t.Fatalf("CAS create over existing: won=%v err=%v", won, err)
+	}
+	e, _, _ := cli.Get("k")
+	_, won, err = cli.CompareAndSwap("k", e.Rev, "v2", 0)
+	if err != nil || !won {
+		t.Fatalf("guarded CAS: won=%v err=%v", won, err)
+	}
+	existed, err := cli.Delete("k")
+	if err != nil || !existed {
+		t.Fatalf("Delete: %v %v", existed, err)
+	}
+	existed, _ = cli.Delete("k")
+	if existed {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func TestServerRange(t *testing.T) {
+	_, cli := newServerClient(t)
+	for i := 0; i < 5; i++ {
+		if _, err := cli.Put(fmt.Sprintf("m/%d", i), fmt.Sprintf("val %d", i), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := cli.Put("other", "x", 0); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := cli.Range("m/")
+	if err != nil {
+		t.Fatalf("Range: %v", err)
+	}
+	if len(entries) != 5 {
+		t.Fatalf("Range returned %d entries, want 5", len(entries))
+	}
+	for i, e := range entries {
+		want := fmt.Sprintf("val %d", i)
+		if e.Value != want {
+			t.Fatalf("entry %d value %q, want %q", i, e.Value, want)
+		}
+	}
+	all, err := cli.Range("")
+	if err != nil || len(all) != 6 {
+		t.Fatalf("full Range: %d entries, err %v", len(all), err)
+	}
+}
+
+func TestServerLeaseLifecycle(t *testing.T) {
+	_, cli := newServerClient(t)
+	id, err := cli.Grant(30)
+	if err != nil || id == 0 {
+		t.Fatalf("Grant: %d %v", id, err)
+	}
+	if _, err := cli.Put("hb", "alive", id); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.KeepAlive(id); err != nil {
+		t.Fatalf("KeepAlive: %v", err)
+	}
+	if err := cli.Revoke(id); err != nil {
+		t.Fatalf("Revoke: %v", err)
+	}
+	if _, ok, _ := cli.Get("hb"); ok {
+		t.Fatal("key survived revoke")
+	}
+	if err := cli.KeepAlive(id); !errors.Is(err, ErrServer) {
+		t.Fatalf("KeepAlive on revoked lease: %v, want server error", err)
+	}
+}
+
+func TestServerRejectsGarbage(t *testing.T) {
+	_, cli := newServerClient(t)
+	if _, err := cli.roundTrip("BOGUS command", nil); !errors.Is(err, ErrServer) {
+		t.Fatalf("garbage command error %v", err)
+	}
+	if _, err := cli.roundTrip("PUT", nil); !errors.Is(err, ErrServer) {
+		t.Fatalf("arity error %v", err)
+	}
+	// Connection still usable.
+	if _, err := cli.Put("k", "v", 0); err != nil {
+		t.Fatalf("connection dead after error: %v", err)
+	}
+}
+
+func TestServerConcurrentClients(t *testing.T) {
+	srv, _ := newServerClient(t)
+	const clients = 8
+	const perClient = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cli, err := Dial(srv.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cli.Close()
+			for i := 0; i < perClient; i++ {
+				key := fmt.Sprintf("c%d/k%d", c, i)
+				if _, err := cli.Put(key, "v", 0); err != nil {
+					errs <- err
+					return
+				}
+				if _, ok, err := cli.Get(key); err != nil || !ok {
+					errs <- fmt.Errorf("get %s: %v %v", key, ok, err)
+					return
+				}
+			}
+			errs <- nil
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	rev, err := cli.Rev()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev != clients*perClient {
+		t.Fatalf("final revision %d, want %d", rev, clients*perClient)
+	}
+}
+
+func TestWatchStreamOverTCP(t *testing.T) {
+	srv, cli := newServerClient(t)
+	events, cancel, err := WatchPrefix(srv.Addr(), "hb/")
+	if err != nil {
+		t.Fatalf("WatchPrefix: %v", err)
+	}
+	defer cancel()
+
+	if _, err := cli.Put("hb/1", "alive & well", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Put("other", "ignored", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Delete("hb/1"); err != nil {
+		t.Fatal(err)
+	}
+
+	recv := func() Event {
+		t.Helper()
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				t.Fatal("watch stream closed early")
+			}
+			return ev
+		case <-time.After(5 * time.Second):
+			t.Fatal("timed out waiting for event")
+		}
+		panic("unreachable")
+	}
+	ev := recv()
+	if ev.Type != EventPut || ev.Entry.Key != "hb/1" || ev.Entry.Value != "alive & well" {
+		t.Fatalf("first event %+v", ev)
+	}
+	ev = recv()
+	if ev.Type != EventDelete || ev.Entry.Key != "hb/1" {
+		t.Fatalf("second event %+v", ev)
+	}
+	// No event for the non-matching key: the channel stays quiet.
+	select {
+	case ev := <-events:
+		t.Fatalf("unexpected event %+v", ev)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestWatchStreamEndsOnCancel(t *testing.T) {
+	srv, cli := newServerClient(t)
+	events, cancel, err := WatchPrefix(srv.Addr(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cancel(); err != nil {
+		t.Fatal(err)
+	}
+	// Stream must close; further store activity must not panic anything.
+	select {
+	case _, ok := <-events:
+		if ok {
+			// A last in-flight event is acceptable; the close must follow.
+			if _, ok := <-events; ok {
+				t.Fatal("stream still open after cancel")
+			}
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream did not close after cancel")
+	}
+	if _, err := cli.Put("x", "y", 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWatchLeaseExpiryStreamsDelete(t *testing.T) {
+	srv, cli := newServerClient(t)
+	events, cancel, err := WatchPrefix(srv.Addr(), "lease/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	lease, err := cli.Grant(0.05) // 50 ms TTL on the wall clock
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Put("lease/k", "v", lease); err != nil {
+		t.Fatal(err)
+	}
+	// First event: the put.
+	select {
+	case ev := <-events:
+		if ev.Type != EventPut {
+			t.Fatalf("first event %+v", ev)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no put event")
+	}
+	// Poke the store after the TTL so the sweep runs, then expect the
+	// expiry delete on the stream.
+	time.Sleep(80 * time.Millisecond)
+	if _, err := cli.Rev(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-events:
+		if ev.Type != EventDelete || ev.Entry.Key != "lease/k" {
+			t.Fatalf("expiry event %+v", ev)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no expiry event")
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv, err := NewServer(New(nil), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if _, err := Dial(srv.Addr()); err == nil {
+		t.Fatal("dial succeeded after close")
+	}
+}
+
+// TestLeaderElectionOverTCP runs the root-election protocol entirely
+// through the wire client: two candidates race via CAS, the loser waits,
+// the winner's lease is revoked (its machine "dies"), the loser wins.
+func TestLeaderElectionOverTCP(t *testing.T) {
+	srv, _ := newServerClient(t)
+	c1, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+
+	l1, err := c1.Grant(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := c2.Grant(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, won1, err := c1.CompareAndSwap("root", 0, "node-1", l1)
+	if err != nil || !won1 {
+		t.Fatalf("first campaign: %v %v", won1, err)
+	}
+	_, won2, err := c2.CompareAndSwap("root", 0, "node-2", l2)
+	if err != nil || won2 {
+		t.Fatalf("second campaign should lose: %v %v", won2, err)
+	}
+	// Leader dies: revoking its lease deletes the election key.
+	if err := c1.Revoke(l1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := c2.Get("root"); ok {
+		t.Fatal("election key survived the leader's lease revocation")
+	}
+	_, won2, err = c2.CompareAndSwap("root", 0, "node-2", l2)
+	if err != nil || !won2 {
+		t.Fatalf("failover campaign: %v %v", won2, err)
+	}
+	e, ok, err := c2.Get("root")
+	if err != nil || !ok || e.Value != "node-2" {
+		t.Fatalf("leader after failover: %+v %v %v", e, ok, err)
+	}
+}
+
+func TestServerCASWithLeaseOverTCP(t *testing.T) {
+	_, cli := newServerClient(t)
+	lease, err := cli.Grant(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, won, err := cli.CompareAndSwap("leader", 0, "node-1", lease)
+	if err != nil || !won {
+		t.Fatalf("election CAS: won=%v err=%v", won, err)
+	}
+	e, ok, _ := cli.Get("leader")
+	if !ok || e.Lease != lease || e.Value != "node-1" {
+		t.Fatalf("leader entry %+v", e)
+	}
+}

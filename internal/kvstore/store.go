@@ -1,0 +1,408 @@
+// Package kvstore is the distributed key-value store GEMINI's failure
+// recovery module coordinates through (§3.2) — an etcd stand-in with the
+// semantics the agents need: revisioned keys, compare-and-swap, leases
+// with TTL expiry (heartbeats), prefix watches, and lease-based leader
+// election for promoting a new root machine.
+//
+// The store is safe for concurrent use, so the same implementation backs
+// both the in-process simulation (driven by a virtual clock) and the TCP
+// server in cmd/kvstored (driven by the wall clock).
+package kvstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"gemini/internal/simclock"
+)
+
+// LeaseID identifies a granted lease. Zero means "no lease".
+type LeaseID int64
+
+// Entry is a stored key-value pair.
+type Entry struct {
+	Key   string
+	Value string
+	// Rev is the revision at which the key was last written.
+	Rev int64
+	// Lease is the lease the key is attached to, if any.
+	Lease LeaseID
+}
+
+// EventType distinguishes watch events.
+type EventType int
+
+const (
+	// EventPut fires on creation or update.
+	EventPut EventType = iota
+	// EventDelete fires on explicit deletion or lease expiry.
+	EventDelete
+)
+
+func (t EventType) String() string {
+	switch t {
+	case EventPut:
+		return "put"
+	case EventDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("EventType(%d)", int(t))
+	}
+}
+
+// Event is delivered to watchers in revision order.
+type Event struct {
+	Type  EventType
+	Entry Entry
+}
+
+// WatchID identifies a registered watch.
+type WatchID int64
+
+type watcher struct {
+	id     WatchID
+	prefix string
+	fn     func(Event)
+}
+
+type lease struct {
+	id      LeaseID
+	ttl     simclock.Duration
+	expires simclock.Time
+	keys    map[string]bool
+}
+
+// Store is a revisioned, lease-aware key-value store.
+type Store struct {
+	mu        sync.Mutex
+	now       func() simclock.Time
+	rev       int64
+	data      map[string]Entry
+	leases    map[LeaseID]*lease
+	nextLease LeaseID
+	watchers  []*watcher
+	nextWatch WatchID
+
+	// Watch events are queued under the mutex and delivered after it is
+	// released, so callbacks may freely call back into the store.
+	pending    []Event
+	delivering bool
+	deliverMu  sync.Mutex
+}
+
+// New creates a store whose lease clock is supplied by now. A nil now
+// disables lease expiry (leases never time out).
+func New(now func() simclock.Time) *Store {
+	if now == nil {
+		now = func() simclock.Time { return 0 }
+	}
+	return &Store{
+		now:    now,
+		data:   make(map[string]Entry),
+		leases: make(map[LeaseID]*lease),
+	}
+}
+
+// sweepLocked expires leases due at the current instant, deleting their
+// keys and emitting delete events. Callers hold s.mu.
+func (s *Store) sweepLocked() {
+	t := s.now()
+	var expired []*lease
+	for _, l := range s.leases {
+		if l.expires <= t {
+			expired = append(expired, l)
+		}
+	}
+	// Deterministic order for event delivery.
+	sort.Slice(expired, func(i, j int) bool { return expired[i].id < expired[j].id })
+	for _, l := range expired {
+		delete(s.leases, l.id)
+		keys := make([]string, 0, len(l.keys))
+		for k := range l.keys {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if e, ok := s.data[k]; ok && e.Lease == l.id {
+				delete(s.data, k)
+				s.rev++
+				s.notifyLocked(Event{Type: EventDelete, Entry: Entry{Key: k, Rev: s.rev, Lease: l.id}})
+			}
+		}
+	}
+}
+
+func (s *Store) notifyLocked(ev Event) {
+	s.pending = append(s.pending, ev)
+}
+
+// flush delivers queued events in revision order. It must be called
+// without s.mu held. A single flusher drains everything, including events
+// produced by the callbacks themselves, preserving order; deliverMu
+// serializes flushers from different goroutines.
+func (s *Store) flush() {
+	s.deliverMu.Lock()
+	if s.delivering {
+		s.deliverMu.Unlock()
+		return
+	}
+	s.delivering = true
+	s.deliverMu.Unlock()
+	for {
+		s.mu.Lock()
+		if len(s.pending) == 0 {
+			s.mu.Unlock()
+			break
+		}
+		ev := s.pending[0]
+		s.pending = s.pending[1:]
+		ws := append([]*watcher(nil), s.watchers...)
+		s.mu.Unlock()
+		for _, w := range ws {
+			if strings.HasPrefix(ev.Entry.Key, w.prefix) {
+				w.fn(ev)
+			}
+		}
+	}
+	s.deliverMu.Lock()
+	s.delivering = false
+	s.deliverMu.Unlock()
+	// Close the race where another goroutine queued an event and bounced
+	// off the delivering flag just as this flusher drained: re-check.
+	s.mu.Lock()
+	again := len(s.pending) > 0
+	s.mu.Unlock()
+	if again {
+		s.flush()
+	}
+}
+
+// mutators and sweeping readers call flush via defer, after the mutex
+// defer releases — defers run LIFO, so the lock is dropped first.
+
+// Rev returns the store's current revision.
+func (s *Store) Rev() int64 {
+	defer s.flush()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepLocked()
+	return s.rev
+}
+
+// Put writes key=value, optionally attached to a lease, and returns the
+// new revision. Writing to an expired or unknown lease fails.
+func (s *Store) Put(key, value string, leaseID LeaseID) (int64, error) {
+	if key == "" {
+		return 0, fmt.Errorf("kvstore: empty key")
+	}
+	defer s.flush()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepLocked()
+	return s.putLocked(key, value, leaseID)
+}
+
+func (s *Store) putLocked(key, value string, leaseID LeaseID) (int64, error) {
+	var l *lease
+	if leaseID != 0 {
+		l = s.leases[leaseID]
+		if l == nil {
+			return 0, fmt.Errorf("kvstore: lease %d not found", leaseID)
+		}
+	}
+	if old, ok := s.data[key]; ok && old.Lease != 0 && old.Lease != leaseID {
+		if prev := s.leases[old.Lease]; prev != nil {
+			delete(prev.keys, key)
+		}
+	}
+	s.rev++
+	e := Entry{Key: key, Value: value, Rev: s.rev, Lease: leaseID}
+	s.data[key] = e
+	if l != nil {
+		l.keys[key] = true
+	}
+	s.notifyLocked(Event{Type: EventPut, Entry: e})
+	return s.rev, nil
+}
+
+// Get returns the entry under key.
+func (s *Store) Get(key string) (Entry, bool) {
+	defer s.flush()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepLocked()
+	e, ok := s.data[key]
+	return e, ok
+}
+
+// Delete removes key, reporting whether it existed.
+func (s *Store) Delete(key string) bool {
+	defer s.flush()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepLocked()
+	e, ok := s.data[key]
+	if !ok {
+		return false
+	}
+	if e.Lease != 0 {
+		if l := s.leases[e.Lease]; l != nil {
+			delete(l.keys, key)
+		}
+	}
+	delete(s.data, key)
+	s.rev++
+	s.notifyLocked(Event{Type: EventDelete, Entry: Entry{Key: key, Rev: s.rev, Lease: e.Lease}})
+	return true
+}
+
+// CompareAndSwap writes key=value only if the key's current revision is
+// expectRev (0 means the key must not exist). It reports success and the
+// new revision.
+func (s *Store) CompareAndSwap(key string, expectRev int64, value string, leaseID LeaseID) (int64, bool, error) {
+	if key == "" {
+		return 0, false, fmt.Errorf("kvstore: empty key")
+	}
+	defer s.flush()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepLocked()
+	cur, exists := s.data[key]
+	if expectRev == 0 {
+		if exists {
+			return 0, false, nil
+		}
+	} else if !exists || cur.Rev != expectRev {
+		return 0, false, nil
+	}
+	rev, err := s.putLocked(key, value, leaseID)
+	if err != nil {
+		return 0, false, err
+	}
+	return rev, true, nil
+}
+
+// Range returns all entries whose key has the given prefix, sorted by key.
+func (s *Store) Range(prefix string) []Entry {
+	defer s.flush()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepLocked()
+	var out []Entry
+	for k, e := range s.data {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Grant creates a lease with the given TTL.
+func (s *Store) Grant(ttl simclock.Duration) (LeaseID, error) {
+	if ttl <= 0 {
+		return 0, fmt.Errorf("kvstore: lease TTL must be positive, got %v", ttl)
+	}
+	defer s.flush()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepLocked()
+	s.nextLease++
+	id := s.nextLease
+	s.leases[id] = &lease{id: id, ttl: ttl, expires: s.now().Add(ttl), keys: make(map[string]bool)}
+	return id, nil
+}
+
+// KeepAlive renews a lease's TTL — the heartbeat primitive. Renewing an
+// expired or unknown lease fails, exactly like etcd: the client must
+// re-grant and re-put its keys.
+func (s *Store) KeepAlive(id LeaseID) error {
+	defer s.flush()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepLocked()
+	l := s.leases[id]
+	if l == nil {
+		return fmt.Errorf("kvstore: lease %d not found (expired?)", id)
+	}
+	l.expires = s.now().Add(l.ttl)
+	return nil
+}
+
+// Revoke drops a lease immediately, deleting its keys.
+func (s *Store) Revoke(id LeaseID) {
+	defer s.flush()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l := s.leases[id]
+	if l == nil {
+		return
+	}
+	l.expires = s.now() // expire now
+	s.sweepLocked()
+}
+
+// LeaseRemaining returns the time until a lease expires, and whether the
+// lease exists.
+func (s *Store) LeaseRemaining(id LeaseID) (simclock.Duration, bool) {
+	defer s.flush()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepLocked()
+	l := s.leases[id]
+	if l == nil {
+		return 0, false
+	}
+	return l.expires.Sub(s.now()), true
+}
+
+// NextExpiry returns the earliest lease expiry time, or simclock.Forever
+// when no leases exist. Simulation drivers schedule a sweep then.
+func (s *Store) NextExpiry() simclock.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	earliest := simclock.Forever
+	for _, l := range s.leases {
+		if l.expires < earliest {
+			earliest = l.expires
+		}
+	}
+	return earliest
+}
+
+// Sweep expires due leases eagerly (delivering watch events); drivers
+// call it from a scheduled event at NextExpiry.
+func (s *Store) Sweep() {
+	defer s.flush()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepLocked()
+}
+
+// Watch registers fn for events on keys with the given prefix. The
+// callback runs synchronously with the mutating operation; it must not
+// call back into the store from the same goroutine path that mutates.
+func (s *Store) Watch(prefix string, fn func(Event)) WatchID {
+	if fn == nil {
+		panic("kvstore: nil watch callback")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextWatch++
+	s.watchers = append(s.watchers, &watcher{id: s.nextWatch, prefix: prefix, fn: fn})
+	return s.nextWatch
+}
+
+// Unwatch cancels a watch.
+func (s *Store) Unwatch(id WatchID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, w := range s.watchers {
+		if w.id == id {
+			s.watchers = append(s.watchers[:i], s.watchers[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,132 @@
+// Package metrics implements the paper's evaluation arithmetic: the
+// wasted-time model of §2.1 (Equation 1 and its frequency constraint,
+// Equation 2), the effective training-time ratio of §7.3, and small
+// summary-statistics helpers used by the benchmark harness.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gemini/internal/simclock"
+)
+
+// WastedTimeModel captures the three quantities of §2.1.
+type WastedTimeModel struct {
+	// CheckpointTime is t_ckpt: how long one checkpoint takes to complete.
+	CheckpointTime simclock.Duration
+	// Interval is 1/f: the time between checkpoint starts.
+	Interval simclock.Duration
+	// RetrievalTime is t_rtvl: the time to fetch the latest complete
+	// checkpoint during recovery.
+	RetrievalTime simclock.Duration
+}
+
+// Validate enforces Equation 2's constraint 1/f ≥ max(t_ckpt, T_iter):
+// a checkpoint cannot start before the previous one finishes, and more
+// than one checkpoint per iteration is pointless.
+func (m WastedTimeModel) Validate(iterTime simclock.Duration) error {
+	if m.CheckpointTime < 0 || m.Interval <= 0 || m.RetrievalTime < 0 {
+		return fmt.Errorf("metrics: negative or zero model parameters %+v", m)
+	}
+	if limit := max(m.CheckpointTime, iterTime); m.Interval < limit {
+		return fmt.Errorf("metrics: interval %v below max(t_ckpt=%v, T_iter=%v)",
+			m.Interval, m.CheckpointTime, iterTime)
+	}
+	return nil
+}
+
+// Best returns the best-case wasted time: a failure right after a
+// checkpoint completes, t_ckpt + t_rtvl.
+func (m WastedTimeModel) Best() simclock.Duration {
+	return m.CheckpointTime + m.RetrievalTime
+}
+
+// Worst returns the worst-case wasted time: a failure right before a
+// checkpoint completes, t_ckpt + 1/f + t_rtvl.
+func (m WastedTimeModel) Worst() simclock.Duration {
+	return m.CheckpointTime + m.Interval + m.RetrievalTime
+}
+
+// Average returns Equation 1, T_wasted = t_ckpt + 1/(2f) + t_rtvl, the
+// expected wasted time with failures uniform between checkpoints.
+func (m WastedTimeModel) Average() simclock.Duration {
+	return m.CheckpointTime + m.Interval/2 + m.RetrievalTime
+}
+
+// EffectiveRatio is the §7.3 metric: the fraction of wall-clock time that
+// makes training progress, given a failure rate and the overheads each
+// failure (and each checkpoint) imposes.
+//
+//	failuresPerDay          – expected failures per day over the cluster
+//	perFailureOverhead      – wasted time per failure (Equation 1 plus
+//	                          detection / serialization / restart)
+//	checkpointsPerDay       – checkpoints taken per day
+//	perCheckpointOverhead   – training stall per checkpoint (e.g. the
+//	                          torch.save serialization of HighFreq)
+//
+// The ratio is clamped to [0, 1]; overheads beyond 24 h/day mean training
+// cannot progress at all.
+func EffectiveRatio(failuresPerDay float64, perFailureOverhead simclock.Duration,
+	checkpointsPerDay float64, perCheckpointOverhead simclock.Duration) float64 {
+	if failuresPerDay < 0 || checkpointsPerDay < 0 {
+		panic(fmt.Sprintf("metrics: negative rates %v / %v", failuresPerDay, checkpointsPerDay))
+	}
+	day := simclock.Day.Seconds()
+	lost := failuresPerDay*perFailureOverhead.Seconds() + checkpointsPerDay*perCheckpointOverhead.Seconds()
+	return math.Max(0, math.Min(1, (day-lost)/day))
+}
+
+// Summary holds order statistics of a sample.
+type Summary struct {
+	N              int
+	Mean, Min, Max float64
+	P50, P90, P99  float64
+	StdDev         float64
+}
+
+// Summarize computes summary statistics. It panics on an empty sample —
+// summarizing nothing is always a harness bug.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("metrics: empty sample")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var sum, sq float64
+	for _, x := range sorted {
+		sum += x
+		sq += x * x
+	}
+	n := float64(len(sorted))
+	mean := sum / n
+	s := Summary{
+		N:    len(sorted),
+		Mean: mean,
+		Min:  sorted[0],
+		Max:  sorted[len(sorted)-1],
+		P50:  percentile(sorted, 0.50),
+		P90:  percentile(sorted, 0.90),
+		P99:  percentile(sorted, 0.99),
+	}
+	if variance := sq/n - mean*mean; variance > 0 {
+		s.StdDev = math.Sqrt(variance)
+	}
+	return s
+}
+
+// percentile interpolates the p-quantile of a sorted sample.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

@@ -1,0 +1,161 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gemini/internal/simclock"
+)
+
+func TestWastedTimeEquation1(t *testing.T) {
+	// §2.2's MT-NLG example: t_ckpt = 42 min, f = one per t_ckpt (the
+	// highest rate remote storage supports), t_rtvl = 42 min... the paper
+	// states the average wasted time is 105 min = 42 + 21 + 42.
+	m := WastedTimeModel{
+		CheckpointTime: 42 * simclock.Minute,
+		Interval:       42 * simclock.Minute,
+		RetrievalTime:  42 * simclock.Minute,
+	}
+	if got := m.Average(); math.Abs(got.Seconds()-105*60) > 1e-9 {
+		t.Fatalf("average wasted %v, want 105m", got)
+	}
+	if got := m.Best(); got != 84*simclock.Minute {
+		t.Fatalf("best %v, want 84m", got)
+	}
+	if got := m.Worst(); got != 126*simclock.Minute {
+		t.Fatalf("worst %v, want 126m", got)
+	}
+}
+
+func TestValidateEquation2(t *testing.T) {
+	iter := simclock.Duration(62)
+	good := WastedTimeModel{CheckpointTime: 3, Interval: 62, RetrievalTime: 1}
+	if err := good.Validate(iter); err != nil {
+		t.Fatalf("per-iteration checkpointing rejected: %v", err)
+	}
+	// Interval below iteration time violates 1/f ≥ T_iter.
+	bad := good
+	bad.Interval = 30
+	if err := bad.Validate(iter); err == nil {
+		t.Fatal("interval below iteration time accepted")
+	}
+	// Interval below checkpoint time violates 1/f ≥ t_ckpt.
+	bad = WastedTimeModel{CheckpointTime: 100, Interval: 80, RetrievalTime: 0}
+	if err := bad.Validate(iter); err == nil {
+		t.Fatal("interval below checkpoint time accepted")
+	}
+	neg := WastedTimeModel{CheckpointTime: -1, Interval: 10}
+	if err := neg.Validate(iter); err == nil {
+		t.Fatal("negative checkpoint time accepted")
+	}
+}
+
+func TestEffectiveRatioBounds(t *testing.T) {
+	if got := EffectiveRatio(0, 0, 0, 0); got != 1 {
+		t.Fatalf("no failures ratio %v, want 1", got)
+	}
+	// 2 failures/day × 6h each = 12h lost → 0.5.
+	if got := EffectiveRatio(2, 6*simclock.Hour, 0, 0); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("ratio %v, want 0.5", got)
+	}
+	// Overheads beyond a day clamp to zero.
+	if got := EffectiveRatio(10, 24*simclock.Hour, 0, 0); got != 0 {
+		t.Fatalf("ratio %v, want 0", got)
+	}
+	// Checkpoint serialization alone: HighFreq spends 14.5% on
+	// serialization (§7.3): 81s per ckpt, every 9×62s → 155 ckpts/day ...
+	// checked against the paper's shape: ratio without failures ≈ 0.855.
+	perDay := simclock.Day.Seconds() / (9 * 62)
+	got := EffectiveRatio(0, 0, perDay, 81)
+	if math.Abs(got-0.8548) > 0.01 {
+		t.Fatalf("HighFreq zero-failure ratio %v, want ≈0.855", got)
+	}
+}
+
+func TestEffectiveRatioPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative rate did not panic")
+		}
+	}()
+	EffectiveRatio(-1, 0, 0, 0)
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 || s.P50 != 3 {
+		t.Fatalf("summary %+v", s)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2)) > 1e-12 {
+		t.Fatalf("stddev %v, want √2", s.StdDev)
+	}
+	one := Summarize([]float64{7})
+	if one.P50 != 7 || one.P99 != 7 || one.StdDev != 0 {
+		t.Fatalf("single-sample summary %+v", one)
+	}
+}
+
+func TestSummarizeEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty sample did not panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+// Property: Best ≤ Average ≤ Worst, and Average = (Best+Worst)/2.
+func TestPropertyWastedTimeOrdering(t *testing.T) {
+	f := func(a, b, c uint16) bool {
+		m := WastedTimeModel{
+			CheckpointTime: simclock.Duration(a),
+			Interval:       simclock.Duration(b) + 1,
+			RetrievalTime:  simclock.Duration(c),
+		}
+		if m.Best() > m.Average() || m.Average() > m.Worst() {
+			return false
+		}
+		mid := (m.Best() + m.Worst()) / 2
+		return math.Abs((m.Average() - mid).Seconds()) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: effective ratio is nonincreasing in failure rate and in
+// per-failure overhead.
+func TestPropertyEffectiveRatioMonotone(t *testing.T) {
+	f := func(r1, r2, ov uint16) bool {
+		lo, hi := float64(r1%20), float64(r2%20)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		overhead := simclock.Duration(ov)
+		return EffectiveRatio(hi, overhead, 0, 0) <= EffectiveRatio(lo, overhead, 0, 0)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: percentiles are ordered and within [min, max].
+func TestPropertySummaryOrdering(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		return s.Min <= s.P50 && s.P50 <= s.P90 && s.P90 <= s.P99 && s.P99 <= s.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,59 @@
+package netsim
+
+import (
+	"testing"
+
+	"gemini/internal/simclock"
+)
+
+// BenchmarkFabricManyFlows measures the fluid simulator's event cost:
+// 16 machines, 200 sequential collectives' worth of neighbor flows.
+func BenchmarkFabricManyFlows(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := simclock.NewEngine()
+		f := MustNewFabric(e, 16, Config{EgressBytesPerSec: 50e9, Alpha: 0.001})
+		for round := 0; round < 200; round++ {
+			at := simclock.Time(round) * 0.05
+			e.At(at, func() {
+				for m := 0; m < 16; m++ {
+					f.StartFlow(m, (m+1)%16, 1e8, "ag", nil)
+				}
+			})
+		}
+		e.RunAll()
+	}
+}
+
+// BenchmarkRingRunAllGather measures a full step-by-step ring all-gather
+// over 16 machines.
+func BenchmarkRingRunAllGather(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := simclock.NewEngine()
+		f := MustNewFabric(e, 16, Config{EgressBytesPerSec: 50e9, Alpha: 0.001})
+		parts := make([]int, 16)
+		for j := range parts {
+			parts[j] = j
+		}
+		if _, err := StartRingRun(f, AllGather, parts, 1e9, nil); err != nil {
+			b.Fatal(err)
+		}
+		e.RunAll()
+	}
+}
+
+// BenchmarkMaxMinRecompute stresses the water-filling under a dense
+// all-to-all flow pattern.
+func BenchmarkMaxMinRecompute(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := simclock.NewEngine()
+		f := MustNewFabric(e, 8, Config{EgressBytesPerSec: 1e9})
+		for src := 0; src < 8; src++ {
+			for dst := 0; dst < 8; dst++ {
+				if src != dst {
+					f.StartFlow(src, dst, float64(1e6*(src+dst+1)), "x", nil)
+				}
+			}
+		}
+		e.RunAll()
+	}
+}

@@ -1,0 +1,86 @@
+package netsim
+
+import (
+	"fmt"
+
+	"gemini/internal/simclock"
+)
+
+// Collective cost models. ZeRO-3 training traffic consists of all-gathers
+// (parameter fetch before each layer's forward and backward compute),
+// reduce-scatters (gradient synchronization), and the broadcasts GEMINI's
+// group placement uses to replicate checkpoints. These are the standard
+// ring-algorithm α–β costs (Thakur et al., cited as [72] in the paper).
+
+// CollectiveKind names a collective communication operation.
+type CollectiveKind int
+
+const (
+	AllGather CollectiveKind = iota
+	ReduceScatter
+	AllReduce
+	Broadcast
+)
+
+func (k CollectiveKind) String() string {
+	switch k {
+	case AllGather:
+		return "all-gather"
+	case ReduceScatter:
+		return "reduce-scatter"
+	case AllReduce:
+		return "all-reduce"
+	case Broadcast:
+		return "broadcast"
+	default:
+		return fmt.Sprintf("CollectiveKind(%d)", int(k))
+	}
+}
+
+// CollectiveTime returns the completion time of a ring collective over n
+// participants where totalBytes is the full (unsharded) payload, each link
+// runs at bandwidthBytesPerSec, and each of the ring steps pays the α
+// startup latency.
+//
+//   - AllGather / ReduceScatter: (n−1) steps moving totalBytes·(n−1)/n
+//     per participant.
+//   - AllReduce: reduce-scatter followed by all-gather, 2(n−1) steps.
+//   - Broadcast: pipelined ring broadcast, totalBytes over (n−1) hop
+//     latencies plus the bandwidth term.
+func CollectiveTime(kind CollectiveKind, n int, totalBytes, bandwidthBytesPerSec float64, alpha simclock.Duration) simclock.Duration {
+	if n <= 0 {
+		panic(fmt.Sprintf("netsim: collective over %d participants", n))
+	}
+	if totalBytes < 0 || bandwidthBytesPerSec <= 0 {
+		panic(fmt.Sprintf("netsim: invalid collective parameters bytes=%v bw=%v", totalBytes, bandwidthBytesPerSec))
+	}
+	if n == 1 {
+		return 0
+	}
+	steps := float64(n - 1)
+	perStepBytes := totalBytes / float64(n)
+	switch kind {
+	case AllGather, ReduceScatter:
+		return simclock.Duration(steps)*alpha + simclock.Duration(steps*perStepBytes/bandwidthBytesPerSec)
+	case AllReduce:
+		return simclock.Duration(2*steps)*alpha + simclock.Duration(2*steps*perStepBytes/bandwidthBytesPerSec)
+	case Broadcast:
+		return simclock.Duration(steps)*alpha + simclock.Duration(totalBytes/bandwidthBytesPerSec)
+	default:
+		panic(fmt.Sprintf("netsim: unknown collective kind %d", int(kind)))
+	}
+}
+
+// BusyFraction estimates the fraction of a collective's duration during
+// which a participant's NIC is actually transmitting (the bandwidth term
+// over the total). Scheduling in §5 treats latency gaps inside collectives
+// as unavailable, so only whole-op boundaries yield usable idle spans;
+// this helper supports idle-time accounting in the profiler.
+func BusyFraction(kind CollectiveKind, n int, totalBytes, bandwidthBytesPerSec float64, alpha simclock.Duration) float64 {
+	total := CollectiveTime(kind, n, totalBytes, bandwidthBytesPerSec, alpha)
+	if total <= 0 {
+		return 0
+	}
+	latency := total - CollectiveTime(kind, n, totalBytes, bandwidthBytesPerSec, 0)
+	return float64((total - latency) / total)
+}

@@ -1,0 +1,112 @@
+package netsim
+
+import (
+	"fmt"
+
+	"gemini/internal/simclock"
+)
+
+// Copier models a machine's GPU→CPU (device-to-host) copy channel. GEMINI's
+// pipeline overlaps these copies with inter-machine flows (§5.2, Fig. 5d);
+// the copy bandwidth on p4d instances is comparable to the network
+// bandwidth (~400 Gbps), which is why unpipelined copies create bubbles
+// nearly as long as the transfers themselves.
+//
+// Copies are served FIFO at the configured bandwidth, one at a time: a
+// single DMA engine dedicated to checkpoint movement.
+type Copier struct {
+	engine    *simclock.Engine
+	bandwidth float64 // bytes/sec
+	queue     []*Copy
+	busy      bool
+	busyTotal simclock.Duration
+	busySince simclock.Time
+}
+
+// Copy is one queued or in-flight GPU→CPU copy.
+type Copy struct {
+	Bytes  float64
+	Label  string
+	onDone func(*Copy)
+	state  FlowState
+}
+
+// State returns the copy's lifecycle state (FlowStarting while queued,
+// FlowActive while copying, FlowDone when complete).
+func (c *Copy) State() FlowState { return c.state }
+
+// NewCopier creates a copy channel with the given bandwidth in bytes/sec.
+func NewCopier(engine *simclock.Engine, bandwidthBytesPerSec float64) (*Copier, error) {
+	if bandwidthBytesPerSec <= 0 {
+		return nil, fmt.Errorf("netsim: copier bandwidth must be positive, got %v", bandwidthBytesPerSec)
+	}
+	return &Copier{engine: engine, bandwidth: bandwidthBytesPerSec}, nil
+}
+
+// MustNewCopier is NewCopier for statically-known-good bandwidths.
+func MustNewCopier(engine *simclock.Engine, bw float64) *Copier {
+	c, err := NewCopier(engine, bw)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Bandwidth returns the channel bandwidth in bytes/sec.
+func (c *Copier) Bandwidth() float64 { return c.bandwidth }
+
+// QueueLen returns the number of copies waiting or in flight.
+func (c *Copier) QueueLen() int {
+	n := len(c.queue)
+	if c.busy {
+		n++
+	}
+	return n
+}
+
+// Submit enqueues a copy of size bytes; onDone fires when it completes.
+func (c *Copier) Submit(bytes float64, label string, onDone func(*Copy)) *Copy {
+	if bytes < 0 {
+		panic(fmt.Sprintf("netsim: invalid copy size %v", bytes))
+	}
+	cp := &Copy{Bytes: bytes, Label: label, onDone: onDone, state: FlowStarting}
+	c.queue = append(c.queue, cp)
+	c.kick()
+	return cp
+}
+
+// CopyTime returns how long a copy of the given size takes in isolation.
+func (c *Copier) CopyTime(bytes float64) simclock.Duration {
+	return simclock.Duration(bytes / c.bandwidth)
+}
+
+// BusyTime returns the cumulative time the channel has spent copying.
+func (c *Copier) BusyTime() simclock.Duration {
+	total := c.busyTotal
+	if c.busy {
+		total += c.engine.Now().Sub(c.busySince)
+	}
+	return total
+}
+
+func (c *Copier) kick() {
+	if c.busy || len(c.queue) == 0 {
+		return
+	}
+	cp := c.queue[0]
+	c.queue = c.queue[1:]
+	c.busy = true
+	c.busySince = c.engine.Now()
+	cp.state = FlowActive
+	c.engine.After(c.CopyTime(cp.Bytes), func() {
+		cp.state = FlowDone
+		c.busy = false
+		c.busyTotal += c.engine.Now().Sub(c.busySince)
+		if cp.onDone != nil {
+			cb := cp.onDone
+			cp.onDone = nil
+			cb(cp)
+		}
+		c.kick()
+	})
+}

@@ -1,0 +1,505 @@
+// Package netsim simulates the training-cluster network: point-to-point
+// flows over per-machine NICs with max-min fair bandwidth sharing, the
+// α + s/B transfer-time model GEMINI uses (§5.3), per-machine GPU→CPU copy
+// channels, and cost models for the collective operations that make up
+// ZeRO-3 training traffic.
+//
+// The fluid model is what lets the interference experiments (§7.4) emerge
+// rather than be assumed: when checkpoint flows overlap training flows on
+// the same NIC they share bandwidth and both slow down, exactly the
+// contention GEMINI's scheduler is designed to avoid.
+package netsim
+
+import (
+	"fmt"
+	"math"
+
+	"gemini/internal/simclock"
+)
+
+// Config describes the fabric connecting training machines.
+type Config struct {
+	// EgressBytesPerSec is each machine's NIC send capacity.
+	EgressBytesPerSec float64
+	// IngressBytesPerSec is each machine's NIC receive capacity.
+	// Zero means "same as egress".
+	IngressBytesPerSec float64
+	// Alpha is the per-transfer startup latency (the α in f(s) = α + s/B).
+	Alpha simclock.Duration
+}
+
+func (c Config) validate() error {
+	if c.EgressBytesPerSec <= 0 {
+		return fmt.Errorf("netsim: egress bandwidth must be positive, got %v", c.EgressBytesPerSec)
+	}
+	if c.IngressBytesPerSec < 0 {
+		return fmt.Errorf("netsim: ingress bandwidth must be nonnegative, got %v", c.IngressBytesPerSec)
+	}
+	if c.Alpha < 0 {
+		return fmt.Errorf("netsim: alpha must be nonnegative, got %v", c.Alpha)
+	}
+	return nil
+}
+
+// FlowState is the lifecycle state of a flow.
+type FlowState int
+
+const (
+	// FlowStarting means the flow is in its α startup window.
+	FlowStarting FlowState = iota
+	// FlowActive means the flow is transferring bytes.
+	FlowActive
+	// FlowDone means all bytes were delivered.
+	FlowDone
+	// FlowFailed means an endpoint went down before completion.
+	FlowFailed
+	// FlowCanceled means the flow was canceled by its owner.
+	FlowCanceled
+)
+
+func (s FlowState) String() string {
+	switch s {
+	case FlowStarting:
+		return "starting"
+	case FlowActive:
+		return "active"
+	case FlowDone:
+		return "done"
+	case FlowFailed:
+		return "failed"
+	case FlowCanceled:
+		return "canceled"
+	default:
+		return fmt.Sprintf("FlowState(%d)", int(s))
+	}
+}
+
+// Flow is an in-flight point-to-point transfer.
+type Flow struct {
+	Src, Dst int
+	Label    string
+
+	fabric    *Fabric
+	bytes     float64 // total size
+	remaining float64
+	rate      float64 // current share, bytes/sec
+	state     FlowState
+	started   simclock.Time
+	finished  simclock.Time
+	onDone    func(*Flow)
+	startEv   simclock.EventID
+}
+
+// State returns the flow's lifecycle state.
+func (f *Flow) State() FlowState { return f.state }
+
+// Bytes returns the flow's total size in bytes.
+func (f *Flow) Bytes() float64 { return f.bytes }
+
+// Remaining returns how many bytes are still to be delivered, as of the
+// last fabric event.
+func (f *Flow) Remaining() float64 { return f.remaining }
+
+// Rate returns the flow's current max-min share in bytes/sec.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// StartedAt returns when the flow was submitted.
+func (f *Flow) StartedAt() simclock.Time { return f.started }
+
+// FinishedAt returns when the flow reached a terminal state; it is zero
+// for flows still in flight.
+func (f *Flow) FinishedAt() simclock.Time { return f.finished }
+
+// Cancel removes the flow from the fabric without delivering remaining
+// bytes. The completion callback fires with state FlowCanceled.
+func (f *Flow) Cancel() {
+	if f.state == FlowDone || f.state == FlowFailed || f.state == FlowCanceled {
+		return
+	}
+	f.fabric.settle()
+	f.startEv.Cancel()
+	f.fabric.finishFlow(f, FlowCanceled)
+	f.fabric.reschedule()
+}
+
+type node struct {
+	up         bool
+	egressCap  float64
+	ingressCap float64
+	// busy accounting for idle-time measurement
+	activeFlows int
+	busySince   simclock.Time
+	busyTotal   simclock.Duration
+}
+
+// Fabric simulates the cluster network. It must only be used from within
+// the simulation goroutine (callbacks of the same engine).
+type Fabric struct {
+	engine *simclock.Engine
+	cfg    Config
+	nodes  []*node
+	flows  map[*Flow]struct{}
+
+	lastSettle simclock.Time
+	completion simclock.EventID
+}
+
+// NewFabric creates a fabric with n machine endpoints.
+func NewFabric(engine *simclock.Engine, n int, cfg Config) (*Fabric, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("netsim: fabric needs at least one node, got %d", n)
+	}
+	if cfg.IngressBytesPerSec == 0 {
+		cfg.IngressBytesPerSec = cfg.EgressBytesPerSec
+	}
+	f := &Fabric{
+		engine: engine,
+		cfg:    cfg,
+		nodes:  make([]*node, n),
+		flows:  make(map[*Flow]struct{}),
+	}
+	for i := range f.nodes {
+		f.nodes[i] = &node{up: true, egressCap: cfg.EgressBytesPerSec, ingressCap: cfg.IngressBytesPerSec}
+	}
+	return f, nil
+}
+
+// MustNewFabric is NewFabric for statically-known-good configs.
+func MustNewFabric(engine *simclock.Engine, n int, cfg Config) *Fabric {
+	f, err := NewFabric(engine, n, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Nodes returns the number of endpoints.
+func (fb *Fabric) Nodes() int { return len(fb.nodes) }
+
+// Config returns the fabric configuration.
+func (fb *Fabric) Config() Config { return fb.cfg }
+
+// ActiveFlows returns the number of flows not yet in a terminal state.
+func (fb *Fabric) ActiveFlows() int { return len(fb.flows) }
+
+// StartFlow submits a transfer of size bytes from src to dst. After the α
+// startup latency the flow competes for bandwidth under max-min fairness.
+// onDone fires exactly once when the flow reaches a terminal state.
+// A zero-byte flow completes after just the startup latency.
+func (fb *Fabric) StartFlow(src, dst int, bytes float64, label string, onDone func(*Flow)) *Flow {
+	fb.checkNode(src)
+	fb.checkNode(dst)
+	if bytes < 0 || math.IsNaN(bytes) || math.IsInf(bytes, 0) {
+		panic(fmt.Sprintf("netsim: invalid flow size %v", bytes))
+	}
+	if src == dst {
+		panic("netsim: flow source and destination must differ")
+	}
+	fl := &Flow{
+		Src: src, Dst: dst, Label: label,
+		fabric: fb, bytes: bytes, remaining: bytes,
+		state: FlowStarting, started: fb.engine.Now(), onDone: onDone,
+	}
+	if !fb.nodes[src].up || !fb.nodes[dst].up {
+		// Fail asynchronously so callers never observe a callback during
+		// StartFlow itself.
+		fb.engine.After(0, func() {
+			if fl.state == FlowStarting {
+				fb.finishFlow(fl, FlowFailed)
+			}
+		})
+		return fl
+	}
+	fl.startEv = fb.engine.After(fb.cfg.Alpha, func() {
+		if fl.state != FlowStarting {
+			return
+		}
+		fb.settle()
+		fl.state = FlowActive
+		fb.flows[fl] = struct{}{}
+		fb.nodeActivate(fl.Src)
+		fb.nodeActivate(fl.Dst)
+		fb.reschedule()
+	})
+	return fl
+}
+
+func (fb *Fabric) checkNode(i int) {
+	if i < 0 || i >= len(fb.nodes) {
+		panic(fmt.Sprintf("netsim: node %d out of range [0,%d)", i, len(fb.nodes)))
+	}
+}
+
+// SetNodeUp marks an endpoint healthy or failed. Taking a node down fails
+// every flow that touches it.
+func (fb *Fabric) SetNodeUp(i int, up bool) {
+	fb.checkNode(i)
+	n := fb.nodes[i]
+	if n.up == up {
+		return
+	}
+	fb.settle()
+	n.up = up
+	if !up {
+		for fl := range fb.flows {
+			if fl.Src == i || fl.Dst == i {
+				fb.finishFlow(fl, FlowFailed)
+			}
+		}
+	}
+	fb.reschedule()
+}
+
+// SetNodeCapacity overrides one endpoint's egress and ingress bandwidth.
+// This is how a remote persistent storage service (whose ~20 Gbps
+// aggregate is far below the training NICs) joins the same fabric, so
+// storage traffic and training traffic contend realistically.
+func (fb *Fabric) SetNodeCapacity(i int, egressBytesPerSec, ingressBytesPerSec float64) {
+	fb.checkNode(i)
+	if egressBytesPerSec <= 0 || ingressBytesPerSec <= 0 {
+		panic(fmt.Sprintf("netsim: node capacity must be positive, got %v/%v", egressBytesPerSec, ingressBytesPerSec))
+	}
+	fb.settle()
+	fb.nodes[i].egressCap = egressBytesPerSec
+	fb.nodes[i].ingressCap = ingressBytesPerSec
+	fb.reschedule()
+}
+
+// NodeCapacity returns endpoint i's (egress, ingress) bandwidth.
+func (fb *Fabric) NodeCapacity(i int) (egress, ingress float64) {
+	fb.checkNode(i)
+	return fb.nodes[i].egressCap, fb.nodes[i].ingressCap
+}
+
+// NodeUp reports whether endpoint i is healthy.
+func (fb *Fabric) NodeUp(i int) bool {
+	fb.checkNode(i)
+	return fb.nodes[i].up
+}
+
+// BusyTime returns how long endpoint i has had at least one active flow
+// (sending or receiving), up to the current instant. The network-idle
+// measurements of Figures 8 and 13b subtract this from elapsed time.
+func (fb *Fabric) BusyTime(i int) simclock.Duration {
+	fb.checkNode(i)
+	n := fb.nodes[i]
+	total := n.busyTotal
+	if n.activeFlows > 0 {
+		total += fb.engine.Now().Sub(n.busySince)
+	}
+	return total
+}
+
+// ResetBusyTime zeroes the busy-time accumulator for all endpoints,
+// typically at an iteration boundary.
+func (fb *Fabric) ResetBusyTime() {
+	now := fb.engine.Now()
+	for _, n := range fb.nodes {
+		n.busyTotal = 0
+		if n.activeFlows > 0 {
+			n.busySince = now
+		}
+	}
+}
+
+func (fb *Fabric) nodeActivate(i int) {
+	n := fb.nodes[i]
+	if n.activeFlows == 0 {
+		n.busySince = fb.engine.Now()
+	}
+	n.activeFlows++
+}
+
+func (fb *Fabric) nodeDeactivate(i int) {
+	n := fb.nodes[i]
+	n.activeFlows--
+	if n.activeFlows == 0 {
+		n.busyTotal += fb.engine.Now().Sub(n.busySince)
+	}
+	if n.activeFlows < 0 {
+		panic("netsim: node active-flow count went negative")
+	}
+}
+
+// settle advances every active flow's remaining bytes to the current
+// instant at the rates computed at the previous settle point.
+func (fb *Fabric) settle() {
+	now := fb.engine.Now()
+	dt := now.Sub(fb.lastSettle).Seconds()
+	if dt > 0 {
+		for fl := range fb.flows {
+			fl.remaining -= fl.rate * dt
+			// Sub-byte residue is float error, not payload.
+			if fl.remaining < 1e-3 {
+				fl.remaining = 0
+			}
+		}
+	}
+	fb.lastSettle = now
+}
+
+func (fb *Fabric) finishFlow(fl *Flow, state FlowState) {
+	if fl.state == FlowActive {
+		delete(fb.flows, fl)
+		fb.nodeDeactivate(fl.Src)
+		fb.nodeDeactivate(fl.Dst)
+	}
+	fl.state = state
+	fl.rate = 0
+	fl.finished = fb.engine.Now()
+	if fl.onDone != nil {
+		cb := fl.onDone
+		fl.onDone = nil
+		cb(fl)
+	}
+}
+
+// reschedule recomputes max-min fair rates and schedules the next flow
+// completion. Flows that already hit zero remaining complete immediately.
+func (fb *Fabric) reschedule() {
+	fb.completion.Cancel()
+
+	// Complete flows that already drained (can happen after settle).
+	for {
+		var doneFlow *Flow
+		for fl := range fb.flows {
+			if fl.remaining == 0 {
+				doneFlow = fl
+				break
+			}
+		}
+		if doneFlow == nil {
+			break
+		}
+		fb.finishFlow(doneFlow, FlowDone)
+	}
+
+	fb.computeRates()
+
+	now := fb.engine.Now()
+	next := simclock.Forever
+	for fl := range fb.flows {
+		if fl.rate <= 0 {
+			continue
+		}
+		eta := now.Add(simclock.Duration(fl.remaining / fl.rate))
+		if eta <= now {
+			// The residual transfer time is below the clock's resolution
+			// at this timestamp; treating it as pending would loop at the
+			// same instant forever. Finish the flow now.
+			fl.remaining = 0
+			fb.finishFlow(fl, FlowDone)
+			fb.reschedule()
+			return
+		}
+		if eta < next {
+			next = eta
+		}
+	}
+	if next == simclock.Forever {
+		return
+	}
+	fb.completion = fb.engine.AtPriority(next, -10, func() {
+		fb.settle()
+		fb.reschedule()
+	})
+}
+
+// computeRates runs max-min water-filling over per-node egress and
+// ingress capacities.
+func (fb *Fabric) computeRates() {
+	if len(fb.flows) == 0 {
+		return
+	}
+	type cap struct {
+		remaining float64
+		flows     []*Flow
+	}
+	egress := make(map[int]*cap)
+	ingress := make(map[int]*cap)
+	unfrozen := make(map[*Flow]bool, len(fb.flows))
+	for fl := range fb.flows {
+		fl.rate = 0
+		unfrozen[fl] = true
+		e := egress[fl.Src]
+		if e == nil {
+			e = &cap{remaining: fb.nodes[fl.Src].egressCap}
+			egress[fl.Src] = e
+		}
+		e.flows = append(e.flows, fl)
+		in := ingress[fl.Dst]
+		if in == nil {
+			in = &cap{remaining: fb.nodes[fl.Dst].ingressCap}
+			ingress[fl.Dst] = in
+		}
+		in.flows = append(in.flows, fl)
+	}
+	countUnfrozen := func(c *cap) int {
+		k := 0
+		for _, fl := range c.flows {
+			if unfrozen[fl] {
+				k++
+			}
+		}
+		return k
+	}
+	for len(unfrozen) > 0 {
+		// Find the tightest constraint: min over caps of remaining/unfrozen.
+		limit := math.Inf(1)
+		for _, group := range []map[int]*cap{egress, ingress} {
+			for _, c := range group {
+				k := countUnfrozen(c)
+				if k == 0 {
+					continue
+				}
+				if share := c.remaining / float64(k); share < limit {
+					limit = share
+				}
+			}
+		}
+		if math.IsInf(limit, 1) {
+			break
+		}
+		// Raise every unfrozen flow by limit, then freeze flows on any
+		// capacity that is now exhausted.
+		for fl := range unfrozen {
+			fl.rate += limit
+		}
+		for _, group := range []map[int]*cap{egress, ingress} {
+			for _, c := range group {
+				k := countUnfrozen(c)
+				c.remaining -= limit * float64(k)
+			}
+		}
+		froze := false
+		for _, group := range []map[int]*cap{egress, ingress} {
+			for _, c := range group {
+				if c.remaining <= 1e-6*fb.cfg.EgressBytesPerSec {
+					for _, fl := range c.flows {
+						if unfrozen[fl] {
+							delete(unfrozen, fl)
+							froze = true
+						}
+					}
+				}
+			}
+		}
+		if !froze {
+			break
+		}
+	}
+}
+
+// TransferTime returns the α + s/B point-to-point time for a transfer of
+// size bytes on an otherwise idle network — the f(s) of Algorithm 2.
+func (fb *Fabric) TransferTime(bytes float64) simclock.Duration {
+	return TransferTime(bytes, fb.cfg.EgressBytesPerSec, fb.cfg.Alpha)
+}
+
+// TransferTime is the α + s/B model as a pure function.
+func TransferTime(bytes, bandwidthBytesPerSec float64, alpha simclock.Duration) simclock.Duration {
+	return alpha + simclock.Duration(bytes/bandwidthBytesPerSec)
+}

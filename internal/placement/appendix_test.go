@@ -1,0 +1,173 @@
+package placement
+
+// Numerical verification of the paper's appendices: the proof of
+// Theorem 1 (Appendix A) argues through the count n of unique replica
+// sets and a probability upper bound; Corollary 1 (Appendix B) counts
+// failure combinations. These tests check each intermediate claim, not
+// just the final statements.
+
+import (
+	"math"
+	"testing"
+)
+
+// uniqueReplicaSets counts |S'| = |unique({s_1, …, s_N})| — the n of
+// Appendix A.
+func uniqueReplicaSets(p *Placement) int {
+	seen := make(map[string]bool)
+	for i := 0; i < p.N; i++ {
+		key := ""
+		for _, r := range p.Replicas(i) {
+			key += string(rune(r)) + ","
+		}
+		seen[key] = true
+	}
+	return len(seen)
+}
+
+func TestAppendixAUniqueSetCounts(t *testing.T) {
+	// Group placement: N/m unique sets (each group shares one set).
+	for _, c := range []struct{ n, m int }{{4, 2}, {16, 2}, {12, 3}} {
+		p, err := Group(c.n, c.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := uniqueReplicaSets(p), c.n/c.m; got != want {
+			t.Errorf("group N=%d m=%d: %d unique sets, want %d", c.n, c.m, got, want)
+		}
+	}
+	// Ring placement: N unique sets (each machine's window is distinct).
+	for _, c := range []struct{ n, m int }{{4, 2}, {16, 2}, {9, 3}} {
+		p, err := Ring(c.n, c.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := uniqueReplicaSets(p); got != c.n {
+			t.Errorf("ring N=%d m=%d: %d unique sets, want %d", c.n, c.m, got, c.n)
+		}
+	}
+	// Mixed placement with m ∤ N: N − (m−1)(⌊N/m⌋ − 1) unique sets
+	// (Appendix A's count: ⌊N/m⌋−1 full groups contribute one set each,
+	// the trailing ring of N − m(⌊N/m⌋−1) machines one set each).
+	for _, c := range []struct{ n, m int }{{5, 2}, {7, 2}, {7, 3}, {11, 3}} {
+		p := MustMixed(c.n, c.m)
+		want := c.n - (c.m-1)*(c.n/c.m-1)
+		if got := uniqueReplicaSets(p); got != want {
+			t.Errorf("mixed N=%d m=%d: %d unique sets, want %d", c.n, c.m, got, want)
+		}
+	}
+}
+
+// Appendix A: for k = m, the loss probability is n/C(N,m), linear in the
+// number of unique sets — verified against enumeration for group and
+// ring.
+func TestAppendixALossLinearInUniqueSets(t *testing.T) {
+	for _, c := range []struct{ n, m int }{{6, 2}, {8, 2}, {9, 3}, {12, 3}} {
+		for _, build := range []func(int, int) (*Placement, error){Ring, Mixed} {
+			p, err := build(c.n, c.m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nSets := uniqueReplicaSets(p)
+			wantLoss := float64(nSets) / binomial(c.n, c.m)
+			gotLoss := 1 - BitmaskProbability(p, c.m)
+			if math.Abs(gotLoss-wantLoss) > 1e-12 {
+				t.Errorf("%v N=%d m=%d: loss %v, want n/C(N,m) = %v", p.Kind, c.n, c.m, gotLoss, wantLoss)
+			}
+		}
+	}
+}
+
+// Appendix A's probability upper bound: n ≥ ⌈N/m⌉, so the recovery
+// probability at k=m is at most 1 − ⌈N/m⌉/C(N,m). Every strategy must
+// respect it; the group strategy must attain it when m | N.
+func TestAppendixAUpperBound(t *testing.T) {
+	for _, c := range []struct{ n, m int }{{4, 2}, {6, 2}, {6, 3}, {8, 2}, {9, 3}, {5, 2}, {7, 3}} {
+		upper := 1 - math.Ceil(float64(c.n)/float64(c.m))/binomial(c.n, c.m)
+		for _, build := range []func(int, int) (*Placement, error){Mixed, Ring} {
+			p, err := build(c.n, c.m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := BitmaskProbability(p, c.m); got > upper+1e-12 {
+				t.Errorf("%v N=%d m=%d: probability %v exceeds upper bound %v", p.Kind, c.n, c.m, got, upper)
+			}
+		}
+		if c.n%c.m == 0 {
+			p, err := Group(c.n, c.m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := BitmaskProbability(p, c.m); math.Abs(got-upper) > 1e-12 {
+				t.Errorf("group N=%d m=%d: probability %v does not attain the bound %v", c.n, c.m, got, upper)
+			}
+		}
+	}
+}
+
+// Appendix B, case m ≤ k < 2m: the count of losing combinations is
+// exactly (N/m)·C(N−m, k−m) — no double counting is possible because two
+// whole groups cannot both fit in fewer than 2m failures.
+func TestAppendixBExactCountSmallK(t *testing.T) {
+	for _, c := range []struct{ n, m, k int }{{8, 2, 2}, {8, 2, 3}, {12, 3, 3}, {12, 3, 5}, {12, 4, 7}} {
+		p, err := Group(c.n, c.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		losing := 0.0
+		total := binomial(c.n, c.k)
+		losing = (1 - BitmaskProbability(p, c.k)) * total
+		want := float64(c.n) / float64(c.m) * binomial(c.n-c.m, c.k-c.m)
+		if math.Abs(losing-want) > 1e-6 {
+			t.Errorf("N=%d m=%d k=%d: %v losing sets, want (N/m)·C(N−m,k−m) = %v",
+				c.n, c.m, c.k, losing, want)
+		}
+	}
+}
+
+// Appendix B, case k ≥ 2m: the same expression over-counts (sets
+// containing two whole groups are counted twice), so the true number of
+// losing combinations is strictly smaller when two groups can fail.
+func TestAppendixBOvercountLargeK(t *testing.T) {
+	for _, c := range []struct{ n, m, k int }{{8, 2, 4}, {8, 2, 5}, {12, 2, 6}, {12, 3, 6}} {
+		p, err := Group(c.n, c.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := binomial(c.n, c.k)
+		losing := (1 - BitmaskProbability(p, c.k)) * total
+		bound := float64(c.n) / float64(c.m) * binomial(c.n-c.m, c.k-c.m)
+		if losing >= bound {
+			t.Errorf("N=%d m=%d k=%d: losing %v not below the over-count %v", c.n, c.m, c.k, losing, bound)
+		}
+	}
+}
+
+// ExactProbability (map-based) and BitmaskProbability (bitmask-based)
+// must agree everywhere they both apply.
+func TestEnumerationImplementationsAgree(t *testing.T) {
+	for _, c := range []struct{ n, m, k int }{{5, 2, 2}, {6, 2, 3}, {7, 3, 3}, {8, 2, 4}} {
+		p := MustMixed(c.n, c.m)
+		a := ExactProbability(p, c.k)
+		b := BitmaskProbability(p, c.k)
+		if math.Abs(a-b) > 1e-12 {
+			t.Errorf("N=%d m=%d k=%d: map %v != bitmask %v", c.n, c.m, c.k, a, b)
+		}
+	}
+}
+
+// The Theorem 1 gap bound (2m−3)/C(N,m) must always dominate the actual
+// optimum-vs-mixed gap on exhaustively searchable instances, including
+// m=3 cases.
+func TestTheorem1GapAcrossInstances(t *testing.T) {
+	for _, c := range []struct{ n, m int }{{5, 2}, {7, 2}, {4, 3}, {5, 3}} {
+		if c.n%c.m == 0 {
+			continue
+		}
+		mixed := BitmaskProbability(MustMixed(c.n, c.m), c.m)
+		best := OptimalProbability(c.n, c.m, c.m)
+		if gap, bound := best-mixed, Theorem1Gap(c.n, c.m); gap > bound+1e-12 {
+			t.Errorf("N=%d m=%d: gap %v exceeds bound %v", c.n, c.m, gap, bound)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package placement
+
+import "testing"
+
+func BenchmarkMixedConstruction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Mixed(1000, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBitmaskProbabilityN16K3(b *testing.B) {
+	p := MustMixed(16, 2)
+	for i := 0; i < b.N; i++ {
+		_ = BitmaskProbability(p, 3)
+	}
+}
+
+func BenchmarkMonteCarloN1000(b *testing.B) {
+	p := MustMixed(1000, 2)
+	for i := 0; i < b.N; i++ {
+		_ = MonteCarlo(p, 3, 10_000, 1)
+	}
+}
+
+func BenchmarkCorollary1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Corollary1(1024, 2, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRingExactDP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RingExact(128, 2, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,257 @@
+// Package profile implements GEMINI's online profiling (§5.4): during the
+// first several training iterations (20 in the paper), it timestamps
+// every communication operation, derives the network idle timespans
+// within an iteration, and averages them across iterations. The profile
+// feeds Algorithm 2's checkpoint partitioning.
+package profile
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gemini/internal/simclock"
+)
+
+// Op is one recorded communication operation within an iteration,
+// expressed relative to the iteration start.
+type Op struct {
+	Start, End simclock.Duration
+	Label      string
+}
+
+// IterationTrace is the communication timeline of a single iteration.
+type IterationTrace struct {
+	Duration simclock.Duration
+	Ops      []Op
+}
+
+// IdleSpans returns the gaps in the iteration where the network is idle:
+// the complement of the union of op intervals within [0, Duration].
+// Zero-length gaps are dropped.
+func (it *IterationTrace) IdleSpans() []Span {
+	merged := mergeOps(it.Ops, it.Duration)
+	var spans []Span
+	cursor := simclock.Duration(0)
+	for _, iv := range merged {
+		if iv.start > cursor {
+			spans = append(spans, Span{Offset: cursor, Length: iv.start - cursor})
+		}
+		if iv.end > cursor {
+			cursor = iv.end
+		}
+	}
+	if it.Duration > cursor {
+		spans = append(spans, Span{Offset: cursor, Length: it.Duration - cursor})
+	}
+	return spans
+}
+
+// BusyTime returns the total time the network is occupied in the trace.
+func (it *IterationTrace) BusyTime() simclock.Duration {
+	var busy simclock.Duration
+	for _, iv := range mergeOps(it.Ops, it.Duration) {
+		busy += iv.end - iv.start
+	}
+	return busy
+}
+
+type interval struct{ start, end simclock.Duration }
+
+func mergeOps(ops []Op, limit simclock.Duration) []interval {
+	ivs := make([]interval, 0, len(ops))
+	for _, op := range ops {
+		s, e := op.Start, op.End
+		if e > limit {
+			e = limit
+		}
+		if s < 0 {
+			s = 0
+		}
+		if e > s {
+			ivs = append(ivs, interval{s, e})
+		}
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].start < ivs[j].start })
+	var merged []interval
+	for _, iv := range ivs {
+		if n := len(merged); n > 0 && iv.start <= merged[n-1].end {
+			if iv.end > merged[n-1].end {
+				merged[n-1].end = iv.end
+			}
+			continue
+		}
+		merged = append(merged, iv)
+	}
+	return merged
+}
+
+// Span is one network idle timespan within an iteration.
+type Span struct {
+	// Offset is where the span begins, relative to iteration start.
+	Offset simclock.Duration
+	// Length is the idle duration (the t_i of Algorithm 2).
+	Length simclock.Duration
+}
+
+// Profile is the averaged result of online profiling.
+type Profile struct {
+	// Spans are the per-iteration idle timespans, averaged across the
+	// profiled iterations, in time order.
+	Spans []Span
+	// IterationTime is the mean iteration duration.
+	IterationTime simclock.Duration
+	// Iterations is how many iterations were profiled.
+	Iterations int
+	// NormalizedStdDev is the largest coefficient of variation observed
+	// across the per-span lengths — the <10% stability the paper reports.
+	NormalizedStdDev float64
+}
+
+// TotalIdle returns the sum of idle span lengths per iteration.
+func (p *Profile) TotalIdle() simclock.Duration {
+	var total simclock.Duration
+	for _, s := range p.Spans {
+		total += s.Length
+	}
+	return total
+}
+
+// Recorder accumulates iteration traces during the profiling window.
+type Recorder struct {
+	window int
+	traces []IterationTrace
+
+	iterStart simclock.Time
+	ops       []Op
+	inIter    bool
+}
+
+// NewRecorder profiles up to window iterations; further iterations are
+// ignored. The paper uses a 20-iteration window.
+func NewRecorder(window int) (*Recorder, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("profile: window must be positive, got %d", window)
+	}
+	return &Recorder{window: window}, nil
+}
+
+// MustNewRecorder is NewRecorder for known-good windows.
+func MustNewRecorder(window int) *Recorder {
+	r, err := NewRecorder(window)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Done reports whether the profiling window is full.
+func (r *Recorder) Done() bool { return len(r.traces) >= r.window }
+
+// Iterations returns how many complete iterations have been recorded.
+func (r *Recorder) Iterations() int { return len(r.traces) }
+
+// BeginIteration marks an iteration start at absolute time t.
+func (r *Recorder) BeginIteration(t simclock.Time) {
+	if r.inIter {
+		panic("profile: BeginIteration without EndIteration")
+	}
+	r.inIter = true
+	r.iterStart = t
+	r.ops = r.ops[:0]
+}
+
+// RecordOp logs a communication op by absolute start/end times.
+func (r *Recorder) RecordOp(start, end simclock.Time, label string) {
+	if !r.inIter {
+		panic("profile: RecordOp outside an iteration")
+	}
+	if end < start {
+		panic(fmt.Sprintf("profile: op %q ends %v before it starts %v", label, end, start))
+	}
+	r.ops = append(r.ops, Op{
+		Start: start.Sub(r.iterStart),
+		End:   end.Sub(r.iterStart),
+		Label: label,
+	})
+}
+
+// EndIteration closes the current iteration at absolute time t.
+func (r *Recorder) EndIteration(t simclock.Time) {
+	if !r.inIter {
+		panic("profile: EndIteration without BeginIteration")
+	}
+	r.inIter = false
+	if r.Done() {
+		return
+	}
+	r.traces = append(r.traces, IterationTrace{
+		Duration: t.Sub(r.iterStart),
+		Ops:      append([]Op(nil), r.ops...),
+	})
+}
+
+// Build averages the recorded traces into a Profile. It requires at least
+// one complete iteration. Iterations are assumed to share the same
+// communication shape (§5.4 observes the timeline is nearly constant);
+// spans are matched by index, and iterations with a differing span count
+// from the majority are discarded as outliers.
+func (r *Recorder) Build() (*Profile, error) {
+	if len(r.traces) == 0 {
+		return nil, fmt.Errorf("profile: no complete iterations recorded")
+	}
+	// Find the modal span count.
+	counts := make(map[int]int)
+	for i := range r.traces {
+		counts[len(r.traces[i].IdleSpans())]++
+	}
+	modal, best := 0, 0
+	for c, n := range counts {
+		if n > best || (n == best && c > modal) {
+			modal, best = c, n
+		}
+	}
+	var used []IterationTrace
+	for _, tr := range r.traces {
+		if len(tr.IdleSpans()) == modal {
+			used = append(used, tr)
+		}
+	}
+	prof := &Profile{Iterations: len(used)}
+	if modal == 0 {
+		var iterSum simclock.Duration
+		for _, tr := range used {
+			iterSum += tr.Duration
+		}
+		prof.IterationTime = iterSum / simclock.Duration(len(used))
+		return prof, nil
+	}
+	offsets := make([]float64, modal)
+	lengths := make([]float64, modal)
+	sq := make([]float64, modal)
+	var iterSum simclock.Duration
+	for _, tr := range used {
+		iterSum += tr.Duration
+		for i, s := range tr.IdleSpans() {
+			offsets[i] += s.Offset.Seconds()
+			lengths[i] += s.Length.Seconds()
+			sq[i] += s.Length.Seconds() * s.Length.Seconds()
+		}
+	}
+	n := float64(len(used))
+	prof.IterationTime = iterSum / simclock.Duration(n)
+	for i := 0; i < modal; i++ {
+		mean := lengths[i] / n
+		prof.Spans = append(prof.Spans, Span{
+			Offset: simclock.Duration(offsets[i] / n),
+			Length: simclock.Duration(mean),
+		})
+		if mean > 0 && n > 1 {
+			variance := math.Max(0, sq[i]/n-mean*mean)
+			if cv := math.Sqrt(variance) / mean; cv > prof.NormalizedStdDev {
+				prof.NormalizedStdDev = cv
+			}
+		}
+	}
+	return prof, nil
+}

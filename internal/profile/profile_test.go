@@ -1,0 +1,260 @@
+package profile
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gemini/internal/simclock"
+)
+
+func TestIdleSpansSimple(t *testing.T) {
+	tr := IterationTrace{
+		Duration: 10,
+		Ops: []Op{
+			{Start: 1, End: 3},
+			{Start: 5, End: 6},
+		},
+	}
+	spans := tr.IdleSpans()
+	want := []Span{{0, 1}, {3, 2}, {6, 4}}
+	if len(spans) != len(want) {
+		t.Fatalf("spans %v, want %v", spans, want)
+	}
+	for i := range want {
+		if spans[i] != want[i] {
+			t.Fatalf("span %d = %v, want %v", i, spans[i], want[i])
+		}
+	}
+	if bt := tr.BusyTime(); bt != 3 {
+		t.Fatalf("busy time %v, want 3", bt)
+	}
+}
+
+func TestIdleSpansMergeOverlaps(t *testing.T) {
+	tr := IterationTrace{
+		Duration: 10,
+		Ops: []Op{
+			{Start: 0, End: 4},
+			{Start: 2, End: 5},  // overlaps
+			{Start: 5, End: 7},  // adjacent
+			{Start: 9, End: 15}, // clipped to duration
+		},
+	}
+	spans := tr.IdleSpans()
+	want := []Span{{7, 2}}
+	if len(spans) != 1 || spans[0] != want[0] {
+		t.Fatalf("spans %v, want %v", spans, want)
+	}
+	if bt := tr.BusyTime(); bt != 8 {
+		t.Fatalf("busy time %v, want 8", bt)
+	}
+}
+
+func TestIdleSpansFullyBusyAndFullyIdle(t *testing.T) {
+	busy := IterationTrace{Duration: 5, Ops: []Op{{Start: 0, End: 5}}}
+	if spans := busy.IdleSpans(); len(spans) != 0 {
+		t.Fatalf("fully busy iteration has idle spans %v", spans)
+	}
+	idle := IterationTrace{Duration: 5}
+	spans := idle.IdleSpans()
+	if len(spans) != 1 || spans[0] != (Span{0, 5}) {
+		t.Fatalf("fully idle iteration spans %v", spans)
+	}
+}
+
+func TestRecorderLifecyclePanics(t *testing.T) {
+	r := MustNewRecorder(5)
+	for _, fn := range []func(){
+		func() { r.RecordOp(0, 1, "x") },
+		func() { r.EndIteration(1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("op outside iteration did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+	r.BeginIteration(0)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("nested BeginIteration did not panic")
+			}
+		}()
+		r.BeginIteration(1)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("backwards op did not panic")
+			}
+		}()
+		r.RecordOp(5, 2, "x")
+	}()
+}
+
+func TestRecorderAveragesAcrossIterations(t *testing.T) {
+	r := MustNewRecorder(20)
+	// Two iterations with the same shape but slightly different lengths.
+	for i := 0; i < 2; i++ {
+		base := simclock.Time(i * 100)
+		jitter := simclock.Duration(i) // 0 then 1
+		r.BeginIteration(base)
+		r.RecordOp(base.Add(1), base.Add(3+jitter), "comm1")
+		r.RecordOp(base.Add(6), base.Add(8), "comm2")
+		r.EndIteration(base.Add(10))
+	}
+	prof, err := r.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if prof.Iterations != 2 {
+		t.Fatalf("iterations %d, want 2", prof.Iterations)
+	}
+	if prof.IterationTime != 10 {
+		t.Fatalf("iteration time %v, want 10", prof.IterationTime)
+	}
+	// Spans: [0,1), [3+j,6), [8,10) → averaged middle span = (3+2.5... )
+	if len(prof.Spans) != 3 {
+		t.Fatalf("spans %v, want 3 spans", prof.Spans)
+	}
+	if prof.Spans[0].Length != 1 {
+		t.Errorf("span 0 length %v, want 1", prof.Spans[0].Length)
+	}
+	if got := prof.Spans[1].Length; math.Abs(got.Seconds()-2.5) > 1e-9 {
+		t.Errorf("span 1 length %v, want 2.5 (mean of 3 and 2)", got)
+	}
+	if got := prof.TotalIdle(); math.Abs(got.Seconds()-5.5) > 1e-9 {
+		t.Errorf("total idle %v, want 5.5", got)
+	}
+	if prof.NormalizedStdDev <= 0 || prof.NormalizedStdDev > 0.5 {
+		t.Errorf("normalized stddev %v out of plausible range", prof.NormalizedStdDev)
+	}
+}
+
+func TestRecorderWindowCapsTraces(t *testing.T) {
+	r := MustNewRecorder(3)
+	for i := 0; i < 6; i++ {
+		base := simclock.Time(i * 10)
+		r.BeginIteration(base)
+		r.RecordOp(base.Add(1), base.Add(2), "c")
+		r.EndIteration(base.Add(10))
+		if i >= 2 && !r.Done() {
+			t.Fatalf("recorder not done after %d iterations", i+1)
+		}
+	}
+	if r.Iterations() != 3 {
+		t.Fatalf("recorded %d iterations, want 3", r.Iterations())
+	}
+}
+
+func TestRecorderDiscardsOutlierShapes(t *testing.T) {
+	r := MustNewRecorder(10)
+	// Three iterations with 2 idle spans, one outlier with 1.
+	for i := 0; i < 3; i++ {
+		base := simclock.Time(i * 10)
+		r.BeginIteration(base)
+		r.RecordOp(base.Add(2), base.Add(4), "c")
+		r.EndIteration(base.Add(10))
+	}
+	r.BeginIteration(100)
+	r.RecordOp(100, 104, "weird")
+	r.EndIteration(110)
+	prof, err := r.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Iterations != 3 {
+		t.Fatalf("used %d iterations, want 3 (outlier dropped)", prof.Iterations)
+	}
+	if len(prof.Spans) != 2 {
+		t.Fatalf("spans %v, want 2", prof.Spans)
+	}
+}
+
+func TestBuildRequiresData(t *testing.T) {
+	r := MustNewRecorder(5)
+	if _, err := r.Build(); err == nil {
+		t.Fatal("Build with no iterations accepted")
+	}
+}
+
+func TestBuildNoIdleSpans(t *testing.T) {
+	r := MustNewRecorder(2)
+	r.BeginIteration(0)
+	r.RecordOp(0, 10, "solid")
+	r.EndIteration(10)
+	prof, err := r.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Spans) != 0 || prof.TotalIdle() != 0 {
+		t.Fatalf("profile %+v, want no idle", prof)
+	}
+	if prof.IterationTime != 10 {
+		t.Fatalf("iteration time %v", prof.IterationTime)
+	}
+}
+
+func TestNewRecorderValidation(t *testing.T) {
+	if _, err := NewRecorder(0); err == nil {
+		t.Fatal("zero window accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNewRecorder(0) did not panic")
+		}
+	}()
+	MustNewRecorder(-1)
+}
+
+// Property: idle time + busy time always equals the iteration duration,
+// for arbitrary op layouts.
+func TestPropertyIdlePlusBusyIsDuration(t *testing.T) {
+	f := func(opsRaw []uint16, durRaw uint16) bool {
+		dur := simclock.Duration(durRaw%100) + 1
+		tr := IterationTrace{Duration: dur}
+		for _, raw := range opsRaw {
+			s := simclock.Duration(raw % 100)
+			e := s + simclock.Duration((raw/100)%20)
+			tr.Ops = append(tr.Ops, Op{Start: s, End: e})
+		}
+		var idle simclock.Duration
+		for _, sp := range tr.IdleSpans() {
+			if sp.Length <= 0 {
+				return false
+			}
+			idle += sp.Length
+		}
+		return math.Abs((idle + tr.BusyTime() - dur).Seconds()) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: spans returned are disjoint and ordered.
+func TestPropertySpansDisjointOrdered(t *testing.T) {
+	f := func(opsRaw []uint16) bool {
+		tr := IterationTrace{Duration: 200}
+		for _, raw := range opsRaw {
+			s := simclock.Duration(raw % 180)
+			tr.Ops = append(tr.Ops, Op{Start: s, End: s + simclock.Duration(raw%13)})
+		}
+		prev := simclock.Duration(-1)
+		for _, sp := range tr.IdleSpans() {
+			if sp.Offset <= prev {
+				return false
+			}
+			prev = sp.Offset + sp.Length
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

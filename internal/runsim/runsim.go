@@ -1,0 +1,235 @@
+// Package runsim is the long-horizon training simulator behind §7.3:
+// given a checkpointing solution, a failure schedule, and a cluster
+// placement, it walks the schedule and accounts for every second —
+// productive training, per-checkpoint serialization stalls, rolled-back
+// progress, and recovery downtime — producing the effective
+// training-time ratio of Figures 15a and 15b.
+package runsim
+
+import (
+	"fmt"
+
+	"gemini/internal/baselines"
+	"gemini/internal/cluster"
+	"gemini/internal/failure"
+	"gemini/internal/metrics"
+	"gemini/internal/placement"
+	"gemini/internal/simclock"
+)
+
+// Config describes one simulated run.
+type Config struct {
+	// Spec is the checkpointing solution under test.
+	Spec baselines.Spec
+	// Placement decides CPU-memory survival for GEMINI-style specs; it
+	// may be nil for remote-storage solutions.
+	Placement *placement.Placement
+	// Failures is the injected failure schedule.
+	Failures failure.Schedule
+	// Horizon is the simulated wall-clock length.
+	Horizon simclock.Duration
+	// ReplacementDelay is the machine-provisioning delay paid per
+	// hardware failure (zero when standby machines absorb it).
+	ReplacementDelay simclock.Duration
+	// SimultaneityWindow groups failures that land within it into one
+	// recovery (they are "simultaneous" in the Corollary 1 sense).
+	// Zero selects the recovery downtime itself as the window.
+	SimultaneityWindow simclock.Duration
+}
+
+func (c Config) validate() error {
+	if err := c.Spec.Validate(); err != nil {
+		return err
+	}
+	if c.Horizon <= 0 {
+		return fmt.Errorf("runsim: horizon %v must be positive", c.Horizon)
+	}
+	if c.ReplacementDelay < 0 || c.SimultaneityWindow < 0 {
+		return fmt.Errorf("runsim: negative delays")
+	}
+	if c.Spec.UsesCPUMemory && c.Placement == nil {
+		return fmt.Errorf("runsim: CPU-memory solution needs a placement")
+	}
+	n := 1 << 30
+	if c.Placement != nil {
+		n = c.Placement.N
+	}
+	return c.Failures.Validate(n)
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// EffectiveRatio is productive progress divided by the horizon.
+	EffectiveRatio float64
+	// Failures processed (grouped recoveries count each member).
+	Failures int
+	// Recoveries by source.
+	FromLocal, FromPeer, FromRemote int
+	// TotalWasted is Σ (lost progress + recovery downtime).
+	TotalWasted simclock.Duration
+	// MeanWasted is TotalWasted over the number of recoveries.
+	MeanWasted simclock.Duration
+	// StallTime is the cumulative per-checkpoint serialization stall.
+	StallTime simclock.Duration
+	// WastedSamples holds the per-recovery wasted time in seconds, in
+	// occurrence order, for distribution analysis.
+	WastedSamples []float64
+}
+
+// WastedSummary returns order statistics over the per-recovery wasted
+// times. It panics when no recoveries happened.
+func (r *Result) WastedSummary() metrics.Summary {
+	return metrics.Summarize(r.WastedSamples)
+}
+
+// Run executes the simulation.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	s := cfg.Spec
+	// Productive fraction while up: each Interval of progress costs
+	// Interval + Stall of wall time.
+	period := s.Interval + s.PerCheckpointStall
+	phi := float64(s.Interval / period)
+
+	res := &Result{}
+	var progress float64 // seconds of productive training achieved
+	var resume simclock.Time
+	// lastRemote tracks the newest remote-tier checkpoint: the progress
+	// value it captured. Remote checkpoints fire on the RemoteInterval
+	// grid while training is up.
+	var lastRemoteProgress float64
+	var nextRemote simclock.Time = simclock.Time(s.RemoteInterval)
+
+	horizon := simclock.Time(cfg.Horizon)
+	recoveries := 0
+
+	// advanceUptime accrues progress over [resume, until) and fires
+	// remote-tier checkpoints on their grid.
+	advanceUptime := func(until simclock.Time) {
+		if until <= resume {
+			return
+		}
+		for nextRemote < until {
+			if nextRemote >= resume {
+				lastRemoteProgress = progress + float64(nextRemote.Sub(resume))*phi
+			}
+			nextRemote = nextRemote.Add(s.RemoteInterval)
+		}
+		up := until.Sub(resume)
+		progress += float64(up) * phi
+		res.StallTime += simclock.Duration(float64(up) * (1 - phi))
+	}
+
+	events := cfg.Failures
+	i := 0
+	for i < len(events) {
+		if events[i].At >= horizon {
+			break
+		}
+		// Group simultaneous failures.
+		window := cfg.SimultaneityWindow
+		if window == 0 {
+			window = s.RecoveryDowntime(baselines.FromPeer, cfg.ReplacementDelay)
+		}
+		j := i
+		hwRanks := map[int]bool{}
+		hardware := false
+		for j < len(events) && events[j].At.Sub(events[i].At) <= window {
+			if events[j].Kind == cluster.HardwareFailed {
+				hwRanks[events[j].Rank] = true
+				hardware = true
+			}
+			res.Failures++
+			j++
+		}
+		at := events[i].At
+		if at < resume {
+			at = resume // failure landed during a recovery; handle after
+		}
+		advanceUptime(at)
+
+		// Decide the recovery source.
+		src := baselines.FromRemote
+		if s.UsesCPUMemory {
+			switch {
+			case !hardware:
+				src = baselines.FromLocal
+			case cfg.Placement.Survives(hwRanks):
+				src = baselines.FromPeer
+			default:
+				src = baselines.FromRemote
+			}
+		}
+		switch src {
+		case baselines.FromLocal:
+			res.FromLocal++
+		case baselines.FromPeer:
+			res.FromPeer++
+		default:
+			res.FromRemote++
+		}
+
+		// Roll back progress to the newest usable checkpoint.
+		var rollback float64
+		if s.UsesCPUMemory && src != baselines.FromRemote {
+			// CPU tier: the newest complete checkpoint lags CompletionLag
+			// behind and captures progress on the Interval grid.
+			rollback = lostSinceCheckpoint(progress, s.Interval, s.CompletionLag, phi)
+		} else if !s.UsesCPUMemory {
+			rollback = lostSinceCheckpoint(progress, s.Interval, s.CompletionLag, phi)
+		} else {
+			rollback = progress - lastRemoteProgress
+		}
+		if rollback < 0 {
+			rollback = 0
+		}
+		if rollback > progress {
+			rollback = progress
+		}
+		progress -= rollback
+
+		replacement := simclock.Duration(0)
+		if hardware {
+			replacement = cfg.ReplacementDelay
+		}
+		down := s.RecoveryDowntime(src, replacement)
+		wasted := simclock.Duration(rollback) + down
+		res.TotalWasted += wasted
+		res.WastedSamples = append(res.WastedSamples, wasted.Seconds())
+		resume = at.Add(down)
+		recoveries++
+		i = j
+	}
+	if resume < horizon {
+		advanceUptime(horizon)
+	}
+	res.EffectiveRatio = progress / float64(cfg.Horizon)
+	if recoveries > 0 {
+		res.MeanWasted = res.TotalWasted / simclock.Duration(recoveries)
+	}
+	return res, nil
+}
+
+// lostSinceCheckpoint estimates the progress rolled back when recovering
+// from the per-interval checkpoint tier: on average half an interval of
+// progress plus the completion lag (the Equation 1 structure), bounded by
+// the current progress. The deterministic walk uses the progress phase
+// within the interval instead of the expectation.
+func lostSinceCheckpoint(progress float64, interval, lag simclock.Duration, phi float64) float64 {
+	if interval <= 0 {
+		return 0
+	}
+	phase := progress - float64(interval)*float64(int(progress/float64(interval)))
+	return phase + float64(lag)*phi
+}
+
+// MustRun is Run for known-good configs.
+func MustRun(cfg Config) *Result {
+	res, err := Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}

@@ -1,0 +1,288 @@
+package runsim
+
+import (
+	"testing"
+
+	"gemini/internal/baselines"
+	"gemini/internal/cluster"
+	"gemini/internal/failure"
+	"gemini/internal/model"
+	"gemini/internal/placement"
+	"gemini/internal/simclock"
+	"gemini/internal/tensor"
+	"gemini/internal/training"
+)
+
+func specs(t *testing.T, machines int) (straw, high, gem baselines.Spec) {
+	t.Helper()
+	cfg := training.MustNewConfig(model.MustByName("GPT-2 100B"), cluster.MustInstance("p4d.24xlarge"), machines)
+	costs := tensor.DefaultCostModel()
+	var err error
+	straw, err = baselines.Strawman(cfg, baselines.DefaultRemoteBandwidth, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err = baselines.HighFreq(cfg, baselines.DefaultRemoteBandwidth, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gem, err = baselines.Gemini(cfg, 2, baselines.DefaultRemoteBandwidth, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return straw, high, gem
+}
+
+func softwareFailures(t *testing.T, machines int, perDay float64, horizon simclock.Duration) failure.Schedule {
+	t.Helper()
+	s, err := failure.FixedRate(machines, perDay, 0, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func run(t *testing.T, spec baselines.Spec, machines int, fs failure.Schedule, horizon simclock.Duration) *Result {
+	t.Helper()
+	cfg := Config{
+		Spec:     spec,
+		Failures: fs,
+		Horizon:  horizon,
+	}
+	if spec.UsesCPUMemory {
+		cfg.Placement = placement.MustMixed(machines, 2)
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestNoFailuresRatios(t *testing.T) {
+	// Fig. 15a at x=0: GEMINI and Strawman ≈1.0; HighFreq loses ≈14.5%
+	// to checkpoint serialization even without failures.
+	straw, high, gem := specs(t, 16)
+	horizon := 10 * simclock.Day
+	if r := run(t, gem, 16, nil, horizon).EffectiveRatio; r < 0.999 {
+		t.Errorf("GEMINI no-failure ratio %.4f, want ≈1", r)
+	}
+	if r := run(t, straw, 16, nil, horizon).EffectiveRatio; r < 0.95 {
+		t.Errorf("Strawman no-failure ratio %.4f, want ≈1", r)
+	}
+	hf := run(t, high, 16, nil, horizon).EffectiveRatio
+	if hf < 0.82 || hf > 0.90 {
+		t.Errorf("HighFreq no-failure ratio %.4f, want ≈0.855 (14.5%% serialization)", hf)
+	}
+}
+
+func TestFigure15aShape(t *testing.T) {
+	// With 8 software failures/day on 16 machines: GEMINI stays close to
+	// the no-failure baseline; HighFreq is visibly hurt; Strawman is the
+	// worst.
+	straw, high, gem := specs(t, 16)
+	horizon := 10 * simclock.Day
+	fs := softwareFailures(t, 16, 8, horizon)
+	g := run(t, gem, 16, fs, horizon).EffectiveRatio
+	h := run(t, high, 16, fs, horizon).EffectiveRatio
+	s := run(t, straw, 16, fs, horizon).EffectiveRatio
+	if g < 0.90 {
+		t.Errorf("GEMINI at 8 failures/day: %.3f, want ≥0.90 (Fig. 15a)", g)
+	}
+	if !(g > h && h > s) {
+		t.Errorf("ordering violated: GEMINI %.3f, HighFreq %.3f, Strawman %.3f", g, h, s)
+	}
+	if s > 0.55 {
+		t.Errorf("Strawman at 8 failures/day: %.3f, want badly degraded", s)
+	}
+}
+
+func TestFigure15aMonotoneInFailureRate(t *testing.T) {
+	_, _, gem := specs(t, 16)
+	horizon := 10 * simclock.Day
+	prev := 2.0
+	for _, perDay := range []float64{0, 2, 4, 6, 8} {
+		fs := softwareFailures(t, 16, perDay, horizon)
+		r := run(t, gem, 16, fs, horizon).EffectiveRatio
+		if r > prev+1e-9 {
+			t.Fatalf("ratio increased with failure rate at %v/day: %.4f > %.4f", perDay, r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestFigure15bThousandInstances(t *testing.T) {
+	// Fig. 15b: at 1000 instances and 1.5%/day per-instance failures
+	// (15/day), GEMINI keeps ≈91% effective time — ≈54% above HighFreq —
+	// while Strawman can hardly proceed. Following the paper's
+	// methodology, the per-failure overheads are the ones measured on the
+	// 16-instance testbed; only the failure frequency scales with N.
+	straw, high, gem := specs(t, 16)
+	horizon := 10 * simclock.Day
+	fs, err := failure.FixedRate(1000, failure.OPTModel().ClusterFailuresPerDay(1000), 0, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := run(t, gem, 1000, fs, horizon).EffectiveRatio
+	h := run(t, high, 1000, fs, horizon).EffectiveRatio
+	s := run(t, straw, 1000, fs, horizon).EffectiveRatio
+	if g < 0.87 || g > 0.95 {
+		t.Errorf("GEMINI at 1000 instances: %.3f, want ≈0.91", g)
+	}
+	if rel := g/h - 1; rel < 0.30 {
+		t.Errorf("GEMINI %.3f vs HighFreq %.3f: relative gap %.0f%%, want large (paper: 54%%)", g, h, rel*100)
+	}
+	if s > 0.25 {
+		t.Errorf("Strawman at 1000 instances: %.3f, want near-stalled", s)
+	}
+}
+
+func TestHardwareFailuresUsePeerRecovery(t *testing.T) {
+	_, _, gem := specs(t, 16)
+	horizon := 5 * simclock.Day
+	fs, err := failure.FixedRate(16, 4, 1.0, horizon) // all hardware
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := run(t, gem, 16, fs, horizon)
+	if res.FromPeer == 0 {
+		t.Fatal("hardware failures never recovered from peers")
+	}
+	if res.FromRemote != 0 {
+		t.Fatalf("%d isolated hardware failures fell back to remote storage", res.FromRemote)
+	}
+	if res.FromLocal != 0 {
+		t.Fatal("hardware failures should not recover locally")
+	}
+}
+
+func TestSoftwareFailuresRecoverLocally(t *testing.T) {
+	_, _, gem := specs(t, 16)
+	horizon := 5 * simclock.Day
+	fs := softwareFailures(t, 16, 4, horizon)
+	res := run(t, gem, 16, fs, horizon)
+	if res.FromLocal == 0 || res.FromPeer != 0 || res.FromRemote != 0 {
+		t.Fatalf("software failures recovered %d/%d/%d (local/peer/remote), want all local",
+			res.FromLocal, res.FromPeer, res.FromRemote)
+	}
+}
+
+func TestWholeGroupLossFallsBackToRemote(t *testing.T) {
+	// Two hardware failures in the same placement group within the
+	// simultaneity window lose both replicas: GEMINI degrades to the
+	// remote tier (§6.2 case 2).
+	_, _, gem := specs(t, 16)
+	horizon := simclock.Day
+	fs := failure.Schedule{
+		{At: simclock.Time(simclock.Hour), Rank: 0, Kind: cluster.HardwareFailed},
+		{At: simclock.Time(simclock.Hour + simclock.Second), Rank: 1, Kind: cluster.HardwareFailed},
+	}
+	cfg := Config{
+		Spec:      gem,
+		Placement: placement.MustMixed(16, 2), // group {0,1}
+		Failures:  fs,
+		Horizon:   horizon,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FromRemote != 1 || res.FromPeer != 0 {
+		t.Fatalf("group loss recovered %d/%d/%d (local/peer/remote), want one remote recovery",
+			res.FromLocal, res.FromPeer, res.FromRemote)
+	}
+	// Cross-group simultaneous failures survive.
+	fs[1].Rank = 2
+	res, err = Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FromPeer != 1 || res.FromRemote != 0 {
+		t.Fatalf("cross-group loss recovered %d/%d/%d, want one peer recovery",
+			res.FromLocal, res.FromPeer, res.FromRemote)
+	}
+}
+
+func TestReplacementDelayHurts(t *testing.T) {
+	_, _, gem := specs(t, 16)
+	horizon := 5 * simclock.Day
+	fs, err := failure.FixedRate(16, 6, 1.0, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{Spec: gem, Placement: placement.MustMixed(16, 2), Failures: fs, Horizon: horizon}
+	withStandby := MustRun(base)
+	slow := base
+	slow.ReplacementDelay = 5 * simclock.Minute
+	withASG := MustRun(slow)
+	if withASG.EffectiveRatio >= withStandby.EffectiveRatio {
+		t.Fatalf("replacement delay did not hurt: %.4f vs %.4f",
+			withASG.EffectiveRatio, withStandby.EffectiveRatio)
+	}
+}
+
+func TestResultAccounting(t *testing.T) {
+	_, _, gem := specs(t, 16)
+	horizon := 2 * simclock.Day
+	fs := softwareFailures(t, 16, 3, horizon)
+	res := run(t, gem, 16, fs, horizon)
+	if res.Failures != len(fs) {
+		t.Fatalf("processed %d failures, schedule has %d", res.Failures, len(fs))
+	}
+	if res.TotalWasted <= 0 || res.MeanWasted <= 0 {
+		t.Fatal("wasted-time accounting empty")
+	}
+	if res.EffectiveRatio <= 0 || res.EffectiveRatio >= 1 {
+		t.Fatalf("ratio %.4f out of (0,1) with failures present", res.EffectiveRatio)
+	}
+}
+
+func TestWastedSamplesDistribution(t *testing.T) {
+	_, _, gem := specs(t, 16)
+	horizon := 5 * simclock.Day
+	fs := softwareFailures(t, 16, 4, horizon)
+	res := run(t, gem, 16, fs, horizon)
+	if len(res.WastedSamples) == 0 {
+		t.Fatal("no wasted samples recorded")
+	}
+	sum := res.WastedSummary()
+	if sum.N != len(res.WastedSamples) {
+		t.Fatalf("summary over %d samples, want %d", sum.N, len(res.WastedSamples))
+	}
+	if sum.Min <= 0 || sum.Max < sum.Min {
+		t.Fatalf("degenerate summary %+v", sum)
+	}
+	// The mean of the samples must reconcile with MeanWasted.
+	if diff := sum.Mean - res.MeanWasted.Seconds(); diff > 1 || diff < -1 {
+		t.Fatalf("sample mean %.1f disagrees with MeanWasted %v", sum.Mean, res.MeanWasted)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	_, _, gem := specs(t, 16)
+	if _, err := Run(Config{Spec: gem, Horizon: simclock.Day}); err == nil {
+		t.Error("CPU-memory spec without placement accepted")
+	}
+	if _, err := Run(Config{Spec: gem, Placement: placement.MustMixed(16, 2), Horizon: 0}); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	bad := Config{Spec: gem, Placement: placement.MustMixed(16, 2), Horizon: simclock.Day, ReplacementDelay: -1}
+	if _, err := Run(bad); err == nil {
+		t.Error("negative replacement delay accepted")
+	}
+	outOfRange := Config{
+		Spec:      gem,
+		Placement: placement.MustMixed(16, 2),
+		Horizon:   simclock.Day,
+		Failures:  failure.Schedule{{At: 1, Rank: 99, Kind: cluster.SoftwareFailed}},
+	}
+	if _, err := Run(outOfRange); err == nil {
+		t.Error("out-of-range failure rank accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustRun on bad config did not panic")
+		}
+	}()
+	MustRun(outOfRange)
+}

@@ -1,0 +1,332 @@
+// Package schedule implements GEMINI's checkpoint traffic scheduling
+// (§5): Algorithm 2, which partitions the m−1 remote checkpoint replicas
+// into chunks sized to the profiled network idle timespans and to the
+// reserved GPU buffer, and the alternative interleaving schemes the paper
+// ablates in §7.4 (blocking, naive interleave, interleave without
+// pipeline).
+package schedule
+
+import (
+	"fmt"
+	"math"
+
+	"gemini/internal/profile"
+	"gemini/internal/simclock"
+)
+
+// Params configures Algorithm 2.
+type Params struct {
+	// Spans are the profiled network idle timespans of one iteration,
+	// in time order (the T = {t₁…t_d} of Algorithm 2).
+	Spans []profile.Span
+	// CheckpointBytes is C: the size of one checkpoint replica (this
+	// machine's shard).
+	CheckpointBytes float64
+	// Replicas is m; m−1 replicas travel over the network.
+	Replicas int
+	// BufferBytes is R, the total reserved GPU memory for checkpoint
+	// communication (128 MB in the paper's implementation).
+	BufferBytes float64
+	// BufferParts is p, the number of pipeline sub-buffers (4 in GEMINI;
+	// 1 disables pipelining).
+	BufferParts int
+	// BandwidthBytesPerSec is B, the inter-machine network bandwidth.
+	BandwidthBytesPerSec float64
+	// Alpha is the transfer startup latency α in f(s) = α + s/B.
+	Alpha simclock.Duration
+	// Gamma is the γ ∈ (0,1] safety coefficient discounting each idle
+	// span for cross-iteration variance.
+	Gamma float64
+}
+
+func (p Params) validate() error {
+	switch {
+	case p.CheckpointBytes < 0:
+		return fmt.Errorf("schedule: negative checkpoint size %v", p.CheckpointBytes)
+	case p.Replicas < 1:
+		return fmt.Errorf("schedule: replicas must be ≥ 1, got %d", p.Replicas)
+	case p.BufferBytes <= 0:
+		return fmt.Errorf("schedule: buffer size must be positive, got %v", p.BufferBytes)
+	case p.BufferParts < 1:
+		return fmt.Errorf("schedule: buffer parts must be ≥ 1, got %d", p.BufferParts)
+	case p.BandwidthBytesPerSec <= 0:
+		return fmt.Errorf("schedule: bandwidth must be positive, got %v", p.BandwidthBytesPerSec)
+	case p.Alpha < 0:
+		return fmt.Errorf("schedule: negative alpha %v", p.Alpha)
+	case p.Gamma <= 0 || p.Gamma > 1:
+		return fmt.Errorf("schedule: gamma must be in (0,1], got %v", p.Gamma)
+	}
+	for i, s := range p.Spans {
+		if s.Length < 0 {
+			return fmt.Errorf("schedule: span %d has negative length", i)
+		}
+	}
+	return nil
+}
+
+// AutoGamma derives Algorithm 2's safety coefficient from the profiled
+// cross-iteration variance: idle spans are discounted by twice the
+// normalized standard deviation (two sigmas of shrinkage), clamped to
+// [0.5, 1]. With the paper's observed <10% deviation this yields
+// γ ∈ [0.8, 1].
+func AutoGamma(normalizedStdDev float64) float64 {
+	if normalizedStdDev < 0 {
+		panic(fmt.Sprintf("schedule: negative stddev %v", normalizedStdDev))
+	}
+	gamma := 1 - 2*normalizedStdDev
+	if gamma < 0.5 {
+		return 0.5
+	}
+	return gamma
+}
+
+// transferTime is f(s) = α + s/B.
+func (p Params) transferTime(bytes float64) simclock.Duration {
+	return p.Alpha + simclock.Duration(bytes/p.BandwidthBytesPerSec)
+}
+
+// Chunk is one scheduled checkpoint partition: bytes of replica Replica
+// transmitted inside idle span Span (Span == len(Spans) means the
+// overflow region appended past the last profiled span).
+type Chunk struct {
+	Span    int
+	Replica int
+	Bytes   float64
+}
+
+// Plan is Algorithm 2's output.
+type Plan struct {
+	Chunks []Chunk
+	// Fits reports whether all replica traffic fit inside the profiled
+	// idle spans (no overflow into the update phase).
+	Fits bool
+	// OverflowBytes is the traffic that had to be placed in the virtual
+	// last span (Line 2's t[d] = +∞); it prolongs the iteration.
+	OverflowBytes float64
+	// OverflowTime is how long the overflow traffic extends the
+	// iteration: the f(·) cost of the overflow chunks.
+	OverflowTime simclock.Duration
+}
+
+// TotalBytes returns the bytes scheduled across all chunks.
+func (pl *Plan) TotalBytes() float64 {
+	var total float64
+	for _, c := range pl.Chunks {
+		total += c.Bytes
+	}
+	return total
+}
+
+// ChunksInSpan returns the chunks scheduled into span index i.
+func (pl *Plan) ChunksInSpan(i int) []Chunk {
+	var out []Chunk
+	for _, c := range pl.Chunks {
+		if c.Span == i {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Partition is Algorithm 2: it packs the m−1 remote checkpoint replicas
+// into the idle spans, chunk by chunk, never exceeding the sub-buffer
+// size R/p, and spills whatever remains into a virtual unbounded span
+// after the last profiled one.
+func Partition(p Params) (*Plan, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	plan := &Plan{Fits: true}
+	remoteReplicas := p.Replicas - 1
+	if remoteReplicas == 0 || p.CheckpointBytes == 0 {
+		return plan, nil
+	}
+	maxChunk := p.BufferBytes / float64(p.BufferParts)
+	replica := 0
+	remainSize := p.CheckpointBytes
+
+	// place consumes one idle span (or the infinite overflow span when
+	// spanLen is +Inf) and returns true when all replicas are scheduled.
+	place := func(spanIdx int, spanLen simclock.Duration) bool {
+		remainSpan := simclock.Duration(p.Gamma) * spanLen
+		infinite := math.IsInf(float64(spanLen), 1)
+		for remainSpan > 0 {
+			var size float64
+			if infinite || remainSpan >= p.transferTime(maxChunk) {
+				size = maxChunk
+			} else {
+				size = math.Max(0, (remainSpan-p.Alpha).Seconds()*p.BandwidthBytesPerSec)
+			}
+			size = math.Min(remainSize, size)
+			if size <= 0 {
+				return false
+			}
+			remainSize -= size
+			if !infinite {
+				remainSpan -= p.transferTime(size)
+			}
+			plan.Chunks = append(plan.Chunks, Chunk{Span: spanIdx, Replica: replica, Bytes: size})
+			if infinite {
+				plan.Fits = false
+				plan.OverflowBytes += size
+				plan.OverflowTime += p.transferTime(size)
+			}
+			if remainSize == 0 {
+				if replica < remoteReplicas-1 {
+					replica++
+					remainSize = p.CheckpointBytes
+				} else {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	for i, span := range p.Spans {
+		if place(i, span.Length) {
+			return plan, nil
+		}
+	}
+	// Line 2 of Algorithm 2: the last span is +∞ — whatever remains goes
+	// there and blocks the update phase.
+	if !place(len(p.Spans), simclock.Duration(math.Inf(1))) {
+		panic("schedule: infinite span failed to absorb remaining checkpoint traffic")
+	}
+	return plan, nil
+}
+
+// MustPartition is Partition for known-good parameters.
+func MustPartition(p Params) *Plan {
+	plan, err := Partition(p)
+	if err != nil {
+		panic(err)
+	}
+	return plan
+}
+
+// Scheme is one of the §7.4 interleaving schemes.
+type Scheme int
+
+const (
+	// SchemeBaseline performs no checkpointing.
+	SchemeBaseline Scheme = iota
+	// SchemeBlocking sends the whole checkpoint at the start of the next
+	// iteration, blocking training traffic (Fig. 4b).
+	SchemeBlocking
+	// SchemeNaive puts exactly one partition in each idle timespan,
+	// requiring a GPU buffer as large as the span can carry (Fig. 5c
+	// precursor; OOMs for large models).
+	SchemeNaive
+	// SchemeNoPipeline partitions into buffer-sized chunks but uses a
+	// single buffer, so every chunk's GPU→CPU copy blocks the next
+	// network transfer (Fig. 5c).
+	SchemeNoPipeline
+	// SchemeGemini pipelines chunks across p sub-buffers so copies
+	// overlap transfers (Fig. 5d).
+	SchemeGemini
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case SchemeBaseline:
+		return "Baseline"
+	case SchemeBlocking:
+		return "Blocking"
+	case SchemeNaive:
+		return "Naive interleave"
+	case SchemeNoPipeline:
+		return "Interleave w/o pipeline"
+	case SchemeGemini:
+		return "GEMINI"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// SchemeAnalysis is the static cost analysis of one interleaving scheme:
+// the per-iteration overhead it adds on top of the baseline iteration
+// time, and the GPU memory it needs for checkpoint communication.
+type SchemeAnalysis struct {
+	Scheme Scheme
+	// IterationOverhead is added to the baseline iteration time.
+	IterationOverhead simclock.Duration
+	// RequiredBufferBytes is the GPU memory the scheme needs.
+	RequiredBufferBytes float64
+	// OOM reports that the required buffer exceeds the available GPU
+	// memory.
+	OOM bool
+}
+
+// AnalyzeScheme computes the static analysis for one scheme.
+// availGPUBytes is the free GPU memory for checkpoint buffers;
+// copyBandwidth is the GPU→CPU bandwidth on the receiver.
+func AnalyzeScheme(s Scheme, p Params, availGPUBytes, copyBandwidth float64) (SchemeAnalysis, error) {
+	if err := p.validate(); err != nil {
+		return SchemeAnalysis{}, err
+	}
+	if availGPUBytes < 0 || copyBandwidth <= 0 {
+		return SchemeAnalysis{}, fmt.Errorf("schedule: bad GPU budget %v / copy bandwidth %v", availGPUBytes, copyBandwidth)
+	}
+	out := SchemeAnalysis{Scheme: s}
+	remote := float64(p.Replicas-1) * p.CheckpointBytes
+	copyTime := func(bytes float64) simclock.Duration {
+		return simclock.Duration(bytes / copyBandwidth)
+	}
+	switch s {
+	case SchemeBaseline:
+		return out, nil
+	case SchemeBlocking:
+		// Whole checkpoint streamed up front through the chunked buffer,
+		// unpipelined: transfer + receiver copy are serial with training.
+		out.RequiredBufferBytes = p.BufferBytes
+		out.IterationOverhead = p.transferTime(remote) + copyTime(remote)
+	case SchemeNaive:
+		// One partition per idle span: partition size is what the span
+		// can carry, so the buffer must hold the largest span's traffic.
+		var largest float64
+		for _, span := range p.Spans {
+			carry := math.Max(0, (simclock.Duration(p.Gamma)*span.Length-p.Alpha).Seconds()*p.BandwidthBytesPerSec)
+			largest = math.Max(largest, carry)
+		}
+		out.RequiredBufferBytes = largest
+		// Whatever the d spans cannot carry in d partitions overflows.
+		var carried float64
+		for _, span := range p.Spans {
+			carry := math.Max(0, (simclock.Duration(p.Gamma)*span.Length-p.Alpha).Seconds()*p.BandwidthBytesPerSec)
+			carried += math.Min(carry, largest)
+		}
+		if carried < remote {
+			out.IterationOverhead = p.transferTime(remote - carried)
+		}
+	case SchemeNoPipeline:
+		// Single buffer: each chunk costs f(size) + copy(size) of idle
+		// time because the copy blocks the next transfer. Effectively the
+		// usable idle bandwidth is halved (§7.4 measures +3.5%).
+		out.RequiredBufferBytes = p.BufferBytes
+		chunk := p.BufferBytes
+		perChunk := p.transferTime(chunk) + copyTime(chunk)
+		chunks := math.Ceil(remote / chunk)
+		need := simclock.Duration(chunks) * perChunk
+		avail := simclock.Duration(0)
+		for _, span := range p.Spans {
+			avail += simclock.Duration(p.Gamma) * span.Length
+		}
+		if need > avail {
+			out.IterationOverhead = need - avail
+		}
+	case SchemeGemini:
+		// Pipelined: copies overlap transfers, so only Algorithm 2's
+		// overflow (if any) costs iteration time.
+		out.RequiredBufferBytes = p.BufferBytes
+		plan, err := Partition(p)
+		if err != nil {
+			return SchemeAnalysis{}, err
+		}
+		out.IterationOverhead = plan.OverflowTime
+	default:
+		return SchemeAnalysis{}, fmt.Errorf("schedule: unknown scheme %d", int(s))
+	}
+	out.OOM = out.RequiredBufferBytes > availGPUBytes
+	return out, nil
+}

@@ -1,0 +1,345 @@
+package schedule
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gemini/internal/profile"
+	"gemini/internal/simclock"
+)
+
+func baseParams() Params {
+	return Params{
+		Spans: []profile.Span{
+			{Offset: 0, Length: 1.0},
+			{Offset: 5, Length: 2.0},
+			{Offset: 10, Length: 0.5},
+		},
+		CheckpointBytes:      200,
+		Replicas:             2,
+		BufferBytes:          128,
+		BufferParts:          4,
+		BandwidthBytesPerSec: 100,
+		Alpha:                0,
+		Gamma:                1,
+	}
+}
+
+func TestPartitionSchedulesAllReplicaBytes(t *testing.T) {
+	p := baseParams()
+	plan := MustPartition(p)
+	want := float64(p.Replicas-1) * p.CheckpointBytes
+	if got := plan.TotalBytes(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("scheduled %v bytes, want %v", got, want)
+	}
+	if !plan.Fits {
+		t.Fatal("200 bytes should fit in 3.5s of idle at 100 B/s")
+	}
+	if plan.OverflowBytes != 0 || plan.OverflowTime != 0 {
+		t.Fatalf("unexpected overflow %v / %v", plan.OverflowBytes, plan.OverflowTime)
+	}
+}
+
+func TestPartitionRespectsSubBufferSize(t *testing.T) {
+	p := baseParams()
+	plan := MustPartition(p)
+	maxChunk := p.BufferBytes / float64(p.BufferParts) // 32
+	for i, c := range plan.Chunks {
+		if c.Bytes > maxChunk+1e-9 {
+			t.Fatalf("chunk %d has %v bytes, exceeds sub-buffer %v", i, c.Bytes, maxChunk)
+		}
+		if c.Bytes <= 0 {
+			t.Fatalf("chunk %d has nonpositive size", i)
+		}
+	}
+}
+
+func TestPartitionChunksFitTheirSpans(t *testing.T) {
+	p := baseParams()
+	p.Alpha = 0.01
+	plan := MustPartition(p)
+	for i, span := range p.Spans {
+		var used simclock.Duration
+		for _, c := range plan.ChunksInSpan(i) {
+			used += p.transferTime(c.Bytes)
+		}
+		if used > simclock.Duration(p.Gamma)*span.Length+1e-9 {
+			t.Fatalf("span %d holds %v of traffic, capacity %v", i, used, span.Length)
+		}
+	}
+}
+
+func TestPartitionOverflowsIntoVirtualSpan(t *testing.T) {
+	p := baseParams()
+	p.CheckpointBytes = 10_000 // far more than 3.5s × 100 B/s can carry
+	plan := MustPartition(p)
+	if plan.Fits {
+		t.Fatal("oversized checkpoint reported as fitting")
+	}
+	if plan.OverflowBytes <= 0 {
+		t.Fatal("no overflow recorded")
+	}
+	if got := plan.TotalBytes(); math.Abs(got-10_000) > 1e-9 {
+		t.Fatalf("scheduled %v bytes, want all 10000", got)
+	}
+	// Overflow chunks live in the virtual span past the last profiled one.
+	overflow := plan.ChunksInSpan(len(p.Spans))
+	if len(overflow) == 0 {
+		t.Fatal("no chunks in the virtual span")
+	}
+	var ofBytes float64
+	for _, c := range overflow {
+		ofBytes += c.Bytes
+	}
+	if math.Abs(ofBytes-plan.OverflowBytes) > 1e-9 {
+		t.Fatalf("overflow accounting mismatch: %v vs %v", ofBytes, plan.OverflowBytes)
+	}
+}
+
+func TestPartitionMultipleReplicas(t *testing.T) {
+	p := baseParams()
+	p.Replicas = 3 // two remote replicas
+	p.Spans = []profile.Span{{Offset: 0, Length: 100}}
+	plan := MustPartition(p)
+	seen := map[int]float64{}
+	for _, c := range plan.Chunks {
+		seen[c.Replica] += c.Bytes
+	}
+	if len(seen) != 2 {
+		t.Fatalf("chunks cover replicas %v, want 2 replicas", seen)
+	}
+	for r, bytes := range seen {
+		if math.Abs(bytes-p.CheckpointBytes) > 1e-9 {
+			t.Fatalf("replica %d scheduled %v bytes, want %v", r, bytes, p.CheckpointBytes)
+		}
+	}
+}
+
+func TestPartitionSingleReplicaNeedsNoTraffic(t *testing.T) {
+	p := baseParams()
+	p.Replicas = 1
+	plan := MustPartition(p)
+	if len(plan.Chunks) != 0 || !plan.Fits {
+		t.Fatalf("m=1 scheduled traffic: %+v", plan)
+	}
+}
+
+func TestPartitionGammaShrinksCapacity(t *testing.T) {
+	full := baseParams()
+	full.CheckpointBytes = 340 // just under 3.5s × 100 B/s
+	planFull := MustPartition(full)
+	if !planFull.Fits {
+		t.Fatal("γ=1 should fit 340 bytes")
+	}
+	half := full
+	half.Gamma = 0.5
+	planHalf := MustPartition(half)
+	if planHalf.Fits {
+		t.Fatal("γ=0.5 should not fit 340 bytes in 1.75s of usable idle")
+	}
+}
+
+func TestPartitionAlphaConsumesSpans(t *testing.T) {
+	p := baseParams()
+	p.Alpha = 10 // every transfer costs 10s of startup; spans are ≤ 2s
+	plan := MustPartition(p)
+	// Nothing fits in the real spans: all traffic overflows.
+	if plan.Fits || math.Abs(plan.OverflowBytes-p.CheckpointBytes) > 1e-9 {
+		t.Fatalf("with huge alpha plan = %+v, want full overflow", plan)
+	}
+}
+
+func TestPartitionZeroCheckpoint(t *testing.T) {
+	p := baseParams()
+	p.CheckpointBytes = 0
+	plan := MustPartition(p)
+	if len(plan.Chunks) != 0 || !plan.Fits {
+		t.Fatalf("zero checkpoint produced chunks: %+v", plan)
+	}
+}
+
+func TestPartitionValidation(t *testing.T) {
+	bad := []func(*Params){
+		func(p *Params) { p.CheckpointBytes = -1 },
+		func(p *Params) { p.Replicas = 0 },
+		func(p *Params) { p.BufferBytes = 0 },
+		func(p *Params) { p.BufferParts = 0 },
+		func(p *Params) { p.BandwidthBytesPerSec = 0 },
+		func(p *Params) { p.Alpha = -1 },
+		func(p *Params) { p.Gamma = 0 },
+		func(p *Params) { p.Gamma = 1.5 },
+		func(p *Params) { p.Spans = []profile.Span{{Length: -1}} },
+	}
+	for i, mutate := range bad {
+		p := baseParams()
+		mutate(&p)
+		if _, err := Partition(p); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustPartition on bad params did not panic")
+		}
+	}()
+	p := baseParams()
+	p.Replicas = -1
+	MustPartition(p)
+}
+
+func TestAnalyzeBaselineFree(t *testing.T) {
+	a, err := AnalyzeScheme(SchemeBaseline, baseParams(), 1000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.IterationOverhead != 0 || a.RequiredBufferBytes != 0 || a.OOM {
+		t.Fatalf("baseline analysis %+v, want all zero", a)
+	}
+}
+
+func TestAnalyzeBlockingCostsFullTransfer(t *testing.T) {
+	p := baseParams()
+	a, err := AnalyzeScheme(SchemeBlocking, p, 1000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 200 bytes at 100 B/s transfer + 200 bytes at 100 B/s copy = 4s.
+	if math.Abs(a.IterationOverhead.Seconds()-4) > 1e-9 {
+		t.Fatalf("blocking overhead %v, want 4s", a.IterationOverhead)
+	}
+	if a.RequiredBufferBytes != p.BufferBytes {
+		t.Fatalf("blocking buffer %v, want the chunked buffer %v", a.RequiredBufferBytes, p.BufferBytes)
+	}
+}
+
+func TestAnalyzeNaiveOOMsWhenSpansAreLarge(t *testing.T) {
+	p := baseParams()
+	p.Spans = []profile.Span{{Offset: 0, Length: 100}} // carries 10,000 bytes
+	a, err := AnalyzeScheme(SchemeNaive, p, 1000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.OOM {
+		t.Fatalf("naive scheme should OOM: needs %v bytes with only 1000 available", a.RequiredBufferBytes)
+	}
+}
+
+func TestAnalyzeNoPipelineSlowerThanGemini(t *testing.T) {
+	p := baseParams()
+	p.CheckpointBytes = 300 // close to capacity so copies matter
+	noPipe, err := AnalyzeScheme(SchemeNoPipeline, p, 1000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gem, err := AnalyzeScheme(SchemeGemini, p, 1000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noPipe.IterationOverhead <= gem.IterationOverhead {
+		t.Fatalf("no-pipeline overhead %v should exceed GEMINI %v", noPipe.IterationOverhead, gem.IterationOverhead)
+	}
+}
+
+func TestAnalyzeGeminiZeroOverheadWhenFits(t *testing.T) {
+	a, err := AnalyzeScheme(SchemeGemini, baseParams(), 1000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.IterationOverhead != 0 || a.OOM {
+		t.Fatalf("GEMINI analysis %+v, want zero overhead", a)
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	if _, err := AnalyzeScheme(SchemeGemini, baseParams(), -1, 100); err == nil {
+		t.Error("negative GPU budget accepted")
+	}
+	if _, err := AnalyzeScheme(SchemeGemini, baseParams(), 100, 0); err == nil {
+		t.Error("zero copy bandwidth accepted")
+	}
+	if _, err := AnalyzeScheme(Scheme(42), baseParams(), 100, 100); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	p := baseParams()
+	p.Gamma = -1
+	if _, err := AnalyzeScheme(SchemeBaseline, p, 100, 100); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	names := map[Scheme]string{
+		SchemeBaseline:   "Baseline",
+		SchemeBlocking:   "Blocking",
+		SchemeNaive:      "Naive interleave",
+		SchemeNoPipeline: "Interleave w/o pipeline",
+		SchemeGemini:     "GEMINI",
+		Scheme(9):        "Scheme(9)",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), s.String(), want)
+		}
+	}
+}
+
+// Property: Partition always schedules exactly (m−1)·C bytes, chunks
+// never exceed R/p, and overflow is zero iff Fits.
+func TestPropertyPartitionInvariants(t *testing.T) {
+	f := func(ckptRaw, bufRaw uint16, partsRaw, replicasRaw, spansRaw uint8, gammaRaw uint8) bool {
+		p := Params{
+			CheckpointBytes:      float64(ckptRaw),
+			Replicas:             int(replicasRaw%4) + 1,
+			BufferBytes:          float64(bufRaw%2000) + 1,
+			BufferParts:          int(partsRaw%8) + 1,
+			BandwidthBytesPerSec: 100,
+			Alpha:                0.001,
+			Gamma:                float64(gammaRaw%9+1) / 10,
+		}
+		for i := 0; i < int(spansRaw%6); i++ {
+			p.Spans = append(p.Spans, profile.Span{
+				Offset: simclock.Duration(i * 10),
+				Length: simclock.Duration(i%3) + 0.5,
+			})
+		}
+		plan, err := Partition(p)
+		if err != nil {
+			return false
+		}
+		want := float64(p.Replicas-1) * p.CheckpointBytes
+		if math.Abs(plan.TotalBytes()-want) > 1e-6 {
+			return false
+		}
+		maxChunk := p.BufferBytes/float64(p.BufferParts) + 1e-9
+		for _, c := range plan.Chunks {
+			if c.Bytes > maxChunk || c.Bytes <= 0 {
+				return false
+			}
+			if c.Span < 0 || c.Span > len(p.Spans) {
+				return false
+			}
+		}
+		return plan.Fits == (plan.OverflowBytes == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: more idle time never increases overflow.
+func TestPropertyMoreIdleNeverWorse(t *testing.T) {
+	f := func(extraRaw uint8) bool {
+		base := baseParams()
+		base.CheckpointBytes = 2000
+		planA := MustPartition(base)
+		grown := base
+		grown.Spans = append([]profile.Span(nil), base.Spans...)
+		grown.Spans = append(grown.Spans, profile.Span{Offset: 20, Length: simclock.Duration(extraRaw % 50)})
+		planB := MustPartition(grown)
+		return planB.OverflowBytes <= planA.OverflowBytes+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

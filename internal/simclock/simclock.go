@@ -1,0 +1,246 @@
+// Package simclock provides a deterministic discrete-event simulation
+// engine with a virtual clock. All GEMINI experiments run on virtual time,
+// so results are reproducible and independent of the host machine.
+//
+// Time is represented as float64 seconds since the start of the simulation.
+// The engine delivers events in (time, priority, sequence) order; ties on
+// time are broken first by priority and then by scheduling order, which
+// keeps runs fully deterministic.
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, in seconds since simulation start.
+type Time float64
+
+// Duration is a span of virtual time in seconds.
+type Duration float64
+
+// Common durations, for readability at call sites.
+const (
+	Microsecond Duration = 1e-6
+	Millisecond Duration = 1e-3
+	Second      Duration = 1
+	Minute      Duration = 60
+	Hour        Duration = 3600
+	Day         Duration = 86400
+)
+
+// Forever is a time later than any event the engine will ever reach.
+const Forever Time = Time(math.MaxFloat64)
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+func (t Time) String() string { return formatSeconds(float64(t)) }
+
+func (d Duration) String() string { return formatSeconds(float64(d)) }
+
+// Seconds returns the duration as a float64 number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) }
+
+func formatSeconds(s float64) string {
+	switch {
+	case s == math.MaxFloat64:
+		return "forever"
+	case s >= 3600:
+		return fmt.Sprintf("%.2fh", s/3600)
+	case s >= 60:
+		return fmt.Sprintf("%.2fm", s/60)
+	case s >= 1:
+		return fmt.Sprintf("%.3fs", s)
+	case s >= 1e-3:
+		return fmt.Sprintf("%.3fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.3fus", s*1e6)
+	}
+}
+
+// An event is a callback scheduled at a point in virtual time.
+type event struct {
+	at       Time
+	priority int
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 if popped
+}
+
+// EventID identifies a scheduled event so it can be canceled.
+type EventID struct{ ev *event }
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled event is a no-op. It reports whether the event was
+// still pending.
+func (id EventID) Cancel() bool {
+	if id.ev == nil || id.ev.canceled || id.ev.index < 0 {
+		return false
+	}
+	id.ev.canceled = true
+	return true
+}
+
+// Pending reports whether the event has neither fired nor been canceled.
+func (id EventID) Pending() bool {
+	return id.ev != nil && !id.ev.canceled && id.ev.index >= 0
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].priority != h[j].priority {
+		return h[i].priority < h[j].priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable;
+// construct one with NewEngine.
+type Engine struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	running bool
+	stopped bool
+}
+
+// NewEngine returns an engine whose clock starts at time zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Len returns the number of pending events (including canceled ones that
+// have not yet been discarded).
+func (e *Engine) Len() int { return len(e.queue) }
+
+// At schedules fn to run at the absolute virtual time at. Scheduling in
+// the past panics: it would silently reorder causality.
+func (e *Engine) At(at Time, fn func()) EventID {
+	return e.at(at, 0, fn)
+}
+
+// AtPriority schedules fn at time at with an explicit tie-break priority;
+// lower priorities fire first among events at the same instant.
+func (e *Engine) AtPriority(at Time, priority int, fn func()) EventID {
+	return e.at(at, priority, fn)
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Duration, fn func()) EventID {
+	return e.at(e.now.Add(d), 0, fn)
+}
+
+func (e *Engine) at(at Time, priority int, fn func()) EventID {
+	if at < e.now {
+		panic(fmt.Sprintf("simclock: scheduling event at %v before now %v", at, e.now))
+	}
+	if fn == nil {
+		panic("simclock: nil event function")
+	}
+	ev := &event{at: at, priority: priority, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return EventID{ev}
+}
+
+// Stop makes the current Run call return after the in-flight event
+// completes. Pending events remain queued.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in order until the queue empties or the clock would
+// pass until. It returns the number of events fired. Events scheduled
+// exactly at until still fire.
+func (e *Engine) Run(until Time) int {
+	if e.running {
+		panic("simclock: Run called reentrantly")
+	}
+	e.running = true
+	e.stopped = false
+	defer func() { e.running = false }()
+
+	fired := 0
+	for len(e.queue) > 0 && !e.stopped {
+		ev := e.queue[0]
+		if ev.canceled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if ev.at > until {
+			break
+		}
+		heap.Pop(&e.queue)
+		e.now = ev.at
+		ev.fn()
+		fired++
+	}
+	if e.now < until && until != Forever {
+		// Advance the clock to the horizon so successive bounded runs
+		// observe monotonic time even across empty stretches.
+		e.now = until
+	}
+	return fired
+}
+
+// RunAll executes events until none remain.
+func (e *Engine) RunAll() int { return e.Run(Forever) }
+
+// Step fires exactly one pending event, if any, and reports whether an
+// event fired.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// PeekTime returns the time of the next pending event, or Forever if the
+// queue is empty.
+func (e *Engine) PeekTime() Time {
+	for len(e.queue) > 0 {
+		if e.queue[0].canceled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		return e.queue[0].at
+	}
+	return Forever
+}

@@ -1,0 +1,262 @@
+package tensor
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Binary checkpoint format, the stand-in for torch.save/torch.load:
+//
+//	magic   [8]byte  "GEMCKPT1"
+//	iter    int64
+//	shard   int64
+//	ntensor uint32
+//	tensors:
+//	  nameLen uint16, name, dtype uint8, ndim uint8, dims []int64,
+//	  dataLen uint64, data, crc32c(data) uint32
+//	footer  crc32c of everything after the magic, uint32
+//
+// Every length is validated against hard limits during decode so that a
+// truncated or corrupted checkpoint is detected rather than misread —
+// GEMINI must never resume training from a half-written checkpoint.
+
+var magic = [8]byte{'G', 'E', 'M', 'C', 'K', 'P', 'T', '1'}
+
+const (
+	maxTensors    = 1 << 20
+	maxNameLen    = 1 << 12
+	maxDims       = 16
+	maxTensorData = int64(1) << 40
+)
+
+// ErrCorrupt is wrapped by all decode failures caused by damaged input.
+var ErrCorrupt = errors.New("tensor: corrupt checkpoint")
+
+// Encode serializes the state to w.
+func Encode(w io.Writer, s *State) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if _, err := w.Write(magic[:]); err != nil {
+		return err
+	}
+	h := crc32.New(castagnoli)
+	mw := io.MultiWriter(w, h)
+	bw := bufio.NewWriterSize(mw, 1<<16)
+
+	writeU64 := func(v uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		bw.Write(b[:])
+	}
+	writeU32 := func(v uint32) {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		bw.Write(b[:])
+	}
+	writeU16 := func(v uint16) {
+		var b [2]byte
+		binary.LittleEndian.PutUint16(b[:], v)
+		bw.Write(b[:])
+	}
+
+	writeU64(uint64(s.Iteration))
+	writeU64(uint64(s.Shard))
+	writeU32(uint32(len(s.Tensors)))
+	for i := range s.Tensors {
+		t := &s.Tensors[i]
+		if len(t.Name) > maxNameLen {
+			return fmt.Errorf("tensor: name %q exceeds %d bytes", t.Name[:32], maxNameLen)
+		}
+		if len(t.Shape) > maxDims {
+			return fmt.Errorf("tensor: %s has %d dims, max %d", t.Name, len(t.Shape), maxDims)
+		}
+		writeU16(uint16(len(t.Name)))
+		bw.WriteString(t.Name)
+		bw.WriteByte(byte(t.DType))
+		bw.WriteByte(byte(len(t.Shape)))
+		for _, d := range t.Shape {
+			writeU64(uint64(d))
+		}
+		writeU64(uint64(len(t.Data)))
+		bw.Write(t.Data)
+		writeU32(t.Checksum())
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	var foot [4]byte
+	binary.LittleEndian.PutUint32(foot[:], h.Sum32())
+	_, err := w.Write(foot[:])
+	return err
+}
+
+// Decode reads a state from r, verifying all checksums.
+func Decode(r io.Reader) (*State, error) {
+	var m [8]byte
+	if _, err := io.ReadFull(r, m[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing magic: %v", ErrCorrupt, err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, m[:])
+	}
+	br := bufio.NewReaderSize(r, 1<<16)
+
+	readU64 := func() (uint64, error) {
+		var b [8]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(b[:]), nil
+	}
+	readU32 := func() (uint32, error) {
+		var b [4]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(b[:]), nil
+	}
+	readU16 := func() (uint16, error) {
+		var b [2]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint16(b[:]), nil
+	}
+
+	iter, err := readU64()
+	if err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrCorrupt, err)
+	}
+	shard, err := readU64()
+	if err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrCorrupt, err)
+	}
+	n, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrCorrupt, err)
+	}
+	if n > maxTensors {
+		return nil, fmt.Errorf("%w: %d tensors exceeds limit", ErrCorrupt, n)
+	}
+	s := &State{Iteration: int64(iter), Shard: int(shard), Tensors: make([]Tensor, 0, n)}
+	for i := uint32(0); i < n; i++ {
+		nameLen, err := readU16()
+		if err != nil {
+			return nil, fmt.Errorf("%w: tensor %d: %v", ErrCorrupt, i, err)
+		}
+		if int(nameLen) > maxNameLen {
+			return nil, fmt.Errorf("%w: tensor %d name length %d", ErrCorrupt, i, nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, fmt.Errorf("%w: tensor %d name: %v", ErrCorrupt, i, err)
+		}
+		dtypeB, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: tensor %d dtype: %v", ErrCorrupt, i, err)
+		}
+		if DType(dtypeB) > INT64 {
+			return nil, fmt.Errorf("%w: tensor %d bad dtype %d", ErrCorrupt, i, dtypeB)
+		}
+		ndim, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: tensor %d ndim: %v", ErrCorrupt, i, err)
+		}
+		if int(ndim) > maxDims {
+			return nil, fmt.Errorf("%w: tensor %d has %d dims", ErrCorrupt, i, ndim)
+		}
+		shape := make([]int64, ndim)
+		for j := range shape {
+			d, err := readU64()
+			if err != nil {
+				return nil, fmt.Errorf("%w: tensor %d shape: %v", ErrCorrupt, i, err)
+			}
+			if d > math.MaxInt64 {
+				return nil, fmt.Errorf("%w: tensor %d dimension overflow", ErrCorrupt, i)
+			}
+			shape[j] = int64(d)
+		}
+		dataLen, err := readU64()
+		if err != nil {
+			return nil, fmt.Errorf("%w: tensor %d data length: %v", ErrCorrupt, i, err)
+		}
+		if int64(dataLen) > maxTensorData {
+			return nil, fmt.Errorf("%w: tensor %d data length %d exceeds limit", ErrCorrupt, i, dataLen)
+		}
+		data := make([]byte, dataLen)
+		if _, err := io.ReadFull(br, data); err != nil {
+			return nil, fmt.Errorf("%w: tensor %d data: %v", ErrCorrupt, i, err)
+		}
+		wantCRC, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("%w: tensor %d crc: %v", ErrCorrupt, i, err)
+		}
+		t := Tensor{Name: string(name), DType: DType(dtypeB), Shape: shape, Data: data}
+		if got := t.Checksum(); got != wantCRC {
+			return nil, fmt.Errorf("%w: tensor %q crc mismatch %08x != %08x", ErrCorrupt, t.Name, got, wantCRC)
+		}
+		if err := t.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		s.Tensors = append(s.Tensors, t)
+	}
+	// The footer CRC covers the whole body; recompute it from the decoded
+	// state (buffered readahead makes hashing the raw stream inexact).
+	var foot [4]byte
+	if _, err := io.ReadFull(br, foot[:]); err != nil {
+		return nil, fmt.Errorf("%w: footer: %v", ErrCorrupt, err)
+	}
+	want := binary.LittleEndian.Uint32(foot[:])
+	if got := bodyChecksum(s); got != want {
+		return nil, fmt.Errorf("%w: body crc mismatch %08x != %08x", ErrCorrupt, got, want)
+	}
+	return s, nil
+}
+
+// bodyChecksum recomputes the footer CRC from a decoded state by
+// re-serializing the body portion through the hash.
+func bodyChecksum(s *State) uint32 {
+	h := crc32.New(castagnoli)
+	var b8 [8]byte
+	var b4 [4]byte
+	var b2 [2]byte
+	binary.LittleEndian.PutUint64(b8[:], uint64(s.Iteration))
+	h.Write(b8[:])
+	binary.LittleEndian.PutUint64(b8[:], uint64(s.Shard))
+	h.Write(b8[:])
+	binary.LittleEndian.PutUint32(b4[:], uint32(len(s.Tensors)))
+	h.Write(b4[:])
+	for i := range s.Tensors {
+		t := &s.Tensors[i]
+		binary.LittleEndian.PutUint16(b2[:], uint16(len(t.Name)))
+		h.Write(b2[:])
+		h.Write([]byte(t.Name))
+		h.Write([]byte{byte(t.DType), byte(len(t.Shape))})
+		for _, d := range t.Shape {
+			binary.LittleEndian.PutUint64(b8[:], uint64(d))
+			h.Write(b8[:])
+		}
+		binary.LittleEndian.PutUint64(b8[:], uint64(len(t.Data)))
+		h.Write(b8[:])
+		h.Write(t.Data)
+		binary.LittleEndian.PutUint32(b4[:], t.Checksum())
+		h.Write(b4[:])
+	}
+	return h.Sum32()
+}
+
+// EncodedSize returns the exact number of bytes Encode will produce.
+func EncodedSize(s *State) int64 {
+	n := int64(len(magic)) + 8 + 8 + 4 + 4 // magic, iter, shard, count, footer
+	for i := range s.Tensors {
+		t := &s.Tensors[i]
+		n += 2 + int64(len(t.Name)) + 1 + 1 + int64(len(t.Shape))*8 + 8 + int64(len(t.Data)) + 4
+	}
+	return n
+}

@@ -1,0 +1,39 @@
+package tensor
+
+import "gemini/internal/simclock"
+
+// CostModel captures the time cost of checkpoint (de)serialization — the
+// torch.save/torch.load blocking work the paper measures in §7.3:
+// serializing two replicas of a GPT-2 100B machine shard (2 × 75 GB) took
+// 162 s, and HighFreq's single-shard serialization took 81 s, both
+// implying roughly 0.93 GB/s per machine.
+type CostModel struct {
+	// SerializeBytesPerSec is the torch.save throughput per machine.
+	SerializeBytesPerSec float64
+	// DeserializeBytesPerSec is the torch.load throughput per machine.
+	DeserializeBytesPerSec float64
+}
+
+// DefaultCostModel is calibrated to the paper's measurements.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		SerializeBytesPerSec:   0.93e9,
+		DeserializeBytesPerSec: 1.5e9, // loads are lighter than saves
+	}
+}
+
+// SerializeTime returns how long serializing the given bytes takes.
+func (m CostModel) SerializeTime(bytes float64) simclock.Duration {
+	if m.SerializeBytesPerSec <= 0 {
+		return 0
+	}
+	return simclock.Duration(bytes / m.SerializeBytesPerSec)
+}
+
+// DeserializeTime returns how long loading the given bytes takes.
+func (m CostModel) DeserializeTime(bytes float64) simclock.Duration {
+	if m.DeserializeBytesPerSec <= 0 {
+		return 0
+	}
+	return simclock.Duration(bytes / m.DeserializeBytesPerSec)
+}

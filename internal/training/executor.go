@@ -1,0 +1,567 @@
+package training
+
+import (
+	"fmt"
+
+	"gemini/internal/netsim"
+	"gemini/internal/placement"
+	"gemini/internal/schedule"
+	"gemini/internal/simclock"
+)
+
+// ExecOptions configures checkpointing for the executor.
+type ExecOptions struct {
+	// Placement decides which machines receive each machine's shard.
+	Placement *placement.Placement
+	// Scheme is the interleaving scheme under test.
+	Scheme schedule.Scheme
+	// BufferBytes is the reserved GPU buffer R per machine (the paper
+	// reserves 128 MB per GPU, 1 GB per 8-GPU machine).
+	BufferBytes float64
+	// BufferParts is the pipeline sub-buffer count p.
+	BufferParts int
+	// GPUBudgetBytes is the GPU memory available for checkpoint buffers;
+	// schemes needing more report OOM.
+	GPUBudgetBytes float64
+	// Gamma is Algorithm 2's idle-span safety coefficient.
+	Gamma float64
+	// Iterations to execute (after one unmeasured warmup).
+	Iterations int
+	// ProfileWindow is the §5.4 online-profiling window.
+	ProfileWindow int
+}
+
+// DefaultExecOptions returns the paper's implementation parameters.
+func DefaultExecOptions(p *placement.Placement, scheme schedule.Scheme) ExecOptions {
+	return ExecOptions{
+		Placement:      p,
+		Scheme:         scheme,
+		BufferBytes:    8 * 128e6, // 128 MB per GPU × 8 GPUs
+		BufferParts:    4,
+		GPUBudgetBytes: 8 * 256e6,
+		Gamma:          0.9,
+		Iterations:     3,
+		ProfileWindow:  20,
+	}
+}
+
+// ExecResult reports what the executor measured.
+type ExecResult struct {
+	// IterationTime is the mean measured iteration duration.
+	IterationTime simclock.Duration
+	// BaselineIteration is the analytic no-checkpoint iteration time.
+	BaselineIteration simclock.Duration
+	// CheckpointTime is the standalone checkpoint completion time t_ckpt:
+	// how long writing the checkpoint to CPU memory takes when not spread
+	// across idle spans (what Figures 11 and 12 report, and the t_ckpt of
+	// Equation 1). Zero when the scheme takes no checkpoints.
+	CheckpointTime simclock.Duration
+	// CheckpointWallTime is the mean time from a checkpoint's first chunk
+	// to its last commit under the interleaved schedule — it can span
+	// most of the iteration because chunks wait for idle spans.
+	CheckpointWallTime simclock.Duration
+	// NetworkIdle is the mean per-iteration network idle time observed on
+	// a machine NIC, checkpoint traffic included.
+	NetworkIdle simclock.Duration
+	// OOM reports that the scheme needed more GPU memory than available;
+	// no iterations were executed.
+	OOM bool
+	// RequiredBufferBytes is the scheme's GPU buffer demand.
+	RequiredBufferBytes float64
+}
+
+// Overhead returns the iteration-time overhead over the no-checkpoint
+// baseline as a fraction (0.035 = 3.5%).
+func (r *ExecResult) Overhead() float64 {
+	if r.BaselineIteration == 0 {
+		return 0
+	}
+	return float64((r.IterationTime - r.BaselineIteration) / r.BaselineIteration)
+}
+
+// Execute runs the training job on the fluid network simulator with the
+// chosen checkpointing scheme and measures iteration time, checkpoint
+// completion time and residual network idle time. Training collectives
+// and checkpoint chunks share the machines' NICs, so interference (or its
+// absence) is an outcome, not an assumption.
+func Execute(cfg Config, opts ExecOptions) (*ExecResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Placement == nil {
+		return nil, fmt.Errorf("training: executor needs a placement")
+	}
+	if opts.Placement.N != cfg.Machines {
+		return nil, fmt.Errorf("training: placement over %d machines, cluster has %d", opts.Placement.N, cfg.Machines)
+	}
+	if opts.Iterations < 1 {
+		return nil, fmt.Errorf("training: need at least one iteration, got %d", opts.Iterations)
+	}
+	if opts.ProfileWindow < 1 {
+		return nil, fmt.Errorf("training: need a positive profile window")
+	}
+
+	tl, err := BuildTimeline(cfg)
+	if err != nil {
+		return nil, err
+	}
+	prof, err := tl.Profile(opts.ProfileWindow)
+	if err != nil {
+		return nil, err
+	}
+
+	shard := cfg.ShardBytesPerMachine()
+	params := schedule.Params{
+		Spans:                prof.Spans,
+		CheckpointBytes:      shard,
+		Replicas:             opts.Placement.M,
+		BufferBytes:          opts.BufferBytes,
+		BufferParts:          opts.BufferParts,
+		BandwidthBytesPerSec: cfg.Instance.NetworkBytesPerSec,
+		Alpha:                cfg.Calib.CollectiveAlpha,
+		Gamma:                opts.Gamma,
+	}
+	analysis, err := schedule.AnalyzeScheme(opts.Scheme, params, opts.GPUBudgetBytes, cfg.Instance.GPUToCPUBytesPerSec)
+	if err != nil {
+		return nil, err
+	}
+	res := &ExecResult{
+		BaselineIteration:   tl.Iteration,
+		RequiredBufferBytes: analysis.RequiredBufferBytes,
+		OOM:                 analysis.OOM,
+	}
+	if analysis.OOM {
+		return res, nil
+	}
+
+	jobs, pipelined, gated, err := buildChunkJobs(opts.Scheme, params)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Scheme != schedule.SchemeBaseline {
+		res.CheckpointTime = StandaloneCheckpointTime(cfg, opts.Placement.M, opts.BufferBytes, opts.BufferParts)
+	}
+	ex := &executor{
+		cfg: cfg, opts: opts, shard: shard,
+		jobs: jobs, pipelined: pipelined, gated: gated,
+		enabled: opts.Scheme != schedule.SchemeBaseline,
+	}
+	ex.run(res)
+	return res, nil
+}
+
+// StandaloneCheckpointTime returns t_ckpt: the time to complete one
+// checkpoint to CPU memory on an otherwise idle network — the m−1 remote
+// replicas pipelined through R/p-sized chunks (transfer at wire speed,
+// per-chunk startup latency, one trailing receiver copy), overlapped with
+// the local GPU→CPU shard copy.
+func StandaloneCheckpointTime(cfg Config, replicas int, bufferBytes float64, bufferParts int) simclock.Duration {
+	shard := cfg.ShardBytesPerMachine()
+	localCopy := simclock.Duration(shard / cfg.Instance.GPUToCPUBytesPerSec)
+	remote := float64(replicas-1) * shard
+	if remote == 0 {
+		return localCopy
+	}
+	chunk := bufferBytes / float64(bufferParts)
+	chunks := simclock.Duration(0)
+	if chunk > 0 {
+		chunks = simclock.Duration(float64(int((remote+chunk-1)/chunk))) * cfg.Calib.CollectiveAlpha
+	}
+	transfer := simclock.Duration(remote/cfg.Instance.NetworkBytesPerSec) + chunks
+	trailingCopy := simclock.Duration(minFloat(chunk, remote) / cfg.Instance.GPUToCPUBytesPerSec)
+	return maxDur(transfer+trailingCopy, localCopy)
+}
+
+func minFloat(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MustExecute is Execute for known-good configurations.
+func MustExecute(cfg Config, opts ExecOptions) *ExecResult {
+	res, err := Execute(cfg, opts)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// chunkJob is one checkpoint chunk each machine must send to one of its
+// peers, releasable at an offset within the iteration.
+type chunkJob struct {
+	replica   int // index into PeersOf(machine)
+	bytes     float64
+	notBefore simclock.Duration
+}
+
+// buildChunkJobs turns the scheme + Algorithm 2 parameters into the
+// per-machine chunk schedule (identical across machines by symmetry),
+// plus the pipelining and gating behavior.
+func buildChunkJobs(scheme schedule.Scheme, params schedule.Params) (jobs []chunkJob, pipelined, gated bool, err error) {
+	remote := params.Replicas - 1
+	switch scheme {
+	case schedule.SchemeBaseline:
+		return nil, false, false, nil
+	case schedule.SchemeBlocking:
+		// Replicas streamed up front through the chunked buffer without
+		// pipelining; training gated behind the full checkpoint.
+		chunk := params.BufferBytes / float64(params.BufferParts)
+		for r := 0; r < remote; r++ {
+			remain := params.CheckpointBytes
+			for remain > 0 {
+				sz := chunk
+				if sz > remain {
+					sz = remain
+				}
+				remain -= sz
+				jobs = append(jobs, chunkJob{replica: r, bytes: sz})
+			}
+		}
+		return jobs, false, true, nil
+	case schedule.SchemeNaive:
+		// One partition per idle span, sized to the span's capacity.
+		remainPerReplica := params.CheckpointBytes
+		replica := 0
+		for _, span := range params.Spans {
+			if replica >= remote {
+				break
+			}
+			carry := (simclock.Duration(params.Gamma)*span.Length - params.Alpha).Seconds() * params.BandwidthBytesPerSec
+			if carry <= 0 {
+				continue
+			}
+			size := carry
+			if size > remainPerReplica {
+				size = remainPerReplica
+			}
+			jobs = append(jobs, chunkJob{replica: replica, bytes: size, notBefore: span.Offset})
+			remainPerReplica -= size
+			if remainPerReplica == 0 {
+				replica++
+				remainPerReplica = params.CheckpointBytes
+			}
+		}
+		// Leftover (spans exhausted) goes at the end, unpipelined.
+		for replica < remote {
+			jobs = append(jobs, chunkJob{replica: replica, bytes: remainPerReplica, notBefore: lastOffset(params)})
+			replica++
+			remainPerReplica = params.CheckpointBytes
+		}
+		return jobs, false, false, nil
+	case schedule.SchemeNoPipeline, schedule.SchemeGemini:
+		plan, err := schedule.Partition(params)
+		if err != nil {
+			return nil, false, false, err
+		}
+		for _, c := range plan.Chunks {
+			nb := lastOffset(params)
+			if c.Span < len(params.Spans) {
+				nb = params.Spans[c.Span].Offset
+			}
+			jobs = append(jobs, chunkJob{replica: c.Replica, bytes: c.Bytes, notBefore: nb})
+		}
+		// A single buffer cannot overlap its own copy with the next
+		// receive, so p=1 degenerates to the unpipelined behavior even
+		// under the GEMINI scheme.
+		return jobs, scheme == schedule.SchemeGemini && params.BufferParts > 1, false, nil
+	default:
+		return nil, false, false, fmt.Errorf("training: unknown scheme %v", scheme)
+	}
+}
+
+func lastOffset(params schedule.Params) simclock.Duration {
+	if len(params.Spans) == 0 {
+		return 0
+	}
+	last := params.Spans[len(params.Spans)-1]
+	return last.Offset + last.Length
+}
+
+// executor carries per-run simulation state.
+type executor struct {
+	cfg       Config
+	opts      ExecOptions
+	shard     float64
+	jobs      []chunkJob
+	pipelined bool
+	gated     bool
+	enabled   bool
+	observer  *flowObserver // set during online profiling runs
+
+	engine  *simclock.Engine
+	fabric  *netsim.Fabric
+	copiers []*netsim.Copier
+
+	iterStart  simclock.Time
+	ckptStart  simclock.Time
+	ckptSeen   bool
+	ckptDone   simclock.Time
+	copiedLeft float64
+	gateClosed bool
+	pump       func()
+}
+
+func (ex *executor) run(res *ExecResult) {
+	n := ex.cfg.Machines
+	ex.engine = simclock.NewEngine()
+	ex.fabric = netsim.MustNewFabric(ex.engine, n, netsim.Config{
+		EgressBytesPerSec: ex.cfg.Instance.NetworkBytesPerSec,
+		Alpha:             ex.cfg.Calib.CollectiveAlpha,
+	})
+	ex.copiers = make([]*netsim.Copier, n)
+	for i := range ex.copiers {
+		ex.copiers[i] = netsim.MustNewCopier(ex.engine, ex.cfg.Instance.GPUToCPUBytesPerSec)
+	}
+
+	var iterTimes, ckptTimes, idleTimes []simclock.Duration
+	total := ex.opts.Iterations + 1 // one warmup
+	for iter := 0; iter < total; iter++ {
+		ex.iterStart = ex.engine.Now()
+		ex.ckptSeen = false
+		ex.ckptStart, ex.ckptDone = 0, 0
+		ex.fabric.ResetBusyTime()
+		ex.startIteration()
+		ex.engine.RunAll()
+		iterLen := ex.engine.Now().Sub(ex.iterStart)
+		if iter == 0 {
+			continue
+		}
+		iterTimes = append(iterTimes, iterLen)
+		if ex.ckptDone > ex.ckptStart {
+			ckptTimes = append(ckptTimes, ex.ckptDone.Sub(ex.ckptStart))
+		}
+		idleTimes = append(idleTimes, iterLen-ex.fabric.BusyTime(0))
+	}
+	res.IterationTime = meanDur(iterTimes)
+	if len(ckptTimes) > 0 {
+		res.CheckpointWallTime = meanDur(ckptTimes)
+	}
+	res.NetworkIdle = meanDur(idleTimes)
+}
+
+func meanDur(ds []simclock.Duration) simclock.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	var sum simclock.Duration
+	for _, d := range ds {
+		sum += d
+	}
+	return sum / simclock.Duration(len(ds))
+}
+
+// startIteration wires one iteration's dependency graph. All machines
+// march in lockstep (synchronous training), so the collective sequence is
+// shared: a collective is N simultaneous ring flows and completes when
+// the slowest finishes. Compute runs on a serial per-machine stream
+// (symmetric, so modeled once). Checkpoint chunk senders run per machine
+// and contend with the collectives on the fabric.
+func (ex *executor) startIteration() {
+	cfg := ex.cfg
+	n := cfg.Machines
+	L := cfg.Model.Layers
+	layerBytes := cfg.Model.LayerFP16Bytes()
+
+	// Effective ring-flow bytes: one uncontended flow per machine must
+	// take the collective's analytic time minus the startup latency.
+	effBytes := func(kind netsim.CollectiveKind) float64 {
+		t := netsim.CollectiveTime(kind, n, layerBytes, cfg.collectiveBandwidth(), cfg.Calib.CollectiveAlpha)
+		payload := (t - cfg.Calib.CollectiveAlpha).Seconds() * cfg.Instance.NetworkBytesPerSec
+		if payload < 0 {
+			payload = 0
+		}
+		return payload
+	}
+	agBytes := effBytes(netsim.AllGather)
+	rsBytes := effBytes(netsim.ReduceScatter)
+
+	// Two in-order comm queues share one channel: all-gathers (gated by
+	// the prefetch window) and reduce-scatters (ready when their layer's
+	// backward compute finishes). Ready reduce-scatters take priority,
+	// matching BuildTimeline's stream semantics.
+	computeDur := make([]simclock.Duration, 0, 2*L)
+	tokens := float64(cfg.Model.SeqLen * cfg.Model.MicroBatch)
+	fwd := simclock.Duration(2 * float64(cfg.Model.NominalParams) / float64(L) * tokens /
+		(cfg.Instance.PeakFLOPsPerGPU * cfg.Calib.MFU))
+	for l := 0; l < L; l++ {
+		computeDur = append(computeDur, fwd)
+	}
+	for l := 0; l < L; l++ {
+		computeDur = append(computeDur, 3*fwd)
+	}
+	steps := 2 * L // compute/all-gather step count
+	agNext, rsNext := 0, 0
+	agDone := make([]bool, steps)
+	commInFlight := false
+	compNext := 0
+	compBusy := false
+	compStarted := make([]bool, steps)
+	compDone := make([]bool, steps)
+	updateStarted := false
+
+	ex.gateClosed = ex.gated
+
+	startCollective := func(label string, bytes float64, done func()) {
+		remaining := n
+		var observe func(*netsim.Flow)
+		if ex.observer != nil {
+			observe = ex.observer.observe(label, ex.engine.Now())
+		}
+		for i := 0; i < n; i++ {
+			dst := (i + 1) % n
+			i := i
+			ex.fabric.StartFlow(i, dst, bytes, label, func(fl *netsim.Flow) {
+				if i == 0 && observe != nil {
+					observe(fl)
+				}
+				remaining--
+				if remaining == 0 {
+					done()
+				}
+			})
+		}
+	}
+
+	var pump func()
+	pump = func() {
+		if ex.gateClosed {
+			return
+		}
+		// Comm channel: prefer a ready reduce-scatter, else the next
+		// all-gather whose prefetch gate is open.
+		if !commInFlight {
+			switch {
+			case rsNext < L && compDone[L+rsNext]:
+				l := rsNext
+				rsNext++
+				commInFlight = true
+				startCollective(fmt.Sprintf("rs-bwd%d", l), rsBytes, func() {
+					commInFlight = false
+					pump()
+				})
+			case agNext < steps && (agNext < prefetchDepth || compStarted[agNext-prefetchDepth]):
+				c := agNext
+				agNext++
+				commInFlight = true
+				startCollective(fmt.Sprintf("ag%d", c), agBytes, func() {
+					agDone[c] = true
+					commInFlight = false
+					pump()
+				})
+			}
+		}
+		// Compute stream.
+		if !compBusy && compNext < steps && agDone[compNext] {
+			c := compNext
+			compNext++
+			compBusy = true
+			compStarted[c] = true
+			ex.engine.After(computeDur[c], func() {
+				compBusy = false
+				compDone[c] = true
+				pump()
+			})
+		}
+		// Update phase once both streams drain.
+		if !updateStarted && compNext == steps && !compBusy &&
+			agNext == steps && rsNext == L && !commInFlight {
+			updateStarted = true
+			upd := simclock.Duration(ex.shard / 1e9 * cfg.Calib.UpdatePhaseSecondsPerGB)
+			ex.engine.After(upd, func() {})
+		}
+	}
+	ex.pump = pump
+	ex.startCheckpoint()
+	pump()
+}
+
+// startCheckpoint launches the per-machine checkpoint senders and the
+// local GPU→CPU shard copies.
+func (ex *executor) startCheckpoint() {
+	if !ex.enabled {
+		return
+	}
+	n := ex.cfg.Machines
+	// Bytes to copy D2H across the cluster: every machine copies its own
+	// shard locally plus every received remote chunk.
+	remoteBytes := float64(ex.opts.Placement.M-1) * ex.shard
+	ex.copiedLeft = float64(n) * (ex.shard + remoteBytes)
+	if ex.copiedLeft == 0 {
+		return
+	}
+
+	markActivity := func() {
+		if !ex.ckptSeen {
+			ex.ckptSeen = true
+			ex.ckptStart = ex.engine.Now()
+		}
+	}
+	copied := func(bytes float64) {
+		ex.copiedLeft -= bytes
+		if ex.copiedLeft < 1e-6 {
+			ex.ckptDone = ex.engine.Now()
+			if ex.gateClosed {
+				ex.gateClosed = false
+				ex.pump()
+			}
+		}
+	}
+
+	chunkSize := ex.opts.BufferBytes / float64(ex.opts.BufferParts)
+	for machine := 0; machine < n; machine++ {
+		machine := machine
+		// Local shard copy, partitioned like the remote chunks (§5.3
+		// "Move checkpoints from GPU to local CPU").
+		remain := ex.shard
+		for remain > 0 {
+			sz := chunkSize
+			if sz > remain {
+				sz = remain
+			}
+			remain -= sz
+			ex.engine.After(0, func() {
+				markActivity()
+				ex.copiers[machine].Submit(sz, "local-ckpt", func(cp *netsim.Copy) { copied(cp.Bytes) })
+			})
+		}
+
+		peers := ex.opts.Placement.PeersOf(machine)
+		if len(peers) == 0 || len(ex.jobs) == 0 {
+			continue
+		}
+		// Sequential chunk sender: one transfer in flight; the next starts
+		// when the previous transfer (pipelined) or its receiver copy
+		// (unpipelined) finishes, and never before the chunk's release
+		// offset.
+		idx := 0
+		var sendNext func()
+		sendNext = func() {
+			if idx >= len(ex.jobs) {
+				return
+			}
+			job := ex.jobs[idx]
+			release := ex.iterStart.Add(job.notBefore)
+			if ex.engine.Now() < release {
+				ex.engine.At(release, sendNext)
+				return
+			}
+			idx++
+			dst := peers[job.replica%len(peers)]
+			markActivity()
+			ex.fabric.StartFlow(machine, dst, job.bytes, "ckpt-chunk", func(fl *netsim.Flow) {
+				ex.copiers[dst].Submit(job.bytes, "remote-ckpt", func(cp *netsim.Copy) {
+					copied(cp.Bytes)
+					if !ex.pipelined {
+						sendNext()
+					}
+				})
+				if ex.pipelined {
+					sendNext()
+				}
+			})
+		}
+		ex.engine.After(0, sendNext)
+	}
+}

@@ -1,0 +1,180 @@
+package training
+
+import (
+	"math"
+	"testing"
+
+	"gemini/internal/placement"
+	"gemini/internal/schedule"
+)
+
+// Executor tests reproduce the §7.4 ablation (Figure 16) on GPT-2 40B /
+// 16× p3dn and the §7.2 no-overhead result (Figure 7) on GPT-2 100B /
+// 16× p4d.
+
+func exec40B(t *testing.T, scheme schedule.Scheme) *ExecResult {
+	t.Helper()
+	cfg := cfg40Bp3dn(t)
+	opts := DefaultExecOptions(placement.MustMixed(cfg.Machines, 2), scheme)
+	opts.Iterations = 2
+	res, err := Execute(cfg, opts)
+	if err != nil {
+		t.Fatalf("Execute(%v): %v", scheme, err)
+	}
+	return res
+}
+
+func TestExecutorBaselineMatchesAnalyticTimeline(t *testing.T) {
+	res := exec40B(t, schedule.SchemeBaseline)
+	if res.CheckpointTime != 0 {
+		t.Fatalf("baseline measured checkpoint time %v", res.CheckpointTime)
+	}
+	diff := math.Abs(float64(res.IterationTime-res.BaselineIteration)) / float64(res.BaselineIteration)
+	if diff > 0.02 {
+		t.Fatalf("executor baseline %v deviates %.1f%% from analytic %v",
+			res.IterationTime, diff*100, res.BaselineIteration)
+	}
+}
+
+func TestExecutorGeminiNoOverhead40B(t *testing.T) {
+	res := exec40B(t, schedule.SchemeGemini)
+	if res.OOM {
+		t.Fatal("GEMINI scheme reported OOM")
+	}
+	if ov := res.Overhead(); ov > 0.02 {
+		t.Fatalf("GEMINI overhead %.1f%%, want ≈0%% (Fig. 16)", ov*100)
+	}
+	if res.CheckpointTime <= 0 {
+		t.Fatal("no checkpoint time measured")
+	}
+	if res.NetworkIdle <= 0 {
+		t.Fatal("no residual idle time — network should not be saturated")
+	}
+}
+
+func TestExecutorBlockingOverheadMatchesPaper(t *testing.T) {
+	// Fig. 16: Blocking is ≈10% over baseline on GPT-2 40B / p3dn.
+	res := exec40B(t, schedule.SchemeBlocking)
+	ov := res.Overhead()
+	if ov < 0.05 || ov > 0.20 {
+		t.Fatalf("blocking overhead %.1f%%, want ≈10%%", ov*100)
+	}
+}
+
+func TestExecutorNaiveOOMs(t *testing.T) {
+	// Fig. 16: naive interleave requires a buffer as large as the biggest
+	// idle span's traffic (>2 GB per GPU in the paper) and OOMs.
+	res := exec40B(t, schedule.SchemeNaive)
+	if !res.OOM {
+		t.Fatalf("naive interleave did not OOM; requires %v bytes", res.RequiredBufferBytes)
+	}
+	if res.IterationTime != 0 {
+		t.Fatal("OOM run should not execute iterations")
+	}
+}
+
+func TestExecutorNoPipelineWorseThanGemini(t *testing.T) {
+	// Fig. 16: without pipelining the GPU→CPU copies stall transfers and
+	// the iteration slows by a few percent; GEMINI stays at baseline.
+	noPipe := exec40B(t, schedule.SchemeNoPipeline)
+	gem := exec40B(t, schedule.SchemeGemini)
+	if noPipe.OOM || gem.OOM {
+		t.Fatal("unexpected OOM")
+	}
+	if noPipe.IterationTime <= gem.IterationTime {
+		t.Fatalf("no-pipeline %v should be slower than GEMINI %v",
+			noPipe.IterationTime, gem.IterationTime)
+	}
+	if ov := noPipe.Overhead(); ov < 0.01 || ov > 0.15 {
+		t.Fatalf("no-pipeline overhead %.1f%%, want a few percent", ov*100)
+	}
+}
+
+func TestExecutorGemini100BNoOverheadAndFastCheckpoint(t *testing.T) {
+	// §7.2: per-iteration checkpointing of GPT-2 100B on p4d adds no
+	// overhead and the checkpoint completes in < 3 s.
+	cfg := cfg100B(t)
+	opts := DefaultExecOptions(placement.MustMixed(cfg.Machines, 2), schedule.SchemeGemini)
+	opts.Iterations = 2
+	res, err := Execute(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov := res.Overhead(); ov > 0.02 {
+		t.Fatalf("overhead %.2f%%, want ≈0%%", ov*100)
+	}
+	ck := res.CheckpointTime.Seconds()
+	if ck <= 0 || ck > 3.5 {
+		t.Fatalf("checkpoint time %.2fs, want < 3s (§7.2)", ck)
+	}
+	if res.NetworkIdle <= 0 {
+		t.Fatal("idle time should remain after checkpoint insertion (Fig. 8)")
+	}
+}
+
+func TestExecutorValidation(t *testing.T) {
+	cfg := cfg40Bp3dn(t)
+	if _, err := Execute(cfg, ExecOptions{}); err == nil {
+		t.Error("missing placement accepted")
+	}
+	opts := DefaultExecOptions(placement.MustMixed(8, 2), schedule.SchemeGemini)
+	if _, err := Execute(cfg, opts); err == nil {
+		t.Error("mismatched placement size accepted")
+	}
+	opts = DefaultExecOptions(placement.MustMixed(cfg.Machines, 2), schedule.SchemeGemini)
+	opts.Iterations = 0
+	if _, err := Execute(cfg, opts); err == nil {
+		t.Error("zero iterations accepted")
+	}
+	opts = DefaultExecOptions(placement.MustMixed(cfg.Machines, 2), schedule.SchemeGemini)
+	opts.ProfileWindow = 0
+	if _, err := Execute(cfg, opts); err == nil {
+		t.Error("zero profile window accepted")
+	}
+	bad := cfg
+	bad.Machines = 0
+	if _, err := Execute(bad, DefaultExecOptions(placement.MustMixed(16, 2), schedule.SchemeGemini)); err == nil {
+		t.Error("invalid config accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustExecute on invalid input did not panic")
+		}
+	}()
+	MustExecute(bad, DefaultExecOptions(placement.MustMixed(16, 2), schedule.SchemeGemini))
+}
+
+func TestExecutorThreeReplicas(t *testing.T) {
+	// m=3 doubles the remote checkpoint traffic; on 100B/p4d the idle
+	// window still absorbs it.
+	cfg := cfg100B(t)
+	opts := DefaultExecOptions(placement.MustMixed(cfg.Machines, 3), schedule.SchemeGemini)
+	opts.Iterations = 2
+	res, err := Execute(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OOM {
+		t.Fatal("m=3 OOMed")
+	}
+	if ov := res.Overhead(); ov > 0.05 {
+		t.Fatalf("m=3 overhead %.1f%%, want small", ov*100)
+	}
+}
+
+func TestExecutorSingleReplicaLocalOnly(t *testing.T) {
+	// m=1: no network checkpoint traffic at all; only local copies.
+	cfg := cfg40Bp3dn(t)
+	opts := DefaultExecOptions(placement.MustMixed(cfg.Machines, 1), schedule.SchemeGemini)
+	opts.Iterations = 1
+	res, err := Execute(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov := res.Overhead(); math.Abs(ov) > 0.02 {
+		t.Fatalf("local-only overhead %.1f%%, want ≈0", ov*100)
+	}
+	if res.CheckpointTime <= 0 {
+		t.Fatal("local copies should still be measured as checkpoint time")
+	}
+}

@@ -1,0 +1,53 @@
+package training
+
+import (
+	"math"
+	"testing"
+)
+
+// The §5.4 validation: profiling the executed iterations must agree with
+// the analytic timeline the scheduler otherwise derives its spans from.
+func TestOnlineProfileMatchesAnalytic(t *testing.T) {
+	for _, cfg := range []Config{cfg40Bp3dn(t), cfg100B(t)} {
+		analytic := MustBuildTimeline(cfg)
+		online, err := ProfileFromExecution(cfg, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if online.Iterations != 3 {
+			t.Fatalf("profiled %d iterations, want 3", online.Iterations)
+		}
+		// Iteration time within 2%.
+		iterDiff := math.Abs((online.IterationTime - analytic.Iteration).Seconds()) /
+			analytic.Iteration.Seconds()
+		if iterDiff > 0.02 {
+			t.Errorf("%s: online iteration %v vs analytic %v (%.1f%%)",
+				cfg.Model.Name(), online.IterationTime, analytic.Iteration, iterDiff*100)
+		}
+		// Total idle within 10% (the executor's flow granularity differs
+		// slightly from the analytic op granularity).
+		idleDiff := math.Abs((online.TotalIdle() - analytic.IdleTime()).Seconds()) /
+			analytic.IdleTime().Seconds()
+		if idleDiff > 0.10 {
+			t.Errorf("%s: online idle %v vs analytic %v (%.1f%%)",
+				cfg.Model.Name(), online.TotalIdle(), analytic.IdleTime(), idleDiff*100)
+		}
+		// The executed timeline must be as stable across iterations as
+		// the paper observes (<10% normalized standard deviation, §5.4).
+		if online.NormalizedStdDev > 0.10 {
+			t.Errorf("%s: online profile stddev %.3f, want <0.10", cfg.Model.Name(), online.NormalizedStdDev)
+		}
+	}
+}
+
+func TestOnlineProfileValidation(t *testing.T) {
+	cfg := cfg40Bp3dn(t)
+	if _, err := ProfileFromExecution(cfg, 0); err == nil {
+		t.Error("zero window accepted")
+	}
+	bad := cfg
+	bad.Machines = 0
+	if _, err := ProfileFromExecution(bad, 3); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

@@ -1,0 +1,161 @@
+package training
+
+import (
+	"testing"
+
+	"gemini/internal/schedule"
+	"gemini/internal/simclock"
+)
+
+func TestParallelismString(t *testing.T) {
+	names := map[Parallelism]string{
+		ZeRO3: "zero-3", DataParallel: "data-parallel",
+		PipelineParallel: "pipeline-parallel", Parallelism(9): "Parallelism(9)",
+	}
+	for p, want := range names {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(p), p.String(), want)
+		}
+	}
+}
+
+func TestBuildTimelineForZeroDelegates(t *testing.T) {
+	cfg := cfg100B(t)
+	a := MustBuildTimeline(cfg)
+	b, err := BuildTimelineFor(cfg, ZeRO3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Iteration != b.Iteration {
+		t.Fatalf("ZeRO3 delegation mismatch: %v vs %v", a.Iteration, b.Iteration)
+	}
+	if _, err := BuildTimelineFor(cfg, Parallelism(42)); err == nil {
+		t.Fatal("unknown parallelism accepted")
+	}
+}
+
+func TestDataParallelForwardIsNetworkIdle(t *testing.T) {
+	cfg := cfg40Bp3dn(t)
+	tl, err := BuildTimelineFor(cfg, DataParallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first comm op must not start before the whole forward pass
+	// (L × fwd compute) has run.
+	var firstComm simclock.Duration = -1
+	var firstComputeEnd simclock.Duration
+	computeSeen := 0
+	for _, op := range tl.Ops {
+		switch op.Kind {
+		case OpReduceScatter, OpAllGather:
+			if firstComm < 0 {
+				firstComm = op.Start
+			}
+		case OpCompute:
+			computeSeen++
+			if computeSeen == cfg.Model.Layers {
+				firstComputeEnd = op.End
+			}
+		}
+	}
+	if firstComm < firstComputeEnd {
+		t.Fatalf("DP comm starts at %v, before forward ends at %v", firstComm, firstComputeEnd)
+	}
+	// The forward pass is a single large idle span Algorithm 2 can use.
+	tr := tl.Trace()
+	spans := tr.IdleSpans()
+	if len(spans) == 0 || spans[0].Length < firstComputeEnd {
+		t.Fatalf("DP idle spans %v lack the forward-pass gap (%v)", spans, firstComputeEnd)
+	}
+}
+
+func TestDataParallelCheckpointFits(t *testing.T) {
+	cfg := cfg40Bp3dn(t)
+	tl, err := BuildTimelineFor(cfg, DataParallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := tl.Profile(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := schedule.Partition(schedule.Params{
+		Spans:                prof.Spans,
+		CheckpointBytes:      cfg.ShardBytesPerMachine(),
+		Replicas:             2,
+		BufferBytes:          8 * 128e6,
+		BufferParts:          4,
+		BandwidthBytesPerSec: cfg.Instance.NetworkBytesPerSec,
+		Alpha:                cfg.Calib.CollectiveAlpha,
+		Gamma:                0.9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Fits {
+		t.Fatalf("DP idle time (%v) should absorb the checkpoint", tl.IdleTime())
+	}
+}
+
+func TestPipelineParallelMostlyIdle(t *testing.T) {
+	cfg := cfg40Bp3dn(t)
+	tl, err := BuildTimelineFor(cfg, PipelineParallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := tl.Trace()
+	busy := tr.BusyTime()
+	if frac := float64(busy / tl.Iteration); frac > 0.10 {
+		t.Fatalf("pipeline network busy fraction %.2f, want tiny (boundary tensors only)", frac)
+	}
+	if tl.IdleTime() <= 0 {
+		t.Fatal("no idle time")
+	}
+	// Ops are well formed and within the iteration.
+	for _, op := range tl.Ops {
+		if op.End < op.Start || op.End > tl.Iteration+1e-9 {
+			t.Fatalf("malformed op %+v", op)
+		}
+	}
+}
+
+func TestPipelineBubbleGrowsWithStages(t *testing.T) {
+	cfgA := cfg40Bp3dn(t)
+	tlA, err := BuildTimelineFor(cfgA, PipelineParallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgB := cfgA
+	cfgB.Machines = 32
+	tlB, err := BuildTimelineFor(cfgB, PipelineParallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 4·stages microbatches the bubble fraction (stages−1)/(4·stages
+	// + stages − 1) is roughly constant, but per-stage compute halves, so
+	// the iteration must shrink with more stages.
+	if tlB.Iteration >= tlA.Iteration {
+		t.Fatalf("32-stage iteration %v not shorter than 16-stage %v", tlB.Iteration, tlA.Iteration)
+	}
+}
+
+func TestParallelismTimelinesProfileCleanly(t *testing.T) {
+	cfg := cfg40Bp3dn(t)
+	for _, p := range []Parallelism{ZeRO3, DataParallel, PipelineParallel} {
+		tl, err := BuildTimelineFor(cfg, p)
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		prof, err := tl.Profile(3)
+		if err != nil {
+			t.Fatalf("%v profile: %v", p, err)
+		}
+		var total simclock.Duration
+		for _, s := range prof.Spans {
+			total += s.Length
+		}
+		if diff := (total - tl.IdleTime()).Seconds(); diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("%v: profiled idle %v != timeline idle %v", p, total, tl.IdleTime())
+		}
+	}
+}

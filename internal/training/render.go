@@ -1,0 +1,82 @@
+package training
+
+import (
+	"fmt"
+	"strings"
+
+	"gemini/internal/schedule"
+	"gemini/internal/simclock"
+)
+
+// RenderTimeline draws the iteration as an ASCII Gantt chart in the style
+// of the paper's Figure 4: a compute row, a network row, and — when a
+// checkpoint plan is supplied — a checkpoint row showing where
+// Algorithm 2 placed the chunks inside the idle spans.
+//
+//	compute  ████████████████████████████████████▏update██
+//	network  ▓▓▓▓▓▓▓▓▓▓▓▓▓▓▓▓▓▓▓▓▓▓▓▓▓▓▓▓········
+//	ckpt     ····························CCCCCCCC
+//
+// width is the number of character cells for the full iteration.
+func RenderTimeline(tl *Timeline, plan *schedule.Plan, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	if tl.Iteration <= 0 {
+		return "(empty timeline)\n"
+	}
+	cell := tl.Iteration / simclock.Duration(width)
+	compute := make([]rune, width)
+	network := make([]rune, width)
+	ckptRow := make([]rune, width)
+	for i := range compute {
+		compute[i], network[i], ckptRow[i] = '·', '·', '·'
+	}
+	paint := func(row []rune, from, to simclock.Duration, mark rune) {
+		lo := int(from / cell)
+		hi := int(to / cell)
+		if hi >= width {
+			hi = width - 1
+		}
+		for i := lo; i <= hi && i >= 0; i++ {
+			row[i] = mark
+		}
+	}
+	for _, op := range tl.Ops {
+		switch op.Kind {
+		case OpCompute:
+			paint(compute, op.Start, op.End, '█')
+		case OpUpdate:
+			paint(compute, op.Start, op.End, 'U')
+		case OpAllGather:
+			paint(network, op.Start, op.End, '▓')
+		case OpReduceScatter:
+			paint(network, op.Start, op.End, '▒')
+		}
+	}
+	var ckptLegend string
+	if plan != nil {
+		tr := tl.Trace()
+		spans := tr.IdleSpans()
+		for _, c := range plan.Chunks {
+			if c.Span >= len(spans) {
+				// Overflow chunks extend past the last span.
+				paint(ckptRow, tl.Iteration-cell, tl.Iteration, 'X')
+				continue
+			}
+			s := spans[c.Span]
+			paint(ckptRow, s.Offset, s.Offset+s.Length, 'C')
+		}
+		ckptLegend = "  C checkpoint chunks  X overflow"
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "iteration %.1fs, %d cells of %.2fs\n", tl.Iteration.Seconds(), width, cell.Seconds())
+	fmt.Fprintf(&b, "compute  %s\n", string(compute))
+	fmt.Fprintf(&b, "network  %s\n", string(network))
+	if plan != nil {
+		fmt.Fprintf(&b, "ckpt     %s\n", string(ckptRow))
+	}
+	fmt.Fprintf(&b, "legend: █ fwd/bwd  U update  ▓ all-gather  ▒ reduce-scatter  · idle%s\n", ckptLegend)
+	return b.String()
+}

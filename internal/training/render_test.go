@@ -1,0 +1,63 @@
+package training
+
+import (
+	"strings"
+	"testing"
+
+	"gemini/internal/schedule"
+)
+
+func TestRenderTimelineShowsAllRows(t *testing.T) {
+	cfg := cfg100B(t)
+	tl := MustBuildTimeline(cfg)
+	prof, err := tl.Profile(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := schedule.MustPartition(schedule.Params{
+		Spans:                prof.Spans,
+		CheckpointBytes:      cfg.ShardBytesPerMachine(),
+		Replicas:             2,
+		BufferBytes:          8 * 128e6,
+		BufferParts:          4,
+		BandwidthBytesPerSec: cfg.Instance.NetworkBytesPerSec,
+		Alpha:                cfg.Calib.CollectiveAlpha,
+		Gamma:                0.9,
+	})
+	out := RenderTimeline(tl, plan, 80)
+	for _, want := range []string{"compute", "network", "ckpt", "█", "▓", "U", "C"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// The checkpoint row must only mark idle cells: no cell may be both
+	// '▓' on the network row and 'C' on the ckpt row.
+	lines := strings.Split(out, "\n")
+	var netRow, ckptRow string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "network") {
+			netRow = l
+		}
+		if strings.HasPrefix(l, "ckpt") {
+			ckptRow = l
+		}
+	}
+	netCells := []rune(netRow)
+	for i, c := range ckptRow {
+		if c == 'C' && i < len(netCells) && (netCells[i] == '▓' || netCells[i] == '▒') {
+			t.Fatalf("checkpoint chunk overlaps network traffic at cell %d:\n%s", i, out)
+		}
+	}
+}
+
+func TestRenderTimelineDegenerate(t *testing.T) {
+	out := RenderTimeline(&Timeline{}, nil, 5)
+	if !strings.Contains(out, "empty") {
+		t.Fatalf("empty timeline render: %q", out)
+	}
+	tl := MustBuildTimeline(cfg40Bp3dn(t))
+	out = RenderTimeline(tl, nil, 0) // clamped width
+	if !strings.Contains(out, "compute") || strings.Contains(out, "ckpt ") {
+		t.Fatalf("nil-plan render wrong:\n%s", out)
+	}
+}
