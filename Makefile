@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build vet test race ci bench tables
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The CI gate: everything must build, vet clean, and pass under the race
+# detector.
+ci: build vet race
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+tables:
+	$(GO) run ./cmd/benchtables

@@ -40,6 +40,7 @@ package gemini
 
 import (
 	"gemini/internal/baselines"
+	"gemini/internal/chaos"
 	"gemini/internal/cloud"
 	"gemini/internal/cluster"
 	"gemini/internal/core"
@@ -49,6 +50,7 @@ import (
 	"gemini/internal/runsim"
 	"gemini/internal/schedule"
 	"gemini/internal/simclock"
+	"gemini/internal/trace"
 	"gemini/internal/training"
 )
 
@@ -62,12 +64,50 @@ type (
 	Job = core.Job
 )
 
+// Option tweaks a JobSpec before derivation. Options override the
+// corresponding JobSpec fields, so a spec can stay a three-field literal
+// (model, instance, machines) with everything else supplied here.
+type Option func(*JobSpec)
+
+// WithReplicas sets the checkpoint replica count m (default 2).
+func WithReplicas(m int) Option {
+	return func(s *JobSpec) { s.Replicas = m }
+}
+
+// WithRemoteBandwidth sets the persistent store's aggregate bandwidth in
+// bytes per second (default 20 Gbps, the paper's FSx setup).
+func WithRemoteBandwidth(bytesPerSec float64) Option {
+	return func(s *JobSpec) { s.RemoteBandwidth = bytesPerSec }
+}
+
+// WithParallelism selects the distribution strategy (default ZeRO-3).
+func WithParallelism(p Parallelism) Option {
+	return func(s *JobSpec) { s.Parallelism = p }
+}
+
+// WithFaults attaches a fault schedule to the job; Job.RecoverySystem
+// arms it automatically. Build one with Faults().
+func WithFaults(fs FaultSchedule) Option {
+	return func(s *JobSpec) { s.Faults = fs }
+}
+
 // NewJob derives a GEMINI deployment from a job spec, validating GPU and
-// CPU memory budgets.
-func NewJob(spec JobSpec) (*Job, error) { return core.NewJob(spec) }
+// CPU memory budgets and any attached fault schedule.
+func NewJob(spec JobSpec, opts ...Option) (*Job, error) {
+	for _, opt := range opts {
+		opt(&spec)
+	}
+	return core.NewJob(spec)
+}
 
 // MustNewJob is NewJob for known-good specs.
-func MustNewJob(spec JobSpec) *Job { return core.MustNewJob(spec) }
+func MustNewJob(spec JobSpec, opts ...Option) *Job {
+	j, err := NewJob(spec, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return j
+}
 
 // Virtual time.
 type (
@@ -89,23 +129,48 @@ const (
 // Checkpoint placement (Algorithm 1 and its analysis).
 type Placement = placement.Placement
 
-// Placement constructors and probability analysis.
-var (
-	// NewPlacement is Algorithm 1: group placement when m | N, otherwise
-	// group + trailing ring.
-	NewPlacement = placement.Mixed
-	// NewRingPlacement is the pure ring strategy the paper compares
-	// against in Figure 9.
-	NewRingPlacement = placement.Ring
-	// Corollary1 is the closed-form CPU-memory recovery probability for
-	// the group strategy.
-	Corollary1 = placement.Corollary1
-	// RecoveryProbabilityExact enumerates a placement's recovery
-	// probability under k simultaneous failures (N ≤ 32).
-	RecoveryProbabilityExact = placement.BitmaskProbability
-	// RecoveryProbabilityMonteCarlo estimates it for large clusters.
-	RecoveryProbabilityMonteCarlo = placement.MonteCarlo
-)
+// NewPlacement is Algorithm 1: group placement when m | N, otherwise
+// group + trailing ring.
+func NewPlacement(n, m int) (*Placement, error) { return placement.Mixed(n, m) }
+
+// NewRingPlacement is the pure ring strategy the paper compares against
+// in Figure 9.
+func NewRingPlacement(n, m int) (*Placement, error) { return placement.Ring(n, m) }
+
+// NewRackAwarePlacement spreads every replica group across m racks of
+// rackSize machines each, so no single-rack failure can wipe a whole
+// group. Requires rackSize | n and m | (n / rackSize).
+func NewRackAwarePlacement(n, m, rackSize int) (*Placement, error) {
+	return placement.RackAware(n, m, rackSize)
+}
+
+// Racks partitions ranks 0..n-1 into racks of rackSize consecutive
+// machines — the correlated failure domains for
+// CorrelatedRecoveryProbability.
+func Racks(n, rackSize int) ([][]int, error) { return placement.Racks(n, rackSize) }
+
+// Corollary1 is the closed-form CPU-memory recovery probability for the
+// group strategy.
+func Corollary1(n, m, k int) (float64, error) { return placement.Corollary1(n, m, k) }
+
+// RecoveryProbabilityExact enumerates a placement's recovery probability
+// under k simultaneous independent failures (N ≤ 31).
+func RecoveryProbabilityExact(p *Placement, k int) float64 {
+	return placement.BitmaskProbability(p, k)
+}
+
+// RecoveryProbabilityMonteCarlo estimates it for large clusters.
+func RecoveryProbabilityMonteCarlo(p *Placement, k, trials int, seed int64) float64 {
+	return placement.MonteCarlo(p, k, trials, seed)
+}
+
+// CorrelatedRecoveryProbability is the rack-level analogue of
+// RecoveryProbabilityExact: the probability that a placement survives k
+// whole racks failing together, over all equally likely k-subsets of
+// racks.
+func CorrelatedRecoveryProbability(p *Placement, racks [][]int, k int) (float64, error) {
+	return placement.CorrelatedProbability(p, racks, k)
+}
 
 // Interleaving schemes of §7.4 (Figure 16).
 type Scheme = schedule.Scheme
@@ -162,26 +227,84 @@ const (
 	FromPersistentRemote = baselines.FromRemote
 )
 
-// Failure-model helpers.
-var (
-	// OPTFailureModel is the OPT-175B logbook rate: 1.5% of instances
-	// fail per day.
-	OPTFailureModel = failure.OPTModel
-	// FixedFailureRate builds a deterministic failure schedule.
-	FixedFailureRate = failure.FixedRate
-)
+// OPTFailureModel is the OPT-175B logbook rate: 1.5% of instances fail
+// per day.
+func OPTFailureModel() FailureModel { return failure.OPTModel() }
+
+// FixedFailureRate builds a deterministic failure schedule: n machines,
+// a daily failure rate, a hardware fraction, over a horizon.
+func FixedFailureRate(n int, failuresPerDay, hwFraction float64, horizon Duration) (FailureSchedule, error) {
+	return failure.FixedRate(n, failuresPerDay, hwFraction, horizon)
+}
 
 // CloudConfig configures the machine-replacement operator.
 type CloudConfig = cloud.Config
 
 // DefaultCloudConfig is the EC2-ASG behavior measured in §7.3
 // (4–7 minute provisioning).
-var DefaultCloudConfig = cloud.DefaultConfig
+func DefaultCloudConfig() CloudConfig { return cloud.DefaultConfig() }
 
-// Catalog access.
-var (
-	// Models returns the Table 2 model configurations.
-	Models = model.Table2
-	// Instances returns the Table 1 instance catalog.
-	Instances = cluster.Table1
+// Catalog entries.
+type (
+	// ModelConfig is one Table 2 model configuration.
+	ModelConfig = model.Config
+	// InstanceType is one Table 1 machine type.
+	InstanceType = cluster.InstanceType
+)
+
+// Models returns the Table 2 model configurations.
+func Models() []ModelConfig { return model.Table2() }
+
+// Instances returns the Table 1 instance catalog.
+func Instances() []InstanceType { return cluster.Table1() }
+
+// Fault injection (the chaos engine). A FaultSchedule is a declarative,
+// deterministic list of faults — crashes, correlated rack failures,
+// network partitions, stragglers, key-value store outages, lease jitter
+// — validated at job construction and armed automatically by
+// Job.RecoverySystem:
+//
+//	sched := gemini.Faults().
+//		Partition(190*gemini.Second, 4*gemini.Minute, 3, 5).
+//		CrashGroup(190*gemini.Second, gemini.HardwareFailure, 2, 4).
+//		MustBuild(16)
+//	job := gemini.MustNewJob(spec, gemini.WithFaults(sched))
+//	engine, sys, _ := job.RecoverySystem(gemini.DefaultCloudConfig())
+//	sys.Start()
+//	engine.Run(2 * gemini.Hour)
+//	_ = sys.Log() // the trace records every injection and recovery step
+type (
+	// FaultSchedule is a sorted, validated chaos schedule.
+	FaultSchedule = chaos.Schedule
+	// FaultEvent is one scheduled fault.
+	FaultEvent = chaos.Event
+	// FaultKind enumerates fault event kinds.
+	FaultKind = chaos.Kind
+	// FaultBuilder composes fault schedules fluently.
+	FaultBuilder = chaos.Builder
+)
+
+// Fault kinds, for hand-built FaultEvent values; the builder is the
+// usual way to produce them.
+const (
+	FaultPartitionHeal   = chaos.KindPartitionHeal
+	FaultKVRestore       = chaos.KindKVRestore
+	FaultStragglerEnd    = chaos.KindStragglerEnd
+	FaultPartitionStart  = chaos.KindPartitionStart
+	FaultKVOutage        = chaos.KindKVOutage
+	FaultStragglerStart  = chaos.KindStragglerStart
+	FaultLeaseJitter     = chaos.KindLeaseJitter
+	FaultCrash           = chaos.KindCrash
+	FaultCorrelatedCrash = chaos.KindCorrelatedCrash
+)
+
+// Faults starts a fluent fault-schedule builder.
+func Faults() *FaultBuilder { return chaos.NewBuilder() }
+
+// Trace events (what recovery systems log).
+type (
+	// TraceLog is the append-only simulation event log.
+	TraceLog = trace.Log
+	// TraceEvent is one logged event.
+	TraceEvent = trace.Event
 )

@@ -79,6 +79,101 @@ func TestParallelismExtensionExposed(t *testing.T) {
 	}
 }
 
+func TestOptionsOverrideSpecFields(t *testing.T) {
+	job, err := NewJob(JobSpec{Model: "GPT-2 40B", Instance: "p3dn.24xlarge", Machines: 16},
+		WithReplicas(3),
+		WithRemoteBandwidth(5e9),
+		WithParallelism(ParallelismData),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Spec.Replicas != 3 || job.Spec.RemoteBandwidth != 5e9 || job.Spec.Parallelism != ParallelismData {
+		t.Fatalf("options not applied: %+v", job.Spec)
+	}
+	if job.Placement.M != 3 {
+		t.Fatalf("placement built with m=%d, want 3", job.Placement.M)
+	}
+}
+
+func TestFaultScheduleValidatedAtJobConstruction(t *testing.T) {
+	bad := FaultSchedule{{At: 10, Kind: FaultPartitionHeal}} // heal with no open partition
+	if _, err := NewJob(JobSpec{Model: "GPT-2 40B", Instance: "p3dn.24xlarge", Machines: 16},
+		WithFaults(bad)); err == nil {
+		t.Fatal("invalid fault schedule accepted")
+	}
+	// Out-of-range rank for this cluster size.
+	oob := FaultSchedule{{At: 0, Kind: FaultCrash, Ranks: []int{99}, Machine: HardwareFailure}}
+	if _, err := NewJob(JobSpec{Model: "GPT-2 40B", Instance: "p3dn.24xlarge", Machines: 16},
+		WithFaults(oob)); err == nil {
+		t.Fatal("out-of-range fault rank accepted")
+	}
+}
+
+func TestFaultsArmAgainstRecoverySystem(t *testing.T) {
+	sched, err := Faults().
+		Crash(Time(200*Second), 5, HardwareFailure).
+		Build(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := NewJob(JobSpec{Model: "GPT-2 40B", Instance: "p3dn.24xlarge", Machines: 16},
+		WithFaults(sched))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultCloudConfig()
+	cfg.Standby = 1
+	engine, sys, err := job.RecoverySystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Start()
+	engine.Run(Time(40 * job.Timeline.Iteration))
+	if sys.Recoveries() != 1 {
+		t.Fatalf("%d recoveries, want 1 from the armed schedule", sys.Recoveries())
+	}
+	if evs := sys.Log().Filter("failure"); len(evs) != 1 {
+		t.Fatalf("%d injections traced, want 1", len(evs))
+	}
+	if !sys.Training() {
+		t.Fatal("training did not resume after the armed fault")
+	}
+}
+
+func TestRackAwarePlacementExposed(t *testing.T) {
+	aligned, err := NewPlacement(16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rackAware, err := NewRackAwarePlacement(16, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	racks, err := Racks(16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(racks) != 8 {
+		t.Fatalf("%d racks, want 8", len(racks))
+	}
+	pa, err := CorrelatedRecoveryProbability(aligned, racks, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := CorrelatedRecoveryProbability(rackAware, racks, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa != 0 || pr != 1 {
+		t.Fatalf("single-rack loss: aligned %v (want 0), rack-aware %v (want 1)", pa, pr)
+	}
+	// Under independent failures the two layouts are indistinguishable.
+	if a, r := RecoveryProbabilityExact(aligned, 2), RecoveryProbabilityExact(rackAware, 2); a != r {
+		t.Fatalf("independent k=2: aligned %v != rack-aware %v", a, r)
+	}
+}
+
 func TestFailureHelpersExposed(t *testing.T) {
 	fs, err := FixedFailureRate(16, 4, 0.5, Day)
 	if err != nil {

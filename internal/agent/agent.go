@@ -52,6 +52,13 @@ type Options struct {
 	SerializeTime simclock.Duration
 	// WarmupTime is the framework restart time before training resumes.
 	WarmupTime simclock.Duration
+	// RetryBase is the first retry delay when no consistent checkpoint
+	// version is reachable (e.g. the peers holding it are partitioned
+	// away); subsequent retries back off exponentially.
+	RetryBase simclock.Duration
+	// RetryMax bounds the retry attempts before the root agent gives up
+	// on peer retrieval and falls back to remote persistent storage.
+	RetryMax int
 }
 
 // DefaultOptions mirrors the paper's measured values.
@@ -65,6 +72,8 @@ func DefaultOptions(iterTime simclock.Duration) Options {
 		RetrievalRemoteBandwidth: 20e9 / 8,
 		SerializeTime:            162 * simclock.Second,
 		WarmupTime:               4 * simclock.Minute,
+		RetryBase:                2 * simclock.Second,
+		RetryMax:                 4,
 	}
 }
 
@@ -80,6 +89,8 @@ func (o Options) validate() error {
 		return fmt.Errorf("agent: retrieval bandwidths must be positive")
 	case o.SerializeTime < 0 || o.WarmupTime < 0:
 		return fmt.Errorf("agent: negative recovery costs")
+	case o.RetryBase < 0 || o.RetryMax < 0:
+		return fmt.Errorf("agent: negative retry parameters")
 	}
 	return nil
 }
@@ -119,6 +130,11 @@ type System struct {
 
 	recoveries int
 	sweepEv    simclock.EventID
+
+	// Chaos state: ranks cut off from the network (heartbeats and peer
+	// retrieval both fail) and per-rank bandwidth factors for stragglers.
+	partitioned map[int]bool
+	stragglers  map[int]float64
 }
 
 // NewSystem builds the control plane for an n-machine cluster.
@@ -134,15 +150,17 @@ func NewSystem(engine *simclock.Engine, cl *cluster.Cluster, ck *ckpt.Engine,
 		log = trace.NewLog(engine.Now)
 	}
 	s := &System{
-		engine:    engine,
-		store:     kvstore.New(engine.Now),
-		cluster:   cl,
-		ckpt:      ck,
-		operator:  op,
-		placement: ck.Placement(),
-		opts:      opts,
-		log:       log,
-		rootRank:  -1,
+		engine:      engine,
+		store:       kvstore.New(engine.Now),
+		cluster:     cl,
+		ckpt:        ck,
+		operator:    op,
+		placement:   ck.Placement(),
+		opts:        opts,
+		log:         log,
+		rootRank:    -1,
+		partitioned: make(map[int]bool),
+		stragglers:  make(map[int]float64),
 	}
 	el, err := kvstore.NewElection(s.store, leaderKey)
 	if err != nil {
@@ -218,43 +236,60 @@ func (s *System) scheduleSweep() {
 func (s *System) startWorker(rank, incarnation int) {
 	w := &worker{rank: rank, incarnation: incarnation, alive: true}
 	s.workers[rank] = w
-	lease, err := s.store.Grant(s.opts.LeaseTTL)
-	if err != nil {
-		panic(fmt.Sprintf("agent: grant heartbeat lease: %v", err))
-	}
-	w.lease = lease
-	if _, err := s.store.Put(hbKey(rank), strconv.Itoa(incarnation), lease); err != nil {
-		panic(fmt.Sprintf("agent: write heartbeat: %v", err))
-	}
+	// The store may be unavailable (chaos): leave the lease at zero and
+	// let the heartbeat ticker repair it once the store returns.
+	s.refreshLease(w)
 	w.ticker = simclock.NewTicker(s.engine, s.opts.HeartbeatInterval, func(simclock.Time) {
-		if !w.alive {
+		if !w.alive || s.partitioned[w.rank] {
+			// A partitioned agent is running but cannot reach the store;
+			// its lease expires and the root declares it failed — exactly
+			// the ambiguity real partitions create.
 			return
 		}
-		if err := s.store.KeepAlive(w.lease); err != nil {
-			// Lease lost (e.g. a long stall): re-grant and re-publish.
-			lease, gerr := s.store.Grant(s.opts.LeaseTTL)
-			if gerr != nil {
-				return
-			}
-			w.lease = lease
-			_, _ = s.store.Put(hbKey(rank), strconv.Itoa(w.incarnation), lease)
-		}
+		s.refreshLease(w)
 		s.scheduleSweep()
 	})
 }
 
+// refreshLease renews w's heartbeat lease, re-granting it (and
+// re-publishing the heartbeat key) if it was lost to expiry or a store
+// outage. It reports whether the worker holds a live lease afterwards.
+func (s *System) refreshLease(w *worker) bool {
+	if w.lease != 0 {
+		if err := s.store.KeepAlive(w.lease); err == nil {
+			return true
+		}
+	}
+	lease, err := s.store.Grant(s.opts.LeaseTTL)
+	if err != nil {
+		w.lease = 0
+		return false
+	}
+	w.lease = lease
+	if _, err := s.store.Put(hbKey(w.rank), strconv.Itoa(w.incarnation), lease); err != nil {
+		w.lease = 0
+		return false
+	}
+	return true
+}
+
 func hbKey(rank int) string { return hbPrefix + fmt.Sprintf("%04d", rank) }
 
-// promoteRoot elects a root among alive workers (lowest alive rank
-// campaigns first and wins) and starts its health-check loop.
+// promoteRoot elects a root among alive, reachable workers (lowest such
+// rank campaigns first and wins) and starts its health-check loop.
 func (s *System) promoteRoot() {
 	for rank, w := range s.workers {
-		if w == nil || !w.alive {
+		if w == nil || !w.alive || s.partitioned[rank] {
+			continue
+		}
+		// The candidate's lease may have lapsed (partition, store outage);
+		// campaigning with a dead lease can only fail.
+		if !s.refreshLease(w) {
 			continue
 		}
 		won, err := s.election.Campaign(fmt.Sprintf("rank-%d", rank), w.lease)
 		if err != nil {
-			panic(fmt.Sprintf("agent: campaign: %v", err))
+			continue // lease raced expiry or store went down; next candidate
 		}
 		if won {
 			s.rootRank = rank
@@ -288,9 +323,9 @@ func (s *System) InjectFailure(rank int, kind cluster.MachineState) {
 			s.data.WipeMachine(rank)
 		}
 	}
-	if _, err := s.store.Put(failurePrefix+strconv.Itoa(rank), kind.String(), 0); err != nil {
-		panic(err)
-	}
+	// A store outage loses the detector's report; beginRecovery falls
+	// back to the cluster's own state to classify the failure.
+	_, _ = s.store.Put(failurePrefix+strconv.Itoa(rank), kind.String(), 0)
 	s.log.Add("injector", "failure", "rank %d: %v", rank, kind)
 	s.scheduleSweep()
 }
@@ -307,6 +342,13 @@ func (s *System) rootCheck() {
 		// The root machine itself died; its lease will expire and a
 		// worker will take over via watchRootFailure.
 		s.rootTick.Stop()
+		return
+	}
+	if !s.store.Available() || s.partitioned[s.rootRank] {
+		// The root cannot reach the store: it sees nothing, not even its
+		// own heartbeat, and must not declare the whole cluster dead. It
+		// keeps polling; either the outage heals or its own lease expires
+		// and another machine takes over.
 		return
 	}
 	entries := s.store.Range(hbPrefix)

@@ -2,6 +2,7 @@ package agent
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 
 	"gemini/internal/ckpt"
@@ -61,9 +62,9 @@ func (s *System) completeIteration() {
 			}
 		}
 	}
-	if _, err := s.store.Put(iterationKey, strconv.FormatInt(iter, 10), 0); err != nil {
-		panic(err)
-	}
+	// Best-effort: during a store outage the committed-iteration key lags
+	// behind; recovery reads versions from the checkpoint engine, not here.
+	_, _ = s.store.Put(iterationKey, strconv.FormatInt(iter, 10), 0)
 }
 
 // remoteEvery returns the remote-tier cadence in iterations.
@@ -103,7 +104,10 @@ func (s *System) beginRecovery(failed []int) {
 	hardware := make(map[int]bool)
 	for _, rank := range failed {
 		entry, ok := s.store.Get(failurePrefix + strconv.Itoa(rank))
-		if ok && entry.Value == cluster.HardwareFailed.String() {
+		// The detector's report may have been lost to a store outage; the
+		// cluster's own state is the ground-truth fallback.
+		if (ok && entry.Value == cluster.HardwareFailed.String()) ||
+			s.cluster.Machine(rank).State() == cluster.HardwareFailed {
 			hardware[rank] = true
 		}
 		s.store.Delete(failurePrefix + strconv.Itoa(rank))
@@ -113,15 +117,34 @@ func (s *System) beginRecovery(failed []int) {
 	// Step 2: serialize resident checkpoints on all alive machines.
 	s.engine.After(s.opts.SerializeTime, func() {
 		s.log.Add("root-agent", "serialized", "in-memory checkpoints saved in %v", s.opts.SerializeTime)
+		// Software-failed machines restart in place regardless of whether
+		// hardware replacements are also in flight (a mixed failure must
+		// not leave them down). Partition suspects are Healthy and Restart
+		// is a no-op for them.
+		for _, rank := range failed {
+			if hardware[rank] {
+				continue
+			}
+			if err := s.cluster.Restart(rank); err != nil {
+				panic(err)
+			}
+		}
 		// Step 3: replace hardware failures (in parallel; wait for all).
+		// Sorted order keeps the operator's randomized provisioning delays
+		// deterministic for a given schedule.
 		pending := 0
 		proceed := func() {
 			if pending != 0 {
 				return
 			}
-			s.retrieveAndResume(failed, hardware)
+			s.attemptRetrieval(failed, hardware, 0)
 		}
+		ranks := make([]int, 0, len(hardware))
 		for rank := range hardware {
+			ranks = append(ranks, rank)
+		}
+		sort.Ints(ranks)
+		for _, rank := range ranks {
 			rank := rank
 			pending++
 			s.operator.RequestReplacement(rank, func(delay simclock.Duration) {
@@ -132,34 +155,61 @@ func (s *System) beginRecovery(failed []int) {
 			})
 		}
 		if pending == 0 {
-			// Software-only failure: restart processes in place.
-			for _, rank := range failed {
-				if err := s.cluster.Restart(rank); err != nil {
-					panic(err)
-				}
-			}
 			proceed()
 		}
 	})
 }
 
-// retrieveAndResume plans checkpoint retrieval, simulates its duration,
-// and restarts training.
-func (s *System) retrieveAndResume(failed []int, hardware map[int]bool) {
+// attemptRetrieval walks the §3.1 storage hierarchy: it looks for a
+// consistent checkpoint version among machines that still hold their CPU
+// memory AND are reachable (not partitioned away). If none is reachable
+// it retries with exponential backoff — partitions heal — and only after
+// RetryMax attempts falls back to remote persistent storage.
+func (s *System) attemptRetrieval(failed []int, hardware map[int]bool, attempt int) {
 	// CPU-memory availability: hardware-failed machines were wiped; the
 	// replacements arrive empty. Software-failed machines kept memory.
-	hasMemory := func(rank int) bool { return !hardware[rank] }
+	// Partitioned survivors hold memory but cannot serve fetches.
+	avail := func(rank int) bool { return !hardware[rank] && !s.partitioned[rank] }
 
-	version, ok := s.ckpt.ConsistentVersion(hasMemory)
+	version, ok := s.ckpt.ConsistentVersion(avail)
+	if !ok && attempt < s.opts.RetryMax {
+		// Retry only helps when the blocker is reachability: if the data
+		// survives somewhere beyond the partition, waiting for a heal can
+		// still beat the remote fallback. If the shards are truly gone
+		// (whole replica group wiped), go remote immediately.
+		if _, healable := s.ckpt.ConsistentVersion(func(rank int) bool { return !hardware[rank] }); healable {
+			delay := s.opts.RetryBase * simclock.Duration(int64(1)<<uint(attempt))
+			s.log.Add("root-agent", "retry-backoff",
+				"no reachable consistent version (attempt %d/%d); retrying in %v",
+				attempt+1, s.opts.RetryMax, delay)
+			s.engine.After(delay, func() {
+				s.attemptRetrieval(failed, hardware, attempt+1)
+			})
+			return
+		}
+	}
 	var retrieval simclock.Duration
 	var source string
 	if ok {
-		plan, err := s.ckpt.PlanRecovery(version, hasMemory)
+		plan, err := s.ckpt.PlanRecovery(version, avail)
 		if err != nil {
 			panic(fmt.Sprintf("agent: consistent version %d but no plan: %v", version, err))
 		}
+		// Partition suspects keep their own CPU memory: nothing can be
+		// delivered to them now, and nothing needs to be — they rejoin
+		// with their local copy when the partition heals. A machine that
+		// died undetected during this recovery can't take delivery either;
+		// it gets its own recovery wave. Only the rest are fetched.
+		active := plan[:0:0]
+		for _, r := range plan {
+			if !s.partitioned[r.Rank] && s.cluster.Machine(r.Rank).Healthy() {
+				active = append(active, r)
+			}
+		}
+		plan = active
 		// Peer fetches run in parallel; a peer serving several fetches
-		// serializes them on its NIC.
+		// serializes them on its NIC, and a straggling peer serves them at
+		// a fraction of its bandwidth.
 		perPeer := make(map[int]int)
 		anyPeer := false
 		for _, r := range plan {
@@ -168,13 +218,12 @@ func (s *System) retrieveAndResume(failed []int, hardware map[int]bool) {
 				anyPeer = true
 			}
 		}
-		maxFetches := 0
-		for _, c := range perPeer {
-			if c > maxFetches {
-				maxFetches = c
+		for peer, c := range perPeer {
+			t := simclock.Duration(float64(c) * s.ckpt.ShardBytes() / (s.opts.RetrievalPeerBandwidth * s.stragglerFactor(peer)))
+			if t > retrieval {
+				retrieval = t
 			}
 		}
-		retrieval = simclock.Duration(float64(maxFetches) * s.ckpt.ShardBytes() / s.opts.RetrievalPeerBandwidth)
 		source = "local"
 		if anyPeer {
 			source = "peer"
@@ -201,9 +250,13 @@ func (s *System) retrieveAndResume(failed []int, hardware map[int]bool) {
 			}
 		}
 	} else {
-		// §6.2 case 2: a whole replica group died — everyone reloads the
-		// newest remote checkpoint through the store's aggregate
-		// bandwidth.
+		// §6.2 case 2: a whole replica group died (or its survivors stayed
+		// unreachable through every retry) — everyone reloads the newest
+		// remote checkpoint through the store's aggregate bandwidth.
+		if attempt > 0 {
+			s.log.Add("root-agent", "fallback-remote",
+				"peer retrieval exhausted after %d attempts; falling back to persistent storage", attempt)
+		}
 		version = s.lastRemoteIteration()
 		if s.data != nil {
 			version = s.data.RemoteIteration()
@@ -223,6 +276,12 @@ func (s *System) retrieveAndResume(failed []int, hardware map[int]bool) {
 			}
 		}
 		for rank := 0; rank < s.placement.N; rank++ {
+			// The remote reload reaches live machines only: a rank that died
+			// undetected during this recovery stays empty and is reseeded by
+			// its own recovery wave once the detector catches up.
+			if !s.cluster.Machine(rank).Healthy() {
+				continue
+			}
 			if _, ok := s.ckpt.Completed(rank, rank); !ok {
 				s.ckpt.Begin(rank, rank, version)
 				s.ckpt.Receive(rank, rank, version, s.ckpt.ShardBytes())
@@ -240,7 +299,19 @@ func (s *System) retrieveAndResume(failed []int, hardware map[int]bool) {
 			}
 			s.iteration = version
 			for _, rank := range failed {
-				inc := s.workers[rank].incarnation
+				if s.partitioned[rank] {
+					// Still unreachable: it rejoins when the partition
+					// heals, not before.
+					continue
+				}
+				w := s.workers[rank]
+				if w.alive {
+					// A partition suspect that healed mid-recovery: the
+					// process never died, it just needs its lease back.
+					s.refreshLease(w)
+					continue
+				}
+				inc := w.incarnation
 				if hardware[rank] {
 					inc++
 				}

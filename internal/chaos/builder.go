@@ -1,0 +1,88 @@
+package chaos
+
+import (
+	"gemini/internal/cluster"
+	"gemini/internal/simclock"
+)
+
+// Builder composes a fault schedule fluently. Window-style faults
+// (partitions, stragglers, KV outages) take a duration and emit both the
+// opening and the closing event:
+//
+//	sched, err := chaos.NewBuilder().
+//		Partition(190, 40*simclock.Second, 3).
+//		CrashGroup(190, cluster.HardwareFailed, 2, 4).
+//		Build(16)
+type Builder struct {
+	events Schedule
+}
+
+// NewBuilder returns an empty schedule builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Crash fails one machine at the given time.
+func (b *Builder) Crash(at simclock.Time, rank int, state cluster.MachineState) *Builder {
+	b.events = append(b.events, Event{At: at, Kind: KindCrash, Ranks: []int{rank}, Machine: state})
+	return b
+}
+
+// CrashGroup fails several machines together at the given time — a
+// correlated failure of a rack or placement group.
+func (b *Builder) CrashGroup(at simclock.Time, state cluster.MachineState, ranks ...int) *Builder {
+	b.events = append(b.events, Event{At: at, Kind: KindCorrelatedCrash, Ranks: append([]int(nil), ranks...), Machine: state})
+	return b
+}
+
+// Partition isolates ranks from the rest of the cluster at the given
+// time and heals after healAfter.
+func (b *Builder) Partition(at simclock.Time, healAfter simclock.Duration, ranks ...int) *Builder {
+	b.events = append(b.events,
+		Event{At: at, Kind: KindPartitionStart, Ranks: append([]int(nil), ranks...)},
+		Event{At: at.Add(healAfter), Kind: KindPartitionHeal})
+	return b
+}
+
+// Straggler degrades a rank to factor of its bandwidth for the given
+// duration.
+func (b *Builder) Straggler(at simclock.Time, dur simclock.Duration, rank int, factor float64) *Builder {
+	b.events = append(b.events,
+		Event{At: at, Kind: KindStragglerStart, Ranks: []int{rank}, Factor: factor},
+		Event{At: at.Add(dur), Kind: KindStragglerEnd, Ranks: []int{rank}})
+	return b
+}
+
+// KVOutage takes the key-value store down for the given duration.
+func (b *Builder) KVOutage(at simclock.Time, dur simclock.Duration) *Builder {
+	b.events = append(b.events,
+		Event{At: at, Kind: KindKVOutage},
+		Event{At: at.Add(dur), Kind: KindKVRestore})
+	return b
+}
+
+// LeaseJitter enables lease-expiry jitter of up to max from the given
+// time onward.
+func (b *Builder) LeaseJitter(at simclock.Time, max simclock.Duration) *Builder {
+	b.events = append(b.events, Event{At: at, Kind: KindLeaseJitter, Jitter: max})
+	return b
+}
+
+// Build sorts the schedule deterministically and validates it against a
+// cluster of n machines.
+func (b *Builder) Build(n int) (Schedule, error) {
+	out := append(Schedule(nil), b.events...)
+	out.Sort()
+	if err := out.Validate(n); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MustBuild is Build, panicking on error — for statically-known-good
+// schedules in examples and tests.
+func (b *Builder) MustBuild(n int) Schedule {
+	s, err := b.Build(n)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

@@ -1,0 +1,34 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTopology(t *testing.T) {
+	top, err := NewTopology(8, 2)
+	if err != nil {
+		t.Fatalf("NewTopology: %v", err)
+	}
+	if top.Racks() != 4 || top.Machines() != 8 || top.RackSize() != 2 {
+		t.Fatalf("dimensions: racks=%d machines=%d size=%d", top.Racks(), top.Machines(), top.RackSize())
+	}
+	if top.Rack(0) != 0 || top.Rack(1) != 0 || top.Rack(2) != 1 || top.Rack(7) != 3 {
+		t.Fatal("rank→rack mapping wrong")
+	}
+	if got := top.RackMembers(1); !reflect.DeepEqual(got, []int{2, 3}) {
+		t.Fatalf("RackMembers(1) = %v", got)
+	}
+	all := top.AllRacks()
+	if len(all) != 4 || !reflect.DeepEqual(all[3], []int{6, 7}) {
+		t.Fatalf("AllRacks = %v", all)
+	}
+}
+
+func TestTopologyErrors(t *testing.T) {
+	for _, tc := range []struct{ n, size int }{{0, 1}, {8, 0}, {8, 3}, {-4, 2}} {
+		if _, err := NewTopology(tc.n, tc.size); err == nil {
+			t.Errorf("NewTopology(%d,%d) accepted", tc.n, tc.size)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"gemini/internal/agent"
 	"gemini/internal/baselines"
+	"gemini/internal/chaos"
 	"gemini/internal/ckpt"
 	"gemini/internal/cloud"
 	"gemini/internal/cluster"
@@ -44,6 +45,10 @@ type JobSpec struct {
 	// paper's setting; data-parallel and pipeline-parallel are the §9
 	// future-work extensions).
 	Parallelism training.Parallelism
+	// Faults is an optional chaos schedule armed against the recovery
+	// system: crashes, correlated failures, partitions, stragglers, store
+	// outages. Build one with chaos.NewBuilder.
+	Faults chaos.Schedule
 }
 
 func (j JobSpec) withDefaults() JobSpec {
@@ -82,6 +87,9 @@ func NewJob(spec JobSpec) (*Job, error) {
 	}
 	cfg, err := training.NewConfig(m, it, spec.Machines)
 	if err != nil {
+		return nil, err
+	}
+	if err := spec.Faults.Validate(spec.Machines); err != nil {
 		return nil, err
 	}
 	if !cfg.FitsInGPUMemory() {
@@ -214,7 +222,8 @@ func (j *Job) SimulateRunScaled(spec baselines.Spec, machines int, fs failure.Sc
 }
 
 // RecoverySystem assembles the live agent-based control plane for the
-// job on a fresh simulation engine.
+// job on a fresh simulation engine. If the spec carries a fault
+// schedule, it is armed against the system before the engine runs.
 func (j *Job) RecoverySystem(cloudCfg cloud.Config) (*simclock.Engine, *agent.System, error) {
 	engine := simclock.NewEngine()
 	clus, err := cluster.New(j.Spec.Machines, j.Config.Instance, engine.Now)
@@ -237,6 +246,9 @@ func (j *Job) RecoverySystem(cloudCfg cloud.Config) (*simclock.Engine, *agent.Sy
 	sys, err := agent.NewSystem(engine, clus, ck, op, opts, log)
 	if err != nil {
 		return nil, nil, err
+	}
+	if len(j.Spec.Faults) > 0 {
+		chaos.Arm(engine, sys, j.Spec.Faults)
 	}
 	return engine, sys, nil
 }

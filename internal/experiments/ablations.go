@@ -18,6 +18,7 @@ func Ablations() []Experiment {
 		{"ablation-gamma", "Ablation: Algorithm 2 safety coefficient γ", AblationGamma},
 		{"ablation-standby", "Ablation: standby machines vs on-demand replacement", AblationStandby},
 		{"ablation-parallelism", "Extension: checkpoint scheduling under other parallelisms (§9)", AblationParallelism},
+		{"ablation-correlated", "Ablation: independent vs correlated rack failures, group vs rack-aware placement", Correlated},
 	}
 }
 

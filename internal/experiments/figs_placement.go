@@ -48,3 +48,41 @@ func Fig9() (string, error) {
 	}
 	return t.String(), nil
 }
+
+// Correlated compares recovery probability under the paper's independent
+// fail-stop model against correlated whole-rack failures, for Algorithm
+// 1's group placement (whose groups align with racks of size m) and the
+// rack-aware variant (whose groups deliberately span racks). Independent
+// failures cannot tell the two apart; losing even one rack wipes an
+// aligned group while the rack-aware layout survives every single-rack
+// loss by construction.
+func Correlated() (string, error) {
+	const n, m, rackSize = 16, 2, 2
+	aligned, err := placement.Mixed(n, m)
+	if err != nil {
+		return "", err
+	}
+	rackAware, err := placement.RackAware(n, m, rackSize)
+	if err != nil {
+		return "", err
+	}
+	racks, err := placement.Racks(n, rackSize)
+	if err != nil {
+		return "", err
+	}
+	t := newTable("k", "independent, group", "independent, rack-aware", "k racks down, group", "k racks down, rack-aware")
+	for k := 1; k <= 4; k++ {
+		cg, err := placement.CorrelatedProbability(aligned, racks, k)
+		if err != nil {
+			return "", err
+		}
+		cr, err := placement.CorrelatedProbability(rackAware, racks, k)
+		if err != nil {
+			return "", err
+		}
+		t.addf("%d|%.3f|%.3f|%.3f|%.3f", k,
+			placement.BitmaskProbability(aligned, k),
+			placement.BitmaskProbability(rackAware, k), cg, cr)
+	}
+	return t.String(), nil
+}

@@ -26,7 +26,10 @@ type Event struct {
 // Schedule is a time-ordered list of failure events.
 type Schedule []Event
 
-// Validate checks ordering and event sanity.
+// Validate checks ordering and event sanity. Same-timestamp events must
+// be in ascending rank order and a rank may fail at most once per
+// instant, so injection order — and therefore the simulation — is fully
+// determined by the schedule's contents.
 func (s Schedule) Validate(n int) error {
 	for i, ev := range s {
 		if ev.Rank < 0 || ev.Rank >= n {
@@ -35,8 +38,19 @@ func (s Schedule) Validate(n int) error {
 		if ev.Kind != cluster.SoftwareFailed && ev.Kind != cluster.HardwareFailed {
 			return fmt.Errorf("failure: event %d has non-failure kind %v", i, ev.Kind)
 		}
-		if i > 0 && ev.At < s[i-1].At {
-			return fmt.Errorf("failure: events out of order at %d", i)
+		if i > 0 {
+			prev := s[i-1]
+			if ev.At < prev.At {
+				return fmt.Errorf("failure: events out of order at %d", i)
+			}
+			if ev.At == prev.At {
+				if ev.Rank == prev.Rank {
+					return fmt.Errorf("failure: duplicate events for rank %d at t=%v (index %d)", ev.Rank, ev.At, i)
+				}
+				if ev.Rank < prev.Rank {
+					return fmt.Errorf("failure: same-timestamp events at t=%v out of rank order (index %d)", ev.At, i)
+				}
+			}
 		}
 	}
 	return nil
@@ -174,12 +188,35 @@ func (m Model) ExpectedSimultaneousProbability(machines int, repairWindow simclo
 	return 1 - math.Exp(-lambda) - lambda*math.Exp(-lambda)
 }
 
-// Merge combines schedules into one ordered schedule.
+// Merge combines schedules into one deterministically ordered schedule:
+// by time, then rank, then kind. The result is independent of both the
+// argument order and the ordering within each input. When the same rank
+// appears twice at the same instant, the events are collapsed to one and
+// HardwareFailed wins — a machine that lost its hardware is down
+// regardless of what its software did at the same moment.
 func Merge(schedules ...Schedule) Schedule {
 	var out Schedule
 	for _, s := range schedules {
 		out = append(out, s...)
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
-	return out
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		if out[i].Rank != out[j].Rank {
+			return out[i].Rank < out[j].Rank
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	dedup := out[:0]
+	for _, ev := range out {
+		if n := len(dedup); n > 0 && dedup[n-1].At == ev.At && dedup[n-1].Rank == ev.Rank {
+			if ev.Kind == cluster.HardwareFailed {
+				dedup[n-1].Kind = cluster.HardwareFailed
+			}
+			continue
+		}
+		dedup = append(dedup, ev)
+	}
+	return dedup
 }

@@ -154,6 +154,18 @@ func TestValidateCatchesBadSchedules(t *testing.T) {
 	if err := bad.Validate(4); err == nil {
 		t.Error("out-of-order schedule accepted")
 	}
+	bad = Schedule{{At: 5, Rank: 1, Kind: cluster.SoftwareFailed}, {At: 5, Rank: 1, Kind: cluster.HardwareFailed}}
+	if err := bad.Validate(4); err == nil {
+		t.Error("duplicate (timestamp, rank) accepted")
+	}
+	bad = Schedule{{At: 5, Rank: 2, Kind: cluster.SoftwareFailed}, {At: 5, Rank: 1, Kind: cluster.SoftwareFailed}}
+	if err := bad.Validate(4); err == nil {
+		t.Error("same-timestamp events out of rank order accepted")
+	}
+	ok := Schedule{{At: 5, Rank: 1, Kind: cluster.SoftwareFailed}, {At: 5, Rank: 2, Kind: cluster.HardwareFailed}}
+	if err := ok.Validate(4); err != nil {
+		t.Errorf("tie broken by rank rejected: %v", err)
+	}
 }
 
 func TestSimultaneousGroups(t *testing.T) {
@@ -196,6 +208,33 @@ func TestMergeOrders(t *testing.T) {
 	}
 	if err := merged.Validate(4); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Merge must be insensitive to argument order, break timestamp ties by
+// rank, and collapse duplicate (timestamp, rank) pairs with hardware
+// failures dominating.
+func TestMergeDeterministicTies(t *testing.T) {
+	a := Schedule{{At: 5, Rank: 3, Kind: cluster.SoftwareFailed}, {At: 5, Rank: 3, Kind: cluster.HardwareFailed}}
+	b := Schedule{{At: 5, Rank: 1, Kind: cluster.SoftwareFailed}}
+	m1 := Merge(a, b)
+	m2 := Merge(b, a)
+	if len(m1) != 2 || len(m2) != 2 {
+		t.Fatalf("merged lengths %d/%d, want 2 (duplicates collapsed)", len(m1), len(m2))
+	}
+	for i := range m1 {
+		if m1[i] != m2[i] {
+			t.Fatalf("merge depends on argument order: %v vs %v", m1, m2)
+		}
+	}
+	if m1[0].Rank != 1 || m1[1].Rank != 3 {
+		t.Fatalf("tie not broken by rank: %v", m1)
+	}
+	if m1[1].Kind != cluster.HardwareFailed {
+		t.Fatalf("hardware failure did not dominate duplicate: %v", m1)
+	}
+	if err := m1.Validate(4); err != nil {
+		t.Fatalf("merged schedule invalid: %v", err)
 	}
 }
 

@@ -1,0 +1,161 @@
+package kvstore
+
+import (
+	"errors"
+	"testing"
+
+	"gemini/internal/simclock"
+)
+
+func TestUnavailableWindow(t *testing.T) {
+	clk := &fakeClock{}
+	s := New(clk.now)
+	if _, err := s.Put("a", "1", 0); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	lid, err := s.Grant(10)
+	if err != nil {
+		t.Fatalf("Grant: %v", err)
+	}
+
+	s.SetAvailable(false)
+	if s.Available() {
+		t.Fatal("store reports available while down")
+	}
+	if _, err := s.Put("b", "2", 0); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("Put while down: err=%v, want ErrUnavailable", err)
+	}
+	if _, _, err := s.CompareAndSwap("a", 0, "x", 0); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("CAS while down: err=%v, want ErrUnavailable", err)
+	}
+	if _, err := s.Grant(5); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("Grant while down: err=%v, want ErrUnavailable", err)
+	}
+	if err := s.KeepAlive(lid); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("KeepAlive while down: err=%v, want ErrUnavailable", err)
+	}
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("Get served data while down")
+	}
+	if got := s.Range(""); got != nil {
+		t.Fatalf("Range while down returned %v", got)
+	}
+	if s.Delete("a") {
+		t.Fatal("Delete succeeded while down")
+	}
+	if s.NextExpiry() != simclock.Forever {
+		t.Fatal("NextExpiry while down should be Forever")
+	}
+
+	s.SetAvailable(true)
+	if e, ok := s.Get("a"); !ok || e.Value != "1" {
+		t.Fatalf("Get after restore: %+v %v", e, ok)
+	}
+}
+
+// TestOutageFreezesLeases: a quorum-less etcd cannot expire leases, so an
+// outage longer than a lease's TTL must not kill the lease; its remaining
+// TTL is preserved across the window.
+func TestOutageFreezesLeases(t *testing.T) {
+	clk := &fakeClock{}
+	s := New(clk.now)
+	lid, err := s.Grant(10)
+	if err != nil {
+		t.Fatalf("Grant: %v", err)
+	}
+	if _, err := s.Put("hb", "x", lid); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+
+	clk.t = 7 // 3s of TTL left
+	s.SetAvailable(false)
+	clk.t = 100 // outage lasts 93s, far past the TTL
+	s.SetAvailable(true)
+
+	rem, ok := s.LeaseRemaining(lid)
+	if !ok {
+		t.Fatal("lease expired across the outage; TTL should have frozen")
+	}
+	if rem != 3 {
+		t.Fatalf("lease remaining after restore = %v, want 3", rem)
+	}
+	if _, ok := s.Get("hb"); !ok {
+		t.Fatal("leased key lost across the outage")
+	}
+
+	clk.t = 104 // 1s past the shifted expiry
+	s.Sweep()
+	if _, ok := s.Get("hb"); ok {
+		t.Fatal("leased key survived past shifted expiry")
+	}
+}
+
+// TestLeaseExpiryRacesCAS: a lease expiring at exactly the instant of a
+// CompareAndSwap must be swept first, so a CAS guarding on the dying
+// key's revision loses, and a CAS-create of the same key wins.
+func TestLeaseExpiryRacesCAS(t *testing.T) {
+	clk := &fakeClock{}
+	s := New(clk.now)
+	lid, err := s.Grant(10)
+	if err != nil {
+		t.Fatalf("Grant: %v", err)
+	}
+	rev, err := s.Put("leader", "old-root", lid)
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+
+	clk.t = 10 // lease expires exactly now
+	_, won, err := s.CompareAndSwap("leader", rev, "usurper", 0)
+	if err != nil {
+		t.Fatalf("CAS: %v", err)
+	}
+	if won {
+		t.Fatal("CAS against an expired key's revision won; sweep must run first")
+	}
+	_, won, err = s.CompareAndSwap("leader", 0, "new-root", 0)
+	if err != nil || !won {
+		t.Fatalf("CAS-create after expiry: won=%v err=%v", won, err)
+	}
+	e, _ := s.Get("leader")
+	if e.Value != "new-root" {
+		t.Fatalf("leader = %q, want new-root", e.Value)
+	}
+}
+
+func TestLeaseJitterDeterministic(t *testing.T) {
+	expiries := func(seed int64) []simclock.Time {
+		clk := &fakeClock{}
+		s := New(clk.now)
+		s.SetLeaseJitter(5, seed)
+		var out []simclock.Time
+		for i := 0; i < 4; i++ {
+			lid, err := s.Grant(10)
+			if err != nil {
+				t.Fatalf("Grant: %v", err)
+			}
+			rem, _ := s.LeaseRemaining(lid)
+			out = append(out, clk.now().Add(rem))
+		}
+		return out
+	}
+	a, b := expiries(1), expiries(1)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+		if a[i] < 10 || a[i] >= 15 {
+			t.Fatalf("expiry %v outside [TTL, TTL+max)", a[i])
+		}
+	}
+	c := expiries(2)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter sequences")
+	}
+}

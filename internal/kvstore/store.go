@@ -10,6 +10,7 @@
 package kvstore
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -17,6 +18,11 @@ import (
 
 	"gemini/internal/simclock"
 )
+
+// ErrUnavailable is returned by store operations while the store is inside
+// an injected unavailability window (chaos testing): the etcd cluster has
+// lost quorum and serves nothing. Clients are expected to retry.
+var ErrUnavailable = errors.New("kvstore: store unavailable")
 
 // LeaseID identifies a granted lease. Zero means "no lease".
 type LeaseID int64
@@ -90,6 +96,16 @@ type Store struct {
 	pending    []Event
 	delivering bool
 	deliverMu  sync.Mutex
+
+	// Chaos controls. While down, every operation fails (reads return
+	// nothing, writes return ErrUnavailable) and lease TTLs are frozen:
+	// an etcd cluster that lost quorum cannot expire leases either.
+	down      bool
+	downSince simclock.Time
+	// jitterMax > 0 adds a deterministic pseudo-random extension of up to
+	// jitterMax to every lease expiry computed by Grant and KeepAlive.
+	jitterMax   simclock.Duration
+	jitterState uint64
 }
 
 // New creates a store whose lease clock is supplied by now. A nil now
@@ -105,9 +121,69 @@ func New(now func() simclock.Time) *Store {
 	}
 }
 
+// SetAvailable opens (up=false) or closes (up=true) an unavailability
+// window. While down the store serves nothing and lease clocks freeze;
+// on restore every outstanding lease expiry is shifted by the outage
+// duration, so a lease that had 3s of TTL left when the outage began
+// still has 3s left when it ends.
+func (s *Store) SetAvailable(up bool) {
+	defer s.flush()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if up == !s.down {
+		return
+	}
+	if !up {
+		s.down = true
+		s.downSince = s.now()
+		return
+	}
+	pause := s.now().Sub(s.downSince)
+	s.down = false
+	for _, l := range s.leases {
+		l.expires = l.expires.Add(pause)
+	}
+	s.sweepLocked()
+}
+
+// Available reports whether the store is currently serving requests.
+func (s *Store) Available() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.down
+}
+
+// SetLeaseJitter makes Grant and KeepAlive extend each computed lease
+// expiry by a deterministic pseudo-random duration in [0, max). Zero max
+// disables jitter. The seed fixes the pseudo-random sequence so chaos
+// runs are reproducible.
+func (s *Store) SetLeaseJitter(max simclock.Duration, seed int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jitterMax = max
+	s.jitterState = uint64(seed)
+}
+
+// jitterLocked draws the next jitter amount (SplitMix64). Callers hold s.mu.
+func (s *Store) jitterLocked() simclock.Duration {
+	if s.jitterMax <= 0 {
+		return 0
+	}
+	s.jitterState += 0x9E3779B97F4A7C15
+	z := s.jitterState
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	frac := float64(z%(1<<20)) / float64(1<<20)
+	return simclock.Duration(float64(s.jitterMax) * frac)
+}
+
 // sweepLocked expires leases due at the current instant, deleting their
 // keys and emitting delete events. Callers hold s.mu.
 func (s *Store) sweepLocked() {
+	if s.down {
+		return
+	}
 	t := s.now()
 	var expired []*lease
 	for _, l := range s.leases {
@@ -200,6 +276,9 @@ func (s *Store) Put(key, value string, leaseID LeaseID) (int64, error) {
 	defer s.flush()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.down {
+		return 0, ErrUnavailable
+	}
 	s.sweepLocked()
 	return s.putLocked(key, value, leaseID)
 }
@@ -232,6 +311,9 @@ func (s *Store) Get(key string) (Entry, bool) {
 	defer s.flush()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.down {
+		return Entry{}, false
+	}
 	s.sweepLocked()
 	e, ok := s.data[key]
 	return e, ok
@@ -242,6 +324,9 @@ func (s *Store) Delete(key string) bool {
 	defer s.flush()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.down {
+		return false
+	}
 	s.sweepLocked()
 	e, ok := s.data[key]
 	if !ok {
@@ -268,6 +353,9 @@ func (s *Store) CompareAndSwap(key string, expectRev int64, value string, leaseI
 	defer s.flush()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.down {
+		return 0, false, ErrUnavailable
+	}
 	s.sweepLocked()
 	cur, exists := s.data[key]
 	if expectRev == 0 {
@@ -289,6 +377,9 @@ func (s *Store) Range(prefix string) []Entry {
 	defer s.flush()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.down {
+		return nil
+	}
 	s.sweepLocked()
 	var out []Entry
 	for k, e := range s.data {
@@ -308,10 +399,13 @@ func (s *Store) Grant(ttl simclock.Duration) (LeaseID, error) {
 	defer s.flush()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.down {
+		return 0, ErrUnavailable
+	}
 	s.sweepLocked()
 	s.nextLease++
 	id := s.nextLease
-	s.leases[id] = &lease{id: id, ttl: ttl, expires: s.now().Add(ttl), keys: make(map[string]bool)}
+	s.leases[id] = &lease{id: id, ttl: ttl, expires: s.now().Add(ttl + s.jitterLocked()), keys: make(map[string]bool)}
 	return id, nil
 }
 
@@ -322,12 +416,15 @@ func (s *Store) KeepAlive(id LeaseID) error {
 	defer s.flush()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.down {
+		return ErrUnavailable
+	}
 	s.sweepLocked()
 	l := s.leases[id]
 	if l == nil {
 		return fmt.Errorf("kvstore: lease %d not found (expired?)", id)
 	}
-	l.expires = s.now().Add(l.ttl)
+	l.expires = s.now().Add(l.ttl + s.jitterLocked())
 	return nil
 }
 
@@ -336,6 +433,9 @@ func (s *Store) Revoke(id LeaseID) {
 	defer s.flush()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.down {
+		return
+	}
 	l := s.leases[id]
 	if l == nil {
 		return
@@ -363,6 +463,9 @@ func (s *Store) LeaseRemaining(id LeaseID) (simclock.Duration, bool) {
 func (s *Store) NextExpiry() simclock.Time {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.down {
+		return simclock.Forever
+	}
 	earliest := simclock.Forever
 	for _, l := range s.leases {
 		if l.expires < earliest {

@@ -1,0 +1,137 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"gemini/internal/simclock"
+)
+
+func TestPartitionKillsCrossFlows(t *testing.T) {
+	e, f := newTestFabric(t, 4, Config{EgressBytesPerSec: 100})
+	var crossState, innerState FlowState
+	f.StartFlow(0, 2, 1000, "cross", func(fl *Flow) { crossState = fl.State() })
+	f.StartFlow(2, 3, 1000, "inner", func(fl *Flow) { innerState = fl.State() })
+	e.After(1, func() { f.SetPartition([]int{2, 3}) })
+	e.RunAll()
+	if crossState != FlowFailed {
+		t.Fatalf("cross-partition flow state %v, want failed", crossState)
+	}
+	if innerState != FlowDone {
+		t.Fatalf("intra-partition flow state %v, want done", innerState)
+	}
+	if f.Reachable(0, 2) || !f.Reachable(2, 3) || !f.Reachable(0, 1) {
+		t.Fatal("Reachable disagrees with partition")
+	}
+}
+
+func TestPartitionBlocksNewFlowsUntilHealed(t *testing.T) {
+	e, f := newTestFabric(t, 3, Config{EgressBytesPerSec: 100})
+	f.SetPartition([]int{2})
+	var firstState FlowState
+	f.StartFlow(0, 2, 500, "blocked", func(fl *Flow) { firstState = fl.State() })
+	e.RunAll()
+	if firstState != FlowFailed {
+		t.Fatalf("flow into partition state %v, want failed", firstState)
+	}
+	f.ClearPartition()
+	var secondState FlowState
+	f.StartFlow(0, 2, 500, "healed", func(fl *Flow) { secondState = fl.State() })
+	e.RunAll()
+	if secondState != FlowDone {
+		t.Fatalf("flow after heal state %v, want done", secondState)
+	}
+}
+
+// A partition landing inside a flow's α startup window must fail the flow
+// when the window elapses, not let it transfer across the cut.
+func TestPartitionDuringStartupWindow(t *testing.T) {
+	e, f := newTestFabric(t, 2, Config{EgressBytesPerSec: 100, Alpha: 1})
+	var state FlowState
+	f.StartFlow(0, 1, 500, "t", func(fl *Flow) { state = fl.State() })
+	e.After(0.5, func() { f.SetPartition([]int{1}) })
+	e.RunAll()
+	if state != FlowFailed {
+		t.Fatalf("flow partitioned mid-startup state %v, want failed", state)
+	}
+}
+
+func TestNodeFailureDuringStartupWindow(t *testing.T) {
+	e, f := newTestFabric(t, 2, Config{EgressBytesPerSec: 100, Alpha: 1})
+	var state FlowState
+	f.StartFlow(0, 1, 500, "t", func(fl *Flow) { state = fl.State() })
+	e.After(0.5, func() { f.SetNodeUp(1, false) })
+	e.RunAll()
+	if state != FlowFailed {
+		t.Fatalf("flow whose destination died mid-startup state %v, want failed", state)
+	}
+}
+
+func TestNodeFactorSlowsFlows(t *testing.T) {
+	e, f := newTestFabric(t, 2, Config{EgressBytesPerSec: 100})
+	f.SetNodeFactor(1, 0.25)
+	var done simclock.Time
+	f.StartFlow(0, 1, 1000, "t", func(*Flow) { done = e.Now() })
+	e.RunAll()
+	want := simclock.Time(1000.0 / 25) // 100 B/s scaled to 25 B/s
+	if math.Abs(float64(done-want)) > 1e-6 {
+		t.Fatalf("straggler flow finished at %v, want %v", done, want)
+	}
+	if f.NodeFactor(1) != 0.25 || f.NodeFactor(0) != 1 {
+		t.Fatal("NodeFactor accessors wrong")
+	}
+}
+
+func TestLinkFactorCapsOneLinkOnly(t *testing.T) {
+	e, f := newTestFabric(t, 3, Config{EgressBytesPerSec: 100})
+	f.SetLinkFactor(0, 1, 0.1)
+	var slow, fast simclock.Time
+	f.StartFlow(0, 1, 100, "slow", func(*Flow) { slow = e.Now() })
+	f.StartFlow(2, 1, 100, "fast", func(*Flow) { fast = e.Now() })
+	e.RunAll()
+	// Degraded link runs at 10 B/s; the other flow gets the ingress
+	// remainder (90 B/s) once water-filling frees it.
+	if math.Abs(float64(slow)-10) > 1e-6 {
+		t.Fatalf("degraded flow finished at %v, want 10", slow)
+	}
+	if fast >= slow {
+		t.Fatalf("undegraded flow (%v) not faster than degraded (%v)", fast, slow)
+	}
+	// Clearing the factor restores full speed.
+	f.SetLinkFactor(0, 1, 1)
+	var again simclock.Time
+	f.StartFlow(0, 1, 100, "restored", func(*Flow) { again = e.Now() })
+	e.RunAll()
+	if math.Abs(float64(again-slow)-1) > 1e-6 {
+		t.Fatalf("restored flow took %v, want 1s", again-slow)
+	}
+}
+
+func TestPartitionGroupOverlapPanics(t *testing.T) {
+	_, f := newTestFabric(t, 4, Config{EgressBytesPerSec: 100})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overlapping partition groups accepted")
+		}
+	}()
+	f.SetPartition([]int{0, 1}, []int{1, 2})
+}
+
+func TestBadFactorsPanic(t *testing.T) {
+	_, f := newTestFabric(t, 2, Config{EgressBytesPerSec: 100})
+	for _, fn := range []func(){
+		func() { f.SetNodeFactor(0, 0) },
+		func() { f.SetNodeFactor(0, 1.5) },
+		func() { f.SetLinkFactor(0, 1, -0.5) },
+		func() { f.SetLinkFactor(0, 1, math.NaN()) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad factor accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -140,6 +140,16 @@ type Fabric struct {
 	nodes  []*node
 	flows  map[*Flow]struct{}
 
+	// partition assigns each node a partition id; nil means fully
+	// connected. Flows may only cross between nodes with equal ids.
+	partition []int
+	// linkFactor caps a directed link at a fraction of its endpoints'
+	// NIC bandwidth; absent links are undegraded.
+	linkFactor map[[2]int]float64
+	// nodeFactor scales a node's effective NIC bandwidth (straggler
+	// injection); nil means every node runs at full speed.
+	nodeFactor []float64
+
 	lastSettle simclock.Time
 	completion simclock.EventID
 }
@@ -203,7 +213,7 @@ func (fb *Fabric) StartFlow(src, dst int, bytes float64, label string, onDone fu
 		fabric: fb, bytes: bytes, remaining: bytes,
 		state: FlowStarting, started: fb.engine.Now(), onDone: onDone,
 	}
-	if !fb.nodes[src].up || !fb.nodes[dst].up {
+	if !fb.nodes[src].up || !fb.nodes[dst].up || !fb.Reachable(src, dst) {
 		// Fail asynchronously so callers never observe a callback during
 		// StartFlow itself.
 		fb.engine.After(0, func() {
@@ -215,6 +225,12 @@ func (fb *Fabric) StartFlow(src, dst int, bytes float64, label string, onDone fu
 	}
 	fl.startEv = fb.engine.After(fb.cfg.Alpha, func() {
 		if fl.state != FlowStarting {
+			return
+		}
+		// An endpoint may have failed or been partitioned away during the
+		// startup window; such flows never carried a byte and fail here.
+		if !fb.nodes[fl.Src].up || !fb.nodes[fl.Dst].up || !fb.Reachable(fl.Src, fl.Dst) {
+			fb.finishFlow(fl, FlowFailed)
 			return
 		}
 		fb.settle()
@@ -278,6 +294,118 @@ func (fb *Fabric) NodeCapacity(i int) (egress, ingress float64) {
 func (fb *Fabric) NodeUp(i int) bool {
 	fb.checkNode(i)
 	return fb.nodes[i].up
+}
+
+// SetPartition splits the fabric: each listed group can only talk within
+// itself, and all unlisted nodes form one residual component. Active
+// flows crossing a partition boundary fail immediately; flows in their
+// startup window fail when the window elapses. A later call replaces the
+// previous partition wholesale.
+func (fb *Fabric) SetPartition(groups ...[]int) {
+	part := make([]int, len(fb.nodes))
+	for gi, group := range groups {
+		for _, i := range group {
+			fb.checkNode(i)
+			if part[i] != 0 {
+				panic(fmt.Sprintf("netsim: node %d listed in two partition groups", i))
+			}
+			part[i] = gi + 1
+		}
+	}
+	fb.settle()
+	fb.partition = part
+	for fl := range fb.flows {
+		if !fb.Reachable(fl.Src, fl.Dst) {
+			fb.finishFlow(fl, FlowFailed)
+		}
+	}
+	fb.reschedule()
+}
+
+// ClearPartition heals all partitions.
+func (fb *Fabric) ClearPartition() {
+	fb.partition = nil
+}
+
+// Reachable reports whether two endpoints can currently exchange bytes,
+// considering only partitions (not node health).
+func (fb *Fabric) Reachable(i, j int) bool {
+	fb.checkNode(i)
+	fb.checkNode(j)
+	if fb.partition == nil {
+		return true
+	}
+	return fb.partition[i] == fb.partition[j]
+}
+
+// SetLinkFactor degrades the directed link src→dst to the given fraction
+// of its endpoints' NIC bandwidth. factor must be in (0, 1]; 1 removes
+// the degradation.
+func (fb *Fabric) SetLinkFactor(src, dst int, factor float64) {
+	fb.checkNode(src)
+	fb.checkNode(dst)
+	if factor <= 0 || factor > 1 || math.IsNaN(factor) {
+		panic(fmt.Sprintf("netsim: link factor must be in (0,1], got %v", factor))
+	}
+	fb.settle()
+	if factor == 1 {
+		delete(fb.linkFactor, [2]int{src, dst})
+	} else {
+		if fb.linkFactor == nil {
+			fb.linkFactor = make(map[[2]int]float64)
+		}
+		fb.linkFactor[[2]int{src, dst}] = factor
+	}
+	fb.reschedule()
+}
+
+// SetNodeFactor scales endpoint i's effective NIC bandwidth — straggler
+// injection. factor must be in (0, 1]; 1 restores full speed.
+func (fb *Fabric) SetNodeFactor(i int, factor float64) {
+	fb.checkNode(i)
+	if factor <= 0 || factor > 1 || math.IsNaN(factor) {
+		panic(fmt.Sprintf("netsim: node factor must be in (0,1], got %v", factor))
+	}
+	fb.settle()
+	if fb.nodeFactor == nil {
+		fb.nodeFactor = make([]float64, len(fb.nodes))
+		for j := range fb.nodeFactor {
+			fb.nodeFactor[j] = 1
+		}
+	}
+	fb.nodeFactor[i] = factor
+	fb.reschedule()
+}
+
+// NodeFactor returns endpoint i's current bandwidth scale.
+func (fb *Fabric) NodeFactor(i int) float64 {
+	fb.checkNode(i)
+	if fb.nodeFactor == nil {
+		return 1
+	}
+	return fb.nodeFactor[i]
+}
+
+// nodeScale is NodeFactor without the bounds re-check, for hot paths.
+func (fb *Fabric) nodeScale(i int) float64 {
+	if fb.nodeFactor == nil {
+		return 1
+	}
+	return fb.nodeFactor[i]
+}
+
+// flowCap returns the per-flow rate ceiling imposed by link degradation,
+// or +Inf when the flow's link is undegraded.
+func (fb *Fabric) flowCap(fl *Flow) float64 {
+	f, ok := fb.linkFactor[[2]int{fl.Src, fl.Dst}]
+	if !ok {
+		return math.Inf(1)
+	}
+	eff := math.Min(
+		fb.nodes[fl.Src].egressCap*fb.nodeScale(fl.Src),
+		fb.nodes[fl.Dst].ingressCap*fb.nodeScale(fl.Dst),
+	)
+	return f * eff
 }
 
 // BusyTime returns how long endpoint i has had at least one active flow
@@ -426,13 +554,13 @@ func (fb *Fabric) computeRates() {
 		unfrozen[fl] = true
 		e := egress[fl.Src]
 		if e == nil {
-			e = &cap{remaining: fb.nodes[fl.Src].egressCap}
+			e = &cap{remaining: fb.nodes[fl.Src].egressCap * fb.nodeScale(fl.Src)}
 			egress[fl.Src] = e
 		}
 		e.flows = append(e.flows, fl)
 		in := ingress[fl.Dst]
 		if in == nil {
-			in = &cap{remaining: fb.nodes[fl.Dst].ingressCap}
+			in = &cap{remaining: fb.nodes[fl.Dst].ingressCap * fb.nodeScale(fl.Dst)}
 			ingress[fl.Dst] = in
 		}
 		in.flows = append(in.flows, fl)
@@ -446,8 +574,10 @@ func (fb *Fabric) computeRates() {
 		}
 		return k
 	}
+	eps := 1e-6 * fb.cfg.EgressBytesPerSec
 	for len(unfrozen) > 0 {
-		// Find the tightest constraint: min over caps of remaining/unfrozen.
+		// Find the tightest constraint: min over caps of remaining/unfrozen,
+		// and min over unfrozen flows of headroom to their link cap.
 		limit := math.Inf(1)
 		for _, group := range []map[int]*cap{egress, ingress} {
 			for _, c := range group {
@@ -460,11 +590,19 @@ func (fb *Fabric) computeRates() {
 				}
 			}
 		}
+		for fl := range unfrozen {
+			if head := fb.flowCap(fl) - fl.rate; head < limit {
+				limit = head
+			}
+		}
 		if math.IsInf(limit, 1) {
 			break
 		}
+		if limit < 0 {
+			limit = 0
+		}
 		// Raise every unfrozen flow by limit, then freeze flows on any
-		// capacity that is now exhausted.
+		// capacity that is now exhausted and flows that hit their link cap.
 		for fl := range unfrozen {
 			fl.rate += limit
 		}
@@ -477,7 +615,7 @@ func (fb *Fabric) computeRates() {
 		froze := false
 		for _, group := range []map[int]*cap{egress, ingress} {
 			for _, c := range group {
-				if c.remaining <= 1e-6*fb.cfg.EgressBytesPerSec {
+				if c.remaining <= eps {
 					for _, fl := range c.flows {
 						if unfrozen[fl] {
 							delete(unfrozen, fl)
@@ -485,6 +623,12 @@ func (fb *Fabric) computeRates() {
 						}
 					}
 				}
+			}
+		}
+		for fl := range unfrozen {
+			if fl.rate >= fb.flowCap(fl)-eps {
+				delete(unfrozen, fl)
+				froze = true
 			}
 		}
 		if !froze {
