@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race ci bench tables
+.PHONY: all build vet test race ci bench bench-smoke tables
 
 all: ci
 
@@ -20,8 +20,15 @@ race:
 # detector.
 ci: build vet race
 
+# Full benchmark suite (3 repetitions, allocation stats); the raw JSON
+# event stream lands in BENCH_<date>.json for later comparison.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	./bench.sh
+
+# One iteration of every benchmark — a fast CI smoke test that the
+# benchmarks themselves still run.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem ./...
 
 tables:
 	$(GO) run ./cmd/benchtables

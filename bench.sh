@@ -1,0 +1,19 @@
+#!/bin/sh
+# Benchmark suite runner: executes every Benchmark* three times with
+# allocation stats and records the raw `go test -json` event stream in
+# BENCH_<date>.json, so runs on different machines/dates can be diffed
+# (e.g. with benchstat fed from the "Output" fields).
+#
+# Usage:
+#   ./bench.sh                # full suite, -count=3
+#   ./bench.sh -benchtime=1x  # extra args are passed to `go test`
+set -eu
+
+out="BENCH_$(date +%Y-%m-%d).json"
+echo "writing $out" >&2
+go test -json -run='^$' -bench=. -benchmem -count=3 "$@" ./... >"$out"
+grep -c '"Action":"output"' "$out" >/dev/null || {
+	echo "bench run produced no output events" >&2
+	exit 1
+}
+echo "done: $out" >&2

@@ -7,10 +7,12 @@ package gemini
 // rendered tables come from `go run ./cmd/benchtables`.
 
 import (
+	"context"
 	"testing"
 
 	"gemini/internal/baselines"
 	"gemini/internal/experiments"
+	"gemini/internal/parallel"
 	"gemini/internal/placement"
 	"gemini/internal/schedule"
 	"gemini/internal/simclock"
@@ -33,6 +35,35 @@ func benchExperiment(b *testing.B, id string) {
 
 func BenchmarkTable1InstanceCatalog(b *testing.B) { benchExperiment(b, "table1") }
 func BenchmarkTable2ModelConfigs(b *testing.B)    { benchExperiment(b, "table2") }
+
+// BenchmarkAllTables regenerates the full evaluation — every table and
+// figure — through the concurrent experiment runner, once serially and
+// once at GOMAXPROCS workers. The gap between the two sub-benchmarks is
+// the wall-clock win of the parallel layer on this machine.
+func BenchmarkAllTables(b *testing.B) {
+	exps := experiments.All()
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			if bc.workers == 0 && parallel.Workers() == 1 {
+				b.Skip("GOMAXPROCS=1: parallel run would duplicate serial")
+			}
+			var bytes int
+			for i := 0; i < b.N; i++ {
+				bytes = 0
+				for _, r := range experiments.RunAll(context.Background(), exps, bc.workers) {
+					if r.Err != nil {
+						b.Fatalf("%s: %v", r.ID, r.Err)
+					}
+					bytes += len(r.Output)
+				}
+			}
+			b.ReportMetric(float64(bytes), "table-bytes")
+		})
+	}
+}
 
 // BenchmarkFig7IterationTime measures the iteration-time overhead of
 // per-iteration GEMINI checkpointing on the 100B models (paper: none).

@@ -1,14 +1,18 @@
 // Command benchtables regenerates the paper's evaluation tables and
-// figures from the simulator.
+// figures from the simulator. Experiments run concurrently (they are
+// independent), so the full sweep is bounded by the slowest experiment;
+// output is still printed in paper order.
 //
 // Usage:
 //
 //	benchtables              # run everything
 //	benchtables -only fig9   # one experiment
 //	benchtables -list        # list experiment IDs
+//	benchtables -workers 1   # serial run
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +24,7 @@ func main() {
 	only := flag.String("only", "", "run a single experiment by ID (e.g. fig9, table1, ablation-gamma)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	ablations := flag.Bool("ablations", false, "also run the design-choice ablations")
+	workers := flag.Int("workers", 0, "number of concurrent experiments (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *list {
@@ -40,13 +45,17 @@ func main() {
 		}
 		run = []experiments.Experiment{e}
 	}
-	for _, e := range run {
-		fmt.Printf("== %s — %s ==\n", e.ID, e.Title)
-		out, err := e.Run()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
-			os.Exit(1)
+	failed := false
+	for _, r := range experiments.RunAll(context.Background(), run, *workers) {
+		fmt.Printf("== %s — %s ==\n", r.ID, r.Title)
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.ID, r.Err)
+			failed = true
+			continue
 		}
-		fmt.Println(out)
+		fmt.Println(r.Output)
+	}
+	if failed {
+		os.Exit(1)
 	}
 }

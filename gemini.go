@@ -159,9 +159,18 @@ func RecoveryProbabilityExact(p *Placement, k int) float64 {
 	return placement.BitmaskProbability(p, k)
 }
 
-// RecoveryProbabilityMonteCarlo estimates it for large clusters.
+// RecoveryProbabilityMonteCarlo estimates it for large clusters. Trials
+// run sharded across GOMAXPROCS workers; the estimate depends only on
+// (p, k, trials, seed), never on the worker count.
 func RecoveryProbabilityMonteCarlo(p *Placement, k, trials int, seed int64) float64 {
 	return placement.MonteCarlo(p, k, trials, seed)
+}
+
+// RecoveryProbabilityMonteCarloWorkers is RecoveryProbabilityMonteCarlo
+// with an explicit worker count (≤ 0 means GOMAXPROCS); any worker count
+// yields the identical estimate.
+func RecoveryProbabilityMonteCarloWorkers(p *Placement, k, trials int, seed int64, workers int) float64 {
+	return placement.MonteCarloWorkers(p, k, trials, seed, workers)
 }
 
 // CorrelatedRecoveryProbability is the rack-level analogue of

@@ -1,0 +1,110 @@
+package ckpt
+
+import (
+	"fmt"
+	"testing"
+
+	"gemini/internal/placement"
+)
+
+// benchEngine builds a fully checkpointed n-machine engine with one
+// hardware failure (rank 0 wiped), so PlanRecovery exercises both the
+// local and remote-CPU paths.
+func benchEngine(n int) (*Engine, func(int) bool) {
+	e := MustNewEngine(placement.MustMixed(n, 2), shardSize)
+	checkpointAll(e, 100)
+	e.Wipe(0)
+	return e, allAlive
+}
+
+// The parallel plan (n ≥ planParallelRanks forces the pool) must be
+// identical to the inline plan, retrieval for retrieval.
+func TestPlanRecoveryParallelMatchesInline(t *testing.T) {
+	n := planParallelRanks + 17 // odd size: last pool shard is short
+	e, alive := benchEngine(n)
+	want := make([]Retrieval, 0, n)
+	for rank := 0; rank < n; rank++ {
+		r, err := e.planRank(rank, 100, alive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, r)
+	}
+	got, err := e.PlanRecovery(100, alive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parallel plan has %d retrievals, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rank %d: parallel %+v != inline %+v", i, got[i], want[i])
+		}
+	}
+	if got[0].Source != SourceRemoteCPU {
+		t.Fatalf("wiped rank 0 plans %v, want remote-cpu", got[0].Source)
+	}
+}
+
+// An inconsistent version must report the lowest failing rank, exactly
+// as the serial loop did, regardless of scheduling.
+func TestPlanRecoveryDeterministicError(t *testing.T) {
+	n := planParallelRanks
+	e, _ := benchEngine(n)
+	// Kill rank 3 and all its replica holders: ranks 3 and 7 both become
+	// unplannable; the error must name rank 3.
+	dead := map[int]bool{3: true}
+	for _, h := range e.Placement().Replicas(3) {
+		dead[h] = true
+	}
+	for _, h := range e.Placement().Replicas(7) {
+		dead[h] = true
+	}
+	dead[7] = true
+	alive := func(r int) bool { return !dead[r] }
+	want := ""
+	for rank := 0; rank < n; rank++ {
+		if _, err := e.planRank(rank, 100, alive); err != nil {
+			want = err.Error()
+			break
+		}
+	}
+	if want == "" {
+		t.Fatal("expected at least one unplannable rank")
+	}
+	for trial := 0; trial < 20; trial++ {
+		_, err := e.PlanRecovery(100, alive)
+		if err == nil || err.Error() != want {
+			t.Fatalf("trial %d: err %v, want %q", trial, err, want)
+		}
+	}
+}
+
+func BenchmarkPlanRecovery(b *testing.B) {
+	for _, n := range []int{64, 1024, 4096} {
+		e, alive := benchEngine(n)
+		b.Run(fmt.Sprintf("N%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.PlanRecovery(100, alive); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkConsistentVersion(b *testing.B) {
+	for _, n := range []int{64, 1024} {
+		e, alive := benchEngine(n)
+		b.Run(fmt.Sprintf("N%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, ok := e.ConsistentVersion(alive); !ok {
+					b.Fatal("no consistent version")
+				}
+			}
+		})
+	}
+}

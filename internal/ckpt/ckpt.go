@@ -9,9 +9,11 @@
 package ckpt
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"gemini/internal/parallel"
 	"gemini/internal/placement"
 )
 
@@ -326,33 +328,48 @@ func (e *Engine) ConsistentVersion(alive func(int) bool) (int64, bool) {
 	return best, found
 }
 
+// planParallelRanks gates parallel recovery planning: below this many
+// ranks the per-rank lookups are too cheap to amortize goroutine
+// startup, so planning stays inline.
+const planParallelRanks = 512
+
 // PlanRecovery produces each rank's retrieval instruction for recovering
 // at version v (as returned by ConsistentVersion). Machines whose local
 // slot has the shard read locally; others fetch from the lowest-ranked
 // alive peer holding it. An error means v is not actually consistent.
+//
+// Each rank's instruction depends only on the engine's committed state
+// (read-only here), so large clusters plan ranks concurrently; results
+// stay in rank order and the reported error is the lowest failing rank,
+// identical to the serial plan.
 func (e *Engine) PlanRecovery(v int64, alive func(int) bool) ([]Retrieval, error) {
-	plan := make([]Retrieval, 0, e.n)
-	for rank := 0; rank < e.n; rank++ {
-		if (alive == nil || alive(rank)) && e.hasVersion(rank, rank, v) {
-			plan = append(plan, Retrieval{Rank: rank, Source: SourceLocal})
-			continue
-		}
-		found := false
-		for _, holder := range e.placement.Replicas(rank) {
-			if holder == rank || (alive != nil && !alive(holder)) {
-				continue
-			}
-			if e.hasVersion(holder, rank, v) {
-				plan = append(plan, Retrieval{Rank: rank, Source: SourceRemoteCPU, Peer: holder, Bytes: e.shardSize})
-				found = true
-				break
-			}
-		}
-		if !found {
-			return nil, fmt.Errorf("ckpt: version %d not consistent: rank %d has no alive holder", v, rank)
-		}
+	workers := 1
+	if e.n >= planParallelRanks {
+		workers = 0 // GOMAXPROCS
+	}
+	plan, err := parallel.Map(context.Background(), workers, e.n, func(rank int) (Retrieval, error) {
+		return e.planRank(rank, v, alive)
+	})
+	if err != nil {
+		return nil, err
 	}
 	return plan, nil
+}
+
+// planRank resolves one rank's retrieval source for version v.
+func (e *Engine) planRank(rank int, v int64, alive func(int) bool) (Retrieval, error) {
+	if (alive == nil || alive(rank)) && e.hasVersion(rank, rank, v) {
+		return Retrieval{Rank: rank, Source: SourceLocal}, nil
+	}
+	for _, holder := range e.placement.Replicas(rank) {
+		if holder == rank || (alive != nil && !alive(holder)) {
+			continue
+		}
+		if e.hasVersion(holder, rank, v) {
+			return Retrieval{Rank: rank, Source: SourceRemoteCPU, Peer: holder, Bytes: e.shardSize}, nil
+		}
+	}
+	return Retrieval{}, fmt.Errorf("ckpt: version %d not consistent: rank %d has no alive holder", v, rank)
 }
 
 // PersistentPlan returns the all-from-persistent-storage recovery plan

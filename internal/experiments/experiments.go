@@ -5,8 +5,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"time"
+
+	"gemini/internal/parallel"
 )
 
 // Experiment identifies one table or figure.
@@ -43,6 +47,39 @@ func ByID(id string) (Experiment, error) {
 		}
 	}
 	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// Result is the outcome of one experiment run.
+type Result struct {
+	ID      string
+	Title   string
+	Output  string
+	Err     error
+	Elapsed time.Duration
+}
+
+// RunAll executes the experiments concurrently on up to workers
+// goroutines (≤ 0 means GOMAXPROCS) and returns one Result per
+// experiment, in input order regardless of completion order — the
+// regenerate-everything run is bounded by the slowest experiment, not
+// the sum. Every experiment builds its own jobs and tables, so runs are
+// independent; a failure is recorded in its Result rather than aborting
+// the sweep. Cancelling the context stops scheduling new experiments.
+func RunAll(ctx context.Context, exps []Experiment, workers int) []Result {
+	out := make([]Result, len(exps))
+	parallel.ForEachErr(ctx, workers, len(exps), func(i int) error {
+		start := time.Now()
+		text, err := exps[i].Run()
+		out[i] = Result{
+			ID:      exps[i].ID,
+			Title:   exps[i].Title,
+			Output:  text,
+			Err:     err,
+			Elapsed: time.Since(start),
+		}
+		return ctx.Err()
+	})
+	return out
 }
 
 // table is a tiny text-table builder.

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -49,6 +51,60 @@ func TestAblationGammaShowsOverflowAtLowGamma(t *testing.T) {
 	}
 	if !strings.Contains(out, "true") {
 		t.Fatalf("γ sweep never fits:\n%s", out)
+	}
+}
+
+// RunAll must return the same outputs as running each experiment
+// serially, in the same order, at every worker count. Running this under
+// `go test -race` is also the proof that the experiments are safe to run
+// concurrently — they share no mutable state.
+func TestRunAllMatchesSerial(t *testing.T) {
+	exps := append(All(), Ablations()...)
+	want := make([]string, len(exps))
+	for i, e := range exps {
+		out, err := e.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		want[i] = out
+	}
+	for _, workers := range []int{1, 4} {
+		results := RunAll(context.Background(), exps, workers)
+		if len(results) != len(exps) {
+			t.Fatalf("workers=%d: got %d results, want %d", workers, len(results), len(exps))
+		}
+		for i, r := range results {
+			if r.Err != nil {
+				t.Fatalf("workers=%d %s: %v", workers, r.ID, r.Err)
+			}
+			if r.ID != exps[i].ID {
+				t.Fatalf("workers=%d slot %d: got %s, want %s (order lost)", workers, i, r.ID, exps[i].ID)
+			}
+			if r.Output != want[i] {
+				t.Errorf("workers=%d %s: concurrent output differs from serial", workers, r.ID)
+			}
+		}
+	}
+}
+
+// A failing experiment must be reported in its own Result without
+// aborting the rest of the sweep.
+func TestRunAllIsolatesFailures(t *testing.T) {
+	boom := errors.New("boom")
+	exps := []Experiment{
+		{ID: "ok1", Title: "ok", Run: func() (string, error) { return "a", nil }},
+		{ID: "bad", Title: "bad", Run: func() (string, error) { return "", boom }},
+		{ID: "ok2", Title: "ok", Run: func() (string, error) { return "b", nil }},
+	}
+	results := RunAll(context.Background(), exps, 2)
+	if results[0].Err != nil || results[0].Output != "a" {
+		t.Fatalf("ok1: %+v", results[0])
+	}
+	if !errors.Is(results[1].Err, boom) {
+		t.Fatalf("bad: err = %v, want boom", results[1].Err)
+	}
+	if results[2].Err != nil || results[2].Output != "b" {
+		t.Fatalf("ok2: %+v", results[2])
 	}
 }
 

@@ -1,6 +1,9 @@
 package placement
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 func BenchmarkMixedConstruction(b *testing.B) {
 	for i := 0; i < b.N; i++ {
@@ -21,6 +24,27 @@ func BenchmarkMonteCarloN1000(b *testing.B) {
 	p := MustMixed(1000, 2)
 	for i := 0; i < b.N; i++ {
 		_ = MonteCarlo(p, 3, 10_000, 1)
+	}
+}
+
+// BenchmarkMonteCarloWorkers sweeps the worker count on a large trial
+// budget — the parallel-speedup headline for EXPERIMENTS.md. Every
+// variant computes the identical estimate (see determinism_test.go);
+// only the wall clock changes.
+func BenchmarkMonteCarloWorkers(b *testing.B) {
+	p := MustMixed(1000, 2)
+	const trials = 200_000
+	for _, workers := range []int{1, 2, 4, 0} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = "workers=max"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = MonteCarloWorkers(p, 3, trials, 1, workers)
+			}
+		})
 	}
 }
 

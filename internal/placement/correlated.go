@@ -3,6 +3,8 @@ package placement
 import (
 	"fmt"
 	"math/bits"
+
+	"gemini/internal/parallel"
 )
 
 // This file extends the §4 probability analysis from independent machine
@@ -106,22 +108,36 @@ func CorrelatedProbability(p *Placement, racks [][]int, k int) (float64, error) 
 		}
 	}
 	failureSets := kSubsets(len(racks), k)
-	survived := 0
-	failed := make(map[int]bool, p.N)
-	for _, set := range failureSets {
-		clear(failed)
-		rem := set
-		for rem != 0 {
-			rack := bits.TrailingZeros32(rem)
-			rem &= rem - 1
-			for _, rank := range racks[rack] {
-				failed[rank] = true
+	// Shard the enumeration into fixed-size chunks of the subset list and
+	// count survivals per chunk on private scratch maps. The chunking
+	// depends only on len(failureSets), and summing exact integer counts
+	// is order-independent, so the probability is identical for any
+	// worker count — same discipline as MonteCarloWorkers.
+	const chunk = 1 << 12
+	chunks := (len(failureSets) + chunk - 1) / chunk
+	survived := parallel.SumInt64(0, chunks, func(c int) int64 {
+		lo, hi := c*chunk, (c+1)*chunk
+		if hi > len(failureSets) {
+			hi = len(failureSets)
+		}
+		failed := make(map[int]bool, p.N)
+		var n int64
+		for _, set := range failureSets[lo:hi] {
+			clear(failed)
+			rem := set
+			for rem != 0 {
+				rack := bits.TrailingZeros32(rem)
+				rem &= rem - 1
+				for _, rank := range racks[rack] {
+					failed[rank] = true
+				}
+			}
+			if p.Survives(failed) {
+				n++
 			}
 		}
-		if p.Survives(failed) {
-			survived++
-		}
-	}
+		return n
+	})
 	return float64(survived) / float64(len(failureSets)), nil
 }
 

@@ -1,0 +1,92 @@
+package placement
+
+import (
+	"runtime"
+	"testing"
+)
+
+// The determinism contract of the sharded Monte-Carlo estimator: for a
+// fixed (placement, k, trials, seed), the estimate is a pinned constant —
+// the value obtained by running the fixed-size shards serially — and the
+// worker count must never change it. A drift in any of these constants
+// means the seed-sharding scheme (seed+shardIndex per mcShardTrials-sized
+// shard) changed, which silently invalidates every recorded experiment.
+func TestMonteCarloPinnedAcrossWorkerCounts(t *testing.T) {
+	cases := []struct {
+		name   string
+		p      *Placement
+		k      int
+		trials int
+		seed   int64
+		want   float64 // serial-run value, pinned
+	}{
+		{"N1000-k3-t10000-s1", MustMixed(1000, 2), 3, 10_000, 1, 0.9975},
+		{"N16-k3-t200000-s42", MustMixed(16, 2), 3, 200_000, 42, 0.80086},
+		{"N16-k4-t10000-s7", MustMixed(16, 2), 4, 10_000, 7, 0.6189},
+	}
+	for _, c := range cases {
+		for _, workers := range []int{1, 2, 8} {
+			if got := MonteCarloWorkers(c.p, c.k, c.trials, c.seed, workers); got != c.want {
+				t.Errorf("%s workers=%d: got %.17g, want %.17g", c.name, workers, got, c.want)
+			}
+		}
+		// The default entry point (GOMAXPROCS workers) must agree too.
+		if got := MonteCarlo(c.p, c.k, c.trials, c.seed); got != c.want {
+			t.Errorf("%s default workers (GOMAXPROCS=%d): got %.17g, want %.17g",
+				c.name, runtime.GOMAXPROCS(0), got, c.want)
+		}
+	}
+}
+
+// Trial counts that do not divide evenly into shards must still cover
+// exactly `trials` trials: the last, short shard changes the estimate, so
+// two adjacent counts around a shard boundary must differ only by the
+// marginal trials, and every worker count must agree on both.
+func TestMonteCarloShardBoundary(t *testing.T) {
+	p := MustMixed(64, 2)
+	for _, trials := range []int{1, mcShardTrials - 1, mcShardTrials, mcShardTrials + 1, 3 * mcShardTrials} {
+		want := MonteCarloWorkers(p, 3, trials, 11, 1)
+		for _, workers := range []int{2, 8} {
+			if got := MonteCarloWorkers(p, 3, trials, 11, workers); got != want {
+				t.Errorf("trials=%d workers=%d: got %.17g, want %.17g", trials, workers, got, want)
+			}
+		}
+	}
+}
+
+// CorrelatedProbability is an exact enumeration; its chunked parallel
+// count must match a straightforward serial recount exactly.
+func TestCorrelatedProbabilityMatchesSerialRecount(t *testing.T) {
+	const n, m, rackSize = 16, 2, 2
+	p := MustRackAware(n, m, rackSize)
+	racks, err := Racks(n, rackSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= 4; k++ {
+		got, err := CorrelatedProbability(p, racks, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Serial recount over the same subset enumeration.
+		sets := kSubsets(len(racks), k)
+		survived := 0
+		for _, set := range sets {
+			failed := map[int]bool{}
+			for rack := 0; rack < len(racks); rack++ {
+				if set&(1<<uint(rack)) != 0 {
+					for _, rank := range racks[rack] {
+						failed[rank] = true
+					}
+				}
+			}
+			if p.Survives(failed) {
+				survived++
+			}
+		}
+		want := float64(survived) / float64(len(sets))
+		if got != want {
+			t.Errorf("k=%d: chunked %v != serial %v", k, got, want)
+		}
+	}
+}

@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"gemini/internal/parallel"
 )
 
 // Kind names a placement strategy.
@@ -479,23 +481,54 @@ func ExactProbability(p *Placement, k int) float64 {
 	return survived / total
 }
 
+// mcShardTrials is the fixed Monte-Carlo shard size. Sharding is a
+// function of the trial count alone — never of the worker count — so the
+// estimate for a given (seed, trials) is bit-identical whether the shards
+// run serially or across any number of goroutines.
+const mcShardTrials = 4096
+
 // MonteCarlo estimates the recovery probability under k simultaneous
 // failures with the given number of uniformly random failure sets. The
-// estimate is deterministic for a fixed seed.
+// estimate is deterministic for a fixed seed: trials are partitioned into
+// fixed-size shards, shard i draws from its own SplitMix64 stream seeded
+// seed+i, and the per-shard survival counts are summed. Shards run on up
+// to GOMAXPROCS goroutines; use MonteCarloWorkers to bound them.
 func MonteCarlo(p *Placement, k, trials int, seed int64) float64 {
+	return MonteCarloWorkers(p, k, trials, seed, 0)
+}
+
+// MonteCarloWorkers is MonteCarlo with an explicit worker bound
+// (workers ≤ 0 means GOMAXPROCS). The result depends only on
+// (p, k, trials, seed) — the worker count affects wall-clock time, never
+// the estimate.
+func MonteCarloWorkers(p *Placement, k, trials int, seed int64, workers int) float64 {
 	if k < 0 || k > p.N {
 		panic(fmt.Sprintf("placement: k=%d out of range [0,%d]", k, p.N))
 	}
 	if k == 0 || trials <= 0 {
 		return 1
 	}
+	shards := (trials + mcShardTrials - 1) / mcShardTrials
+	survived := parallel.SumInt64(workers, shards, func(shard int) int64 {
+		n := mcShardTrials
+		if shard == shards-1 {
+			n = trials - shard*mcShardTrials
+		}
+		return mcShard(p, k, n, seed+int64(shard))
+	})
+	return float64(survived) / float64(trials)
+}
+
+// mcShard runs one shard's trials on a private PRNG stream and scratch
+// state, returning the number of survived failure sets.
+func mcShard(p *Placement, k, trials int, seed int64) int64 {
 	rng := newSplitMix(uint64(seed))
 	perm := make([]int, p.N)
 	for i := range perm {
 		perm[i] = i
 	}
 	failed := make(map[int]bool, k)
-	survived := 0
+	var survived int64
 	for t := 0; t < trials; t++ {
 		// Partial Fisher–Yates: draw the first k elements.
 		for i := 0; i < k; i++ {
@@ -510,7 +543,7 @@ func MonteCarlo(p *Placement, k, trials int, seed int64) float64 {
 			delete(failed, perm[i])
 		}
 	}
-	return float64(survived) / float64(trials)
+	return survived
 }
 
 // splitMix is a tiny deterministic PRNG (SplitMix64), used instead of

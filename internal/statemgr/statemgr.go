@@ -117,6 +117,7 @@ func (m *Manager) Checkpoint(tracker *ckpt.Engine, iteration int64, healthy func
 				owner, state.Iteration, iteration)
 		}
 		var buf bytes.Buffer
+		buf.Grow(int(tensor.EncodedSize(state)))
 		if err := tensor.Encode(&buf, state); err != nil {
 			return err
 		}
@@ -164,6 +165,7 @@ func (m *Manager) CheckpointRemote(iteration int64) error {
 				owner, state.Iteration, iteration)
 		}
 		var buf bytes.Buffer
+		buf.Grow(int(tensor.EncodedSize(state)))
 		if err := tensor.Encode(&buf, state); err != nil {
 			return err
 		}
@@ -228,6 +230,7 @@ func (m *Manager) Recover(tracker *ckpt.Engine, plan []ckpt.Retrieval, version i
 		// A machine that fetched from a peer reseeds its own local copy.
 		if r.Source == ckpt.SourceRemoteCPU {
 			var buf bytes.Buffer
+			buf.Grow(int(tensor.EncodedSize(state)))
 			if err := tensor.Encode(&buf, state); err != nil {
 				return err
 			}

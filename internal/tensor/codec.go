@@ -8,6 +8,10 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+	"strings"
+	"sync"
+
+	"gemini/internal/parallel"
 )
 
 // Binary checkpoint format, the stand-in for torch.save/torch.load:
@@ -24,6 +28,13 @@ import (
 // Every length is validated against hard limits during decode so that a
 // truncated or corrupted checkpoint is detected rather than misread —
 // GEMINI must never resume training from a half-written checkpoint.
+//
+// The codec is pooled and allocation-free on its hot path: encodings are
+// assembled in a sync.Pool-backed buffer pre-sized by EncodedSize and
+// written to w in a single call, per-tensor CRC32Cs are computed
+// concurrently for large states, and decodes reuse pooled bufio.Readers.
+// The wire format is byte-identical to the original streaming encoder
+// (pinned by TestEncodeGoldenBytes).
 
 var magic = [8]byte{'G', 'E', 'M', 'C', 'K', 'P', 'T', '1'}
 
@@ -32,42 +43,47 @@ const (
 	maxNameLen    = 1 << 12
 	maxDims       = 16
 	maxTensorData = int64(1) << 40
+
+	// streamBufSize is the bufio buffer size for the streaming fallback
+	// paths (encodings too large to pool).
+	streamBufSize = 1 << 16
+	// maxPooledEncodeBytes caps the output buffers the encoder retains in
+	// its pool; larger encodings stream through a pooled bufio.Writer
+	// instead of holding tens of megabytes in the pool.
+	maxPooledEncodeBytes = 1 << 26
+	// concurrentCRCBytes is the payload size at which per-tensor CRCs are
+	// computed across goroutines rather than inline.
+	concurrentCRCBytes = 1 << 20
 )
 
 // ErrCorrupt is wrapped by all decode failures caused by damaged input.
 var ErrCorrupt = errors.New("tensor: corrupt checkpoint")
 
-// Encode serializes the state to w.
-func Encode(w io.Writer, s *State) error {
-	if err := s.Validate(); err != nil {
-		return err
-	}
-	if _, err := w.Write(magic[:]); err != nil {
-		return err
-	}
-	h := crc32.New(castagnoli)
-	mw := io.MultiWriter(w, h)
-	bw := bufio.NewWriterSize(mw, 1<<16)
+var (
+	encBufPool = sync.Pool{New: func() any { b := make([]byte, 0, streamBufSize); return &b }}
+	crcPool    = sync.Pool{New: func() any { c := make([]uint32, 0, 16); return &c }}
+	writerPool = sync.Pool{New: func() any { return bufio.NewWriterSize(io.Discard, streamBufSize) }}
+)
 
-	writeU64 := func(v uint64) {
-		var b [8]byte
-		binary.LittleEndian.PutUint64(b[:], v)
-		bw.Write(b[:])
-	}
-	writeU32 := func(v uint32) {
-		var b [4]byte
-		binary.LittleEndian.PutUint32(b[:], v)
-		bw.Write(b[:])
-	}
-	writeU16 := func(v uint16) {
-		var b [2]byte
-		binary.LittleEndian.PutUint16(b[:], v)
-		bw.Write(b[:])
-	}
+// drained is the placeholder source pooled readers are parked on so they
+// never retain a caller's reader.
+var drained = strings.NewReader("")
 
-	writeU64(uint64(s.Iteration))
-	writeU64(uint64(s.Shard))
-	writeU32(uint32(len(s.Tensors)))
+// tensorChecksums fills crcs[i] with tensor i's data CRC32C, hashing
+// concurrently when the payload is large enough to amortize the workers.
+func tensorChecksums(s *State, crcs []uint32) {
+	workers := 1
+	if len(s.Tensors) > 1 && s.Bytes() >= concurrentCRCBytes {
+		workers = 0 // GOMAXPROCS
+	}
+	parallel.ForEach(workers, len(s.Tensors), func(i int) {
+		crcs[i] = crc32.Checksum(s.Tensors[i].Data, castagnoli)
+	})
+}
+
+// checkEncodeLimits rejects states the wire format cannot represent,
+// before a single byte is written.
+func checkEncodeLimits(s *State) error {
 	for i := range s.Tensors {
 		t := &s.Tensors[i]
 		if len(t.Name) > maxNameLen {
@@ -76,7 +92,128 @@ func Encode(w io.Writer, s *State) error {
 		if len(t.Shape) > maxDims {
 			return fmt.Errorf("tensor: %s has %d dims, max %d", t.Name, len(t.Shape), maxDims)
 		}
-		writeU16(uint16(len(t.Name)))
+	}
+	return nil
+}
+
+// Encode serializes the state to w. Small and medium states (up to
+// maxPooledEncodeBytes) are assembled in a pooled buffer sized exactly by
+// EncodedSize and handed to w in one Write — nothing reaches w unless the
+// whole encoding succeeded; larger states stream through a pooled
+// bufio.Writer.
+func Encode(w io.Writer, s *State) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if err := checkEncodeLimits(s); err != nil {
+		return err
+	}
+	cp := crcPool.Get().(*[]uint32)
+	crcs := *cp
+	if cap(crcs) < len(s.Tensors) {
+		crcs = make([]uint32, len(s.Tensors))
+	} else {
+		crcs = crcs[:len(s.Tensors)]
+	}
+	defer func() {
+		*cp = crcs[:0]
+		crcPool.Put(cp)
+	}()
+	tensorChecksums(s, crcs)
+	if size := EncodedSize(s); size <= maxPooledEncodeBytes {
+		return encodeBuffered(w, s, int(size), crcs)
+	}
+	return encodeStreaming(w, s, crcs)
+}
+
+// encodeBuffered writes the entire encoding into a pooled buffer of the
+// exact final size and flushes it with a single w.Write.
+func encodeBuffered(w io.Writer, s *State, size int, crcs []uint32) error {
+	bp := encBufPool.Get().(*[]byte)
+	buf := *bp
+	if cap(buf) < size {
+		buf = make([]byte, size)
+	} else {
+		buf = buf[:size]
+	}
+	defer func() {
+		*bp = buf[:0]
+		encBufPool.Put(bp)
+	}()
+
+	copy(buf, magic[:])
+	off := len(magic)
+	binary.LittleEndian.PutUint64(buf[off:], uint64(s.Iteration))
+	binary.LittleEndian.PutUint64(buf[off+8:], uint64(s.Shard))
+	binary.LittleEndian.PutUint32(buf[off+16:], uint32(len(s.Tensors)))
+	off += 20
+	for i := range s.Tensors {
+		t := &s.Tensors[i]
+		binary.LittleEndian.PutUint16(buf[off:], uint16(len(t.Name)))
+		off += 2
+		off += copy(buf[off:], t.Name)
+		buf[off] = byte(t.DType)
+		buf[off+1] = byte(len(t.Shape))
+		off += 2
+		for _, d := range t.Shape {
+			binary.LittleEndian.PutUint64(buf[off:], uint64(d))
+			off += 8
+		}
+		binary.LittleEndian.PutUint64(buf[off:], uint64(len(t.Data)))
+		off += 8
+		off += copy(buf[off:], t.Data)
+		binary.LittleEndian.PutUint32(buf[off:], crcs[i])
+		off += 4
+	}
+	// Footer: CRC of everything after the magic, per-tensor CRCs included.
+	binary.LittleEndian.PutUint32(buf[off:], crc32.Checksum(buf[len(magic):off], castagnoli))
+	_, err := w.Write(buf)
+	return err
+}
+
+// crcWriter folds everything written through it into a running CRC32C.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.crc = crc32.Update(c.crc, castagnoli, p[:n])
+	return n, err
+}
+
+// encodeStreaming handles encodings too large to pool, streaming through
+// a pooled bufio.Writer.
+func encodeStreaming(w io.Writer, s *State, crcs []uint32) error {
+	if _, err := w.Write(magic[:]); err != nil {
+		return err
+	}
+	cw := &crcWriter{w: w}
+	bw := writerPool.Get().(*bufio.Writer)
+	bw.Reset(cw)
+	defer func() {
+		bw.Reset(io.Discard)
+		writerPool.Put(bw)
+	}()
+
+	var scratch [8]byte
+	writeU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(scratch[:], v)
+		bw.Write(scratch[:8])
+	}
+	writeU32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(scratch[:4], v)
+		bw.Write(scratch[:4])
+	}
+
+	writeU64(uint64(s.Iteration))
+	writeU64(uint64(s.Shard))
+	writeU32(uint32(len(s.Tensors)))
+	for i := range s.Tensors {
+		t := &s.Tensors[i]
+		binary.LittleEndian.PutUint16(scratch[:2], uint16(len(t.Name)))
+		bw.Write(scratch[:2])
 		bw.WriteString(t.Name)
 		bw.WriteByte(byte(t.DType))
 		bw.WriteByte(byte(len(t.Shape)))
@@ -85,78 +222,114 @@ func Encode(w io.Writer, s *State) error {
 		}
 		writeU64(uint64(len(t.Data)))
 		bw.Write(t.Data)
-		writeU32(t.Checksum())
+		writeU32(crcs[i])
 	}
 	if err := bw.Flush(); err != nil {
 		return err
 	}
 	var foot [4]byte
-	binary.LittleEndian.PutUint32(foot[:], h.Sum32())
+	binary.LittleEndian.PutUint32(foot[:], cw.crc)
 	_, err := w.Write(foot[:])
 	return err
 }
 
-// Decode reads a state from r, verifying all checksums.
+// decoder bundles every piece of decode scratch state — the buffered
+// reader, fixed-size read buffers, and the per-tensor CRC and mismatch
+// slices — into one pooled object, so a steady-state Decode allocates
+// nothing beyond the tensors it returns.
+type decoder struct {
+	br      *bufio.Reader
+	scratch [8]byte
+	nameBuf [maxNameLen]byte
+	crcs    []uint32
+	bad     []bool
+}
+
+var decoderPool = sync.Pool{New: func() any {
+	return &decoder{br: bufio.NewReaderSize(drained, streamBufSize)}
+}}
+
+func (d *decoder) readU64() (uint64, error) {
+	if _, err := io.ReadFull(d.br, d.scratch[:8]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(d.scratch[:8]), nil
+}
+
+func (d *decoder) readU32() (uint32, error) {
+	if _, err := io.ReadFull(d.br, d.scratch[:4]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(d.scratch[:4]), nil
+}
+
+func (d *decoder) readU16() (uint16, error) {
+	if _, err := io.ReadFull(d.br, d.scratch[:2]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(d.scratch[:2]), nil
+}
+
+// Decode reads a state from r, verifying all checksums. All scratch
+// state — the buffered reader, read buffers, CRC bookkeeping — comes
+// from a pooled decoder, and per-tensor CRC verification runs
+// concurrently for large states.
 func Decode(r io.Reader) (*State, error) {
-	var m [8]byte
-	if _, err := io.ReadFull(r, m[:]); err != nil {
+	d := decoderPool.Get().(*decoder)
+	d.br.Reset(r)
+	s, err := d.decodeAll()
+	d.br.Reset(drained)
+	d.crcs = d.crcs[:0]
+	decoderPool.Put(d)
+	return s, err
+}
+
+// decodeAll parses the magic and everything after it.
+func (d *decoder) decodeAll() (*State, error) {
+	br := d.br
+	if _, err := io.ReadFull(br, d.scratch[:8]); err != nil {
 		return nil, fmt.Errorf("%w: missing magic: %v", ErrCorrupt, err)
 	}
-	if m != magic {
-		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, m[:])
+	if d.scratch != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, d.scratch[:8])
 	}
-	br := bufio.NewReaderSize(r, 1<<16)
-
-	readU64 := func() (uint64, error) {
-		var b [8]byte
-		if _, err := io.ReadFull(br, b[:]); err != nil {
-			return 0, err
-		}
-		return binary.LittleEndian.Uint64(b[:]), nil
-	}
-	readU32 := func() (uint32, error) {
-		var b [4]byte
-		if _, err := io.ReadFull(br, b[:]); err != nil {
-			return 0, err
-		}
-		return binary.LittleEndian.Uint32(b[:]), nil
-	}
-	readU16 := func() (uint16, error) {
-		var b [2]byte
-		if _, err := io.ReadFull(br, b[:]); err != nil {
-			return 0, err
-		}
-		return binary.LittleEndian.Uint16(b[:]), nil
-	}
-
-	iter, err := readU64()
+	// body is the running CRC32C of the raw bytes between the magic and
+	// the footer, folded in as each field is read — the exact bytes the
+	// encoder hashed, with no re-serialization pass at the end.
+	body := uint32(0)
+	iter, err := d.readU64()
 	if err != nil {
 		return nil, fmt.Errorf("%w: header: %v", ErrCorrupt, err)
 	}
-	shard, err := readU64()
+	body = crc32.Update(body, castagnoli, d.scratch[:8])
+	shard, err := d.readU64()
 	if err != nil {
 		return nil, fmt.Errorf("%w: header: %v", ErrCorrupt, err)
 	}
-	n, err := readU32()
+	body = crc32.Update(body, castagnoli, d.scratch[:8])
+	n, err := d.readU32()
 	if err != nil {
 		return nil, fmt.Errorf("%w: header: %v", ErrCorrupt, err)
 	}
+	body = crc32.Update(body, castagnoli, d.scratch[:4])
 	if n > maxTensors {
 		return nil, fmt.Errorf("%w: %d tensors exceeds limit", ErrCorrupt, n)
 	}
+	d.crcs = d.crcs[:0]
 	s := &State{Iteration: int64(iter), Shard: int(shard), Tensors: make([]Tensor, 0, n)}
 	for i := uint32(0); i < n; i++ {
-		nameLen, err := readU16()
+		nameLen, err := d.readU16()
 		if err != nil {
 			return nil, fmt.Errorf("%w: tensor %d: %v", ErrCorrupt, i, err)
 		}
+		body = crc32.Update(body, castagnoli, d.scratch[:2])
 		if int(nameLen) > maxNameLen {
 			return nil, fmt.Errorf("%w: tensor %d name length %d", ErrCorrupt, i, nameLen)
 		}
-		name := make([]byte, nameLen)
-		if _, err := io.ReadFull(br, name); err != nil {
+		if _, err := io.ReadFull(br, d.nameBuf[:nameLen]); err != nil {
 			return nil, fmt.Errorf("%w: tensor %d name: %v", ErrCorrupt, i, err)
 		}
+		body = crc32.Update(body, castagnoli, d.nameBuf[:nameLen])
 		dtypeB, err := br.ReadByte()
 		if err != nil {
 			return nil, fmt.Errorf("%w: tensor %d dtype: %v", ErrCorrupt, i, err)
@@ -171,87 +344,124 @@ func Decode(r io.Reader) (*State, error) {
 		if int(ndim) > maxDims {
 			return nil, fmt.Errorf("%w: tensor %d has %d dims", ErrCorrupt, i, ndim)
 		}
+		d.scratch[0], d.scratch[1] = dtypeB, ndim
+		body = crc32.Update(body, castagnoli, d.scratch[:2])
 		shape := make([]int64, ndim)
 		for j := range shape {
-			d, err := readU64()
+			dim, err := d.readU64()
 			if err != nil {
 				return nil, fmt.Errorf("%w: tensor %d shape: %v", ErrCorrupt, i, err)
 			}
-			if d > math.MaxInt64 {
+			body = crc32.Update(body, castagnoli, d.scratch[:8])
+			if dim > math.MaxInt64 {
 				return nil, fmt.Errorf("%w: tensor %d dimension overflow", ErrCorrupt, i)
 			}
-			shape[j] = int64(d)
+			shape[j] = int64(dim)
 		}
-		dataLen, err := readU64()
+		dataLen, err := d.readU64()
 		if err != nil {
 			return nil, fmt.Errorf("%w: tensor %d data length: %v", ErrCorrupt, i, err)
 		}
-		if int64(dataLen) > maxTensorData {
+		body = crc32.Update(body, castagnoli, d.scratch[:8])
+		// Unsigned comparison: a corrupt dataLen ≥ 2^63 must not wrap
+		// negative and slip past the limit (it did before this codec).
+		if dataLen > uint64(maxTensorData) {
 			return nil, fmt.Errorf("%w: tensor %d data length %d exceeds limit", ErrCorrupt, i, dataLen)
 		}
-		data := make([]byte, dataLen)
-		if _, err := io.ReadFull(br, data); err != nil {
+		data, err := readData(br, dataLen)
+		if err != nil {
 			return nil, fmt.Errorf("%w: tensor %d data: %v", ErrCorrupt, i, err)
 		}
-		wantCRC, err := readU32()
+		body = crc32.Update(body, castagnoli, data)
+		crc, err := d.readU32()
 		if err != nil {
 			return nil, fmt.Errorf("%w: tensor %d crc: %v", ErrCorrupt, i, err)
 		}
-		t := Tensor{Name: string(name), DType: DType(dtypeB), Shape: shape, Data: data}
-		if got := t.Checksum(); got != wantCRC {
-			return nil, fmt.Errorf("%w: tensor %q crc mismatch %08x != %08x", ErrCorrupt, t.Name, got, wantCRC)
-		}
+		body = crc32.Update(body, castagnoli, d.scratch[:4])
+		d.crcs = append(d.crcs, crc)
+		t := Tensor{Name: string(d.nameBuf[:nameLen]), DType: DType(dtypeB), Shape: shape, Data: data}
 		if err := t.Validate(); err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 		}
 		s.Tensors = append(s.Tensors, t)
 	}
-	// The footer CRC covers the whole body; recompute it from the decoded
-	// state (buffered readahead makes hashing the raw stream inexact).
-	var foot [4]byte
-	if _, err := io.ReadFull(br, foot[:]); err != nil {
+	if bad := d.verifyChecksums(s); bad >= 0 {
+		t := &s.Tensors[bad]
+		return nil, fmt.Errorf("%w: tensor %q crc mismatch %08x != %08x",
+			ErrCorrupt, t.Name, t.Checksum(), d.crcs[bad])
+	}
+	// The footer CRC covers the whole body, which was folded into body
+	// field by field as the raw bytes were read.
+	if _, err := io.ReadFull(br, d.scratch[:4]); err != nil {
 		return nil, fmt.Errorf("%w: footer: %v", ErrCorrupt, err)
 	}
-	want := binary.LittleEndian.Uint32(foot[:])
-	if got := bodyChecksum(s); got != want {
-		return nil, fmt.Errorf("%w: body crc mismatch %08x != %08x", ErrCorrupt, got, want)
+	if want := binary.LittleEndian.Uint32(d.scratch[:4]); body != want {
+		return nil, fmt.Errorf("%w: body crc mismatch %08x != %08x", ErrCorrupt, body, want)
 	}
 	return s, nil
 }
 
-// bodyChecksum recomputes the footer CRC from a decoded state by
-// re-serializing the body portion through the hash.
-func bodyChecksum(s *State) uint32 {
-	h := crc32.New(castagnoli)
-	var b8 [8]byte
-	var b4 [4]byte
-	var b2 [2]byte
-	binary.LittleEndian.PutUint64(b8[:], uint64(s.Iteration))
-	h.Write(b8[:])
-	binary.LittleEndian.PutUint64(b8[:], uint64(s.Shard))
-	h.Write(b8[:])
-	binary.LittleEndian.PutUint32(b4[:], uint32(len(s.Tensors)))
-	h.Write(b4[:])
-	for i := range s.Tensors {
-		t := &s.Tensors[i]
-		binary.LittleEndian.PutUint16(b2[:], uint16(len(t.Name)))
-		h.Write(b2[:])
-		h.Write([]byte(t.Name))
-		h.Write([]byte{byte(t.DType), byte(len(t.Shape))})
-		for _, d := range t.Shape {
-			binary.LittleEndian.PutUint64(b8[:], uint64(d))
-			h.Write(b8[:])
+// readData reads a length-prefixed payload. Small payloads get one exact
+// allocation; large ones grow incrementally in chunks so that a corrupt
+// length field on a truncated stream errors out instead of committing a
+// terabyte-sized allocation up front.
+func readData(br *bufio.Reader, length uint64) ([]byte, error) {
+	const chunk = 1 << 20
+	if length <= chunk {
+		data := make([]byte, length)
+		if _, err := io.ReadFull(br, data); err != nil {
+			return nil, err
 		}
-		binary.LittleEndian.PutUint64(b8[:], uint64(len(t.Data)))
-		h.Write(b8[:])
-		h.Write(t.Data)
-		binary.LittleEndian.PutUint32(b4[:], t.Checksum())
-		h.Write(b4[:])
+		return data, nil
 	}
-	return h.Sum32()
+	data := make([]byte, 0, chunk)
+	for remaining := length; remaining > 0; {
+		n := uint64(chunk)
+		if n > remaining {
+			n = remaining
+		}
+		off := len(data)
+		data = append(data, make([]byte, n)...)
+		if _, err := io.ReadFull(br, data[off:]); err != nil {
+			return nil, err
+		}
+		remaining -= n
+	}
+	return data, nil
 }
 
-// EncodedSize returns the exact number of bytes Encode will produce.
+// verifyChecksums recomputes every tensor's data CRC against the stored
+// d.crcs — concurrently for large payloads — and returns the lowest
+// mismatching tensor index or -1. Scanning the mismatch slice serially
+// keeps the reported tensor deterministic under any worker count.
+func (d *decoder) verifyChecksums(s *State) int {
+	if len(s.Tensors) < 2 || s.Bytes() < concurrentCRCBytes {
+		for i := range s.Tensors {
+			if crc32.Checksum(s.Tensors[i].Data, castagnoli) != d.crcs[i] {
+				return i
+			}
+		}
+		return -1
+	}
+	if cap(d.bad) < len(s.Tensors) {
+		d.bad = make([]bool, len(s.Tensors))
+	}
+	bad := d.bad[:len(s.Tensors)]
+	crcs := d.crcs
+	parallel.ForEach(0, len(s.Tensors), func(i int) {
+		bad[i] = crc32.Checksum(s.Tensors[i].Data, castagnoli) != crcs[i]
+	})
+	for i, b := range bad {
+		if b {
+			return i
+		}
+	}
+	return -1
+}
+
+// EncodedSize returns the exact number of bytes Encode will produce — the
+// accounting pass that lets the encoder pre-size its output buffer and
+// callers pre-grow their destinations.
 func EncodedSize(s *State) int64 {
 	n := int64(len(magic)) + 8 + 8 + 4 + 4 // magic, iter, shard, count, footer
 	for i := range s.Tensors {

@@ -25,6 +25,29 @@ func FuzzDecode(f *testing.F) {
 	flipped[10] ^= 0xFF
 	f.Add(flipped)
 
+	// Corpus for the pooled/concurrent-CRC codec paths: footers truncated
+	// mid-u32 (the incremental body CRC must report corruption, not
+	// misread), a corrupted per-tensor CRC field (last tensor's stored
+	// checksum sits in the 4 bytes before the footer), and a zeroed
+	// footer with intact tensors (body-CRC mismatch after every
+	// per-tensor check passed).
+	f.Add(valid[:len(valid)-1])
+	f.Add(valid[:len(valid)-3])
+	f.Add(valid[:len(valid)-4])
+	badTensorCRC := append([]byte(nil), valid...)
+	badTensorCRC[len(badTensorCRC)-8] ^= 0x01
+	f.Add(badTensorCRC)
+	badFooter := append([]byte(nil), valid...)
+	for i := len(badFooter) - 4; i < len(badFooter); i++ {
+		badFooter[i] = 0
+	}
+	f.Add(badFooter)
+	// Data flipped with the per-tensor CRC left stale: the concurrent
+	// verify pass must catch it before the footer check runs.
+	badData := append([]byte(nil), valid...)
+	badData[len(badData)/3] ^= 0x80
+	f.Add(badData)
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		state, err := Decode(bytes.NewReader(data))
 		if err != nil {

@@ -1,0 +1,7 @@
+//go:build race
+
+package tensor
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build; its bookkeeping inflates allocation counts.
+const raceEnabled = true
