@@ -8,3 +8,9 @@ go build ./...
 go vet ./...
 go test -race ./...
 go test -run='^$' -bench=. -benchtime=1x -benchmem ./...
+
+# Fabric perf gates, outside the race detector (race instrumentation
+# allocates): steady-state fabric events must stay allocation-free, and
+# the fabric benchmarks must still run at every scale.
+go test -run='^TestSteadyStateFabricEventsDoNotAllocate$' -count=1 ./internal/netsim
+go test -run='^$' -bench='^BenchmarkFabricRing' -benchtime=1x -benchmem ./internal/netsim

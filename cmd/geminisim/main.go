@@ -62,6 +62,12 @@ func main() {
 		fmt.Print(training.RenderTimeline(job.Timeline, job.Plan, 100))
 	}
 
+	if res, err := job.ExecuteScheme(gemini.SchemeGemini); err == nil && !res.OOM {
+		fmt.Printf("\nfluid executor (GEMINI schedule): iteration %.2f s, overhead %.1f%%\n",
+			res.IterationTime.Seconds(), res.Overhead()*100)
+		fmt.Printf("  fabric: %s\n", res.FabricCounters)
+	}
+
 	horizon := simclock.Duration(*days) * simclock.Day
 	var fs failure.Schedule
 	if *poisson {

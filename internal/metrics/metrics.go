@@ -78,6 +78,49 @@ func EffectiveRatio(failuresPerDay float64, perFailureOverhead simclock.Duration
 	return math.Max(0, math.Min(1, (day-lost)/day))
 }
 
+// Counter is one named engine counter or derived gauge.
+type Counter struct {
+	Name  string
+	Value float64
+}
+
+// CounterSet is an ordered collection of counters. Order is presentation
+// order: producers list the most interesting counters first.
+type CounterSet []Counter
+
+// Get returns the named counter's value and whether it is present.
+func (cs CounterSet) Get(name string) (float64, bool) {
+	for _, c := range cs {
+		if c.Name == name {
+			return c.Value, true
+		}
+	}
+	return 0, false
+}
+
+// String renders the set as space-separated name=value pairs; integral
+// values print without a fraction.
+func (cs CounterSet) String() string {
+	var b []byte
+	for i, c := range cs {
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = append(b, c.Name...)
+		b = append(b, '=')
+		if c.Value == math.Trunc(c.Value) && math.Abs(c.Value) < 1e15 {
+			b = appendf(b, "%.0f", c.Value)
+		} else {
+			b = appendf(b, "%.4g", c.Value)
+		}
+	}
+	return string(b)
+}
+
+func appendf(b []byte, format string, v float64) []byte {
+	return fmt.Appendf(b, format, v)
+}
+
 // Summary holds order statistics of a sample.
 type Summary struct {
 	N              int

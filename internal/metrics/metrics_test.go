@@ -159,3 +159,23 @@ func TestPropertySummaryOrdering(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCounterSet(t *testing.T) {
+	cs := CounterSet{
+		{Name: "settle_ops", Value: 1234},
+		{Name: "dirty_hit_rate", Value: 0.82345},
+	}
+	if v, ok := cs.Get("settle_ops"); !ok || v != 1234 {
+		t.Fatalf("Get(settle_ops) = %v/%v, want 1234", v, ok)
+	}
+	if _, ok := cs.Get("missing"); ok {
+		t.Fatal("Get reported a missing counter present")
+	}
+	want := "settle_ops=1234 dirty_hit_rate=0.8235"
+	if got := cs.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	if got := (CounterSet{}).String(); got != "" {
+		t.Fatalf("empty set String() = %q, want empty", got)
+	}
+}

@@ -1,0 +1,40 @@
+// The steady-state allocation gate runs without the race detector: -race
+// instruments allocations and would skew AllocsPerRun.
+//go:build !race
+
+package netsim
+
+import (
+	"testing"
+
+	"gemini/internal/simclock"
+)
+
+// TestSteadyStateFabricEventsDoNotAllocate pins the engine's core
+// guarantee: once a fabric's scratch is warm, rate recomputation — settle,
+// component collection, waterfill, ETA-heap maintenance, and event
+// rearming — allocates nothing. Only flow creation allocates.
+func TestSteadyStateFabricEventsDoNotAllocate(t *testing.T) {
+	e := simclock.NewEngine()
+	f := MustNewFabric(e, 32, Config{EgressBytesPerSec: 1e9})
+	for i := 0; i < 32; i++ {
+		f.StartFlow(i, (i+1)%32, 1e15, "bg", nil)
+	}
+	e.Run(1)
+	// Each toggle dirties node 1, re-collects its component (the whole
+	// ring), re-waterfills 32 flows, fixes their heap ETAs, and rearms
+	// both persistent events — the full steady-state event path.
+	toggle := func(factor float64) {
+		f.SetNodeFactor(1, factor)
+		e.Run(e.Now())
+	}
+	toggle(0.5)
+	toggle(1)
+	allocs := testing.AllocsPerRun(50, func() {
+		toggle(0.5)
+		toggle(1)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state fabric events allocate %v times/op, want 0", allocs)
+	}
+}

@@ -41,6 +41,43 @@ func BenchmarkRingRunAllGather(b *testing.B) {
 	}
 }
 
+// benchFabricRingCkpt drives the fabric the way the §7 experiments do
+// at scale: a synchronous ring all-gather over all n machines (every
+// round starts n flows and barriers on the slowest) with n long-lived
+// checkpoint flows overlapping it on the same NICs.
+func benchFabricRingCkpt(b *testing.B, n, rounds int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := simclock.NewEngine()
+		f := MustNewFabric(e, n, Config{EgressBytesPerSec: 50e9, Alpha: 0.001})
+		for m := 0; m < n; m++ {
+			f.StartFlow(m, (m+n/2)%n, 5e8, "ckpt", nil)
+		}
+		round := 0
+		var step func()
+		step = func() {
+			remaining := n
+			for m := 0; m < n; m++ {
+				f.StartFlow(m, (m+1)%n, 1e8, "ag", func(*Flow) {
+					remaining--
+					if remaining == 0 {
+						round++
+						if round < rounds {
+							step()
+						}
+					}
+				})
+			}
+		}
+		step()
+		e.RunAll()
+	}
+}
+
+func BenchmarkFabricRing64(b *testing.B)   { benchFabricRingCkpt(b, 64, 8) }
+func BenchmarkFabricRing512(b *testing.B)  { benchFabricRingCkpt(b, 512, 8) }
+func BenchmarkFabricRing4096(b *testing.B) { benchFabricRingCkpt(b, 4096, 8) }
+
 // BenchmarkMaxMinRecompute stresses the water-filling under a dense
 // all-to-all flow pattern.
 func BenchmarkMaxMinRecompute(b *testing.B) {

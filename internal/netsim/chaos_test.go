@@ -120,7 +120,7 @@ func TestPartitionGroupOverlapPanics(t *testing.T) {
 func TestBadFactorsPanic(t *testing.T) {
 	_, f := newTestFabric(t, 2, Config{EgressBytesPerSec: 100})
 	for _, fn := range []func(){
-		func() { f.SetNodeFactor(0, 0) },
+		func() { f.SetNodeFactor(0, -0.25) },
 		func() { f.SetNodeFactor(0, 1.5) },
 		func() { f.SetLinkFactor(0, 1, -0.5) },
 		func() { f.SetLinkFactor(0, 1, math.NaN()) },

@@ -17,7 +17,8 @@ import (
 type Copier struct {
 	engine    *simclock.Engine
 	bandwidth float64 // bytes/sec
-	queue     []*Copy
+	queue     []*Copy // pending copies are queue[head:]; backing array reused
+	head      int
 	busy      bool
 	busyTotal simclock.Duration
 	busySince simclock.Time
@@ -57,7 +58,7 @@ func (c *Copier) Bandwidth() float64 { return c.bandwidth }
 
 // QueueLen returns the number of copies waiting or in flight.
 func (c *Copier) QueueLen() int {
-	n := len(c.queue)
+	n := len(c.queue) - c.head
 	if c.busy {
 		n++
 	}
@@ -90,11 +91,19 @@ func (c *Copier) BusyTime() simclock.Duration {
 }
 
 func (c *Copier) kick() {
-	if c.busy || len(c.queue) == 0 {
+	if c.busy {
 		return
 	}
-	cp := c.queue[0]
-	c.queue = c.queue[1:]
+	if c.head == len(c.queue) {
+		if c.head > 0 {
+			c.queue = c.queue[:0]
+			c.head = 0
+		}
+		return
+	}
+	cp := c.queue[c.head]
+	c.queue[c.head] = nil
+	c.head++
 	c.busy = true
 	c.busySince = c.engine.Now()
 	cp.state = FlowActive

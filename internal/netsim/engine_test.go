@@ -1,0 +1,192 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"gemini/internal/simclock"
+)
+
+// runContendedFabric drives a fabric through simultaneous completions, a
+// node failure, and a partition, recording every callback. The engine
+// promises the exact same sequence on every run: completions fire in
+// (ETA, flow-sequence) order and failures in flow-start order, never in
+// Go map-iteration order.
+func runContendedFabric() []string {
+	e := simclock.NewEngine()
+	f := MustNewFabric(e, 8, Config{EgressBytesPerSec: 1000, Alpha: 0.01})
+	var order []string
+	for i := 0; i < 8; i++ {
+		i := i
+		record := func(fl *Flow) {
+			order = append(order, fmt.Sprintf("%s:%v@%v", fl.Label, fl.State(), e.Now()))
+		}
+		f.StartFlow(i, (i+1)%8, 5000, fmt.Sprintf("ring%d", i), record)
+		f.StartFlow(i, (i+4)%8, 5000, fmt.Sprintf("cross%d", i), record)
+	}
+	e.At(2, func() { f.SetNodeUp(3, false) })
+	e.At(4, func() { f.SetPartition([]int{0, 1, 2}) })
+	e.RunAll()
+	return order
+}
+
+func TestCompletionOrderDeterministic(t *testing.T) {
+	first := runContendedFabric()
+	if len(first) != 16 {
+		t.Fatalf("got %d callbacks, want 16 (every flow terminal)", len(first))
+	}
+	for run := 0; run < 3; run++ {
+		again := runContendedFabric()
+		if len(again) != len(first) {
+			t.Fatalf("run %d: %d callbacks, want %d", run, len(again), len(first))
+		}
+		for i := range first {
+			if first[i] != again[i] {
+				t.Fatalf("run %d: callback %d = %q, want %q", run, i, again[i], first[i])
+			}
+		}
+	}
+}
+
+func TestSameInstantCompletionsFireInStartOrder(t *testing.T) {
+	// Four equal flows from one source saturate its egress together and
+	// drain at the same instant; callbacks must fire in start order.
+	e, f := newTestFabric(t, 5, Config{EgressBytesPerSec: 100})
+	var order []int
+	for i := 0; i < 4; i++ {
+		i := i
+		f.StartFlow(0, i+1, 1000, "eq", func(*Flow) { order = append(order, i) })
+	}
+	e.RunAll()
+	if len(order) != 4 {
+		t.Fatalf("got %d completions, want 4", len(order))
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("completion order %v, want [0 1 2 3]", order)
+		}
+	}
+}
+
+func TestCancelDuringStartupWindow(t *testing.T) {
+	e, f := newTestFabric(t, 2, Config{EgressBytesPerSec: 100, Alpha: 1})
+	var state FlowState = -1
+	fl := f.StartFlow(0, 1, 1000, "t", func(fl *Flow) { state = fl.State() })
+	e.At(0.5, func() { fl.Cancel() })
+	e.RunAll()
+	if state != FlowCanceled {
+		t.Fatalf("flow canceled mid-startup ended %v, want canceled", state)
+	}
+	if fl.FinishedAt() != 0.5 {
+		t.Fatalf("finished at %v, want 0.5", fl.FinishedAt())
+	}
+	if fl.Remaining() != 1000 {
+		t.Fatalf("remaining %v, want 1000 (never carried a byte)", fl.Remaining())
+	}
+	if f.ActiveFlows() != 0 {
+		t.Fatalf("ActiveFlows %d, want 0", f.ActiveFlows())
+	}
+	if bt := f.BusyTime(0); bt != 0 {
+		t.Fatalf("busy time %v, want 0 (flow never activated)", bt)
+	}
+}
+
+// A completion and an endpoint failure landing at the same instant: the
+// completion (priority −10) fires before the user event, and the failure
+// settles the victim's bytes before failing it.
+func TestEndpointFailureAtCompletionInstant(t *testing.T) {
+	e, f := newTestFabric(t, 4, Config{EgressBytesPerSec: 100})
+	var order []string
+	a := f.StartFlow(0, 1, 1000, "a", func(fl *Flow) {
+		order = append(order, fmt.Sprintf("a:%v", fl.State()))
+	})
+	b := f.StartFlow(2, 3, 10000, "b", func(fl *Flow) {
+		order = append(order, fmt.Sprintf("b:%v", fl.State()))
+	})
+	e.At(10, func() { f.SetNodeUp(3, false) })
+	e.RunAll()
+	if len(order) != 2 || order[0] != "a:done" || order[1] != "b:failed" {
+		t.Fatalf("callback order %v, want [a:done b:failed]", order)
+	}
+	if a.FinishedAt() != 10 || b.FinishedAt() != 10 {
+		t.Fatalf("finish times %v/%v, want 10/10", a.FinishedAt(), b.FinishedAt())
+	}
+	if rem := b.Remaining(); math.Abs(rem-9000) > 1e-6 {
+		t.Fatalf("failed flow remaining %v, want 9000", rem)
+	}
+}
+
+func TestZeroBandwidthNodeParksFlows(t *testing.T) {
+	e, f := newTestFabric(t, 3, Config{EgressBytesPerSec: 100})
+	var done simclock.Time
+	fl := f.StartFlow(0, 1, 1000, "parked", func(*Flow) { done = e.Now() })
+	e.At(5, func() { f.SetNodeFactor(1, 0) })
+	e.At(8, func() { f.SetNodeFactor(1, 1) })
+	e.Run(6)
+	if fl.State() != FlowActive || fl.Rate() != 0 {
+		t.Fatalf("parked flow state %v rate %v, want active at rate 0", fl.State(), fl.Rate())
+	}
+	if rem := fl.Remaining(); math.Abs(rem-500) > 1e-6 {
+		t.Fatalf("parked flow remaining %v, want 500", rem)
+	}
+	// A parked flow must not spin the event loop: nothing fires while the
+	// node stays at zero bandwidth.
+	if fired := e.Run(7.9); fired != 0 {
+		t.Fatalf("event loop fired %d events while parked, want 0", fired)
+	}
+	e.RunAll()
+	// 5 s at 100 B/s, 3 s parked, then the remaining 500 bytes.
+	if math.Abs(float64(done)-13) > 1e-6 {
+		t.Fatalf("flow finished at %v, want 13", done)
+	}
+}
+
+func TestFlowIntoZeroBandwidthNodeParksImmediately(t *testing.T) {
+	e, f := newTestFabric(t, 2, Config{EgressBytesPerSec: 100})
+	f.SetNodeFactor(1, 0)
+	fl := f.StartFlow(0, 1, 1000, "t", nil)
+	fired := e.RunAll()
+	if fl.State() != FlowActive || fl.Rate() != 0 || fl.Remaining() != 1000 {
+		t.Fatalf("flow state %v rate %v remaining %v, want parked active", fl.State(), fl.Rate(), fl.Remaining())
+	}
+	if fired > 4 {
+		t.Fatalf("event loop fired %d events for a parked flow, want a handful", fired)
+	}
+	if e.Now() != 0 {
+		t.Fatalf("clock advanced to %v for a parked flow", e.Now())
+	}
+	f.SetNodeFactor(1, 1)
+	e.RunAll()
+	if fl.State() != FlowDone || fl.FinishedAt() != 10 {
+		t.Fatalf("unparked flow state %v finished %v, want done at 10", fl.State(), fl.FinishedAt())
+	}
+}
+
+func TestFabricStatsCounters(t *testing.T) {
+	e, f := newTestFabric(t, 4, Config{EgressBytesPerSec: 100})
+	f.StartFlow(0, 1, 1000, "a", nil)
+	f.StartFlow(0, 2, 1000, "b", nil)
+	f.StartFlow(2, 3, 1000, "c", nil)
+	e.RunAll()
+	s := f.Stats()
+	if s.FlowsStarted != 3 || s.FlowsFinished != 3 {
+		t.Fatalf("flow counts %d/%d, want 3/3", s.FlowsStarted, s.FlowsFinished)
+	}
+	if s.PeakConcurrentFlows != 3 {
+		t.Fatalf("peak flows %d, want 3", s.PeakConcurrentFlows)
+	}
+	if s.Recomputes == 0 || s.Waterfills == 0 || s.WaterfillRounds < s.Waterfills {
+		t.Fatalf("recompute counters not advancing: %+v", s)
+	}
+	if hr := s.DirtyHitRate(); hr < 0 || hr > 1 {
+		t.Fatalf("dirty hit rate %v out of [0,1]", hr)
+	}
+	cs := s.Counters()
+	if v, ok := cs.Get("flows_started"); !ok || v != 3 {
+		t.Fatalf("counter flows_started = %v/%v, want 3", v, ok)
+	}
+	if _, ok := cs.Get("dirty_hit_rate"); !ok {
+		t.Fatal("dirty_hit_rate counter missing")
+	}
+}

@@ -8,11 +8,20 @@
 // rather than be assumed: when checkpoint flows overlap training flows on
 // the same NIC they share bandwidth and both slow down, exactly the
 // contention GEMINI's scheduler is designed to avoid.
+//
+// The rate engine is incremental and allocation-free in steady state:
+// flows live in persistent per-node lists, completions come off an
+// indexed min-heap of ETAs ordered by (ETA, flow sequence), and a flow
+// start/finish/failure marks only its endpoints dirty — one coalesced
+// recompute per simulated instant then re-waterfills just the connected
+// component those nodes belong to. See DESIGN.md for the full data
+// structures and the determinism guarantees.
 package netsim
 
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"gemini/internal/simclock"
 )
@@ -74,6 +83,14 @@ func (s FlowState) String() string {
 	}
 }
 
+// Event-priority layout within one simulated instant: completions fire
+// before user events (priority 0), and the coalesced rate recompute fires
+// after every mutation of the instant has landed.
+const (
+	completionPriority = -10
+	recomputePriority  = 10
+)
+
 // Flow is an in-flight point-to-point transfer.
 type Flow struct {
 	Src, Dst int
@@ -81,13 +98,23 @@ type Flow struct {
 
 	fabric    *Fabric
 	bytes     float64 // total size
-	remaining float64
+	remaining float64 // as of lastUpdate
 	rate      float64 // current share, bytes/sec
 	state     FlowState
 	started   simclock.Time
 	finished  simclock.Time
 	onDone    func(*Flow)
 	startEv   simclock.EventID
+
+	seq        uint64        // global start order; the deterministic tie-break
+	lastUpdate simclock.Time // instant remaining was last settled to
+	eta        simclock.Time // projected completion; valid while heapIdx >= 0
+	outIdx     int32         // position in nodes[Src].out
+	inIdx      int32         // position in nodes[Dst].in
+	activeIdx  int32         // position in fabric.active
+	heapIdx    int32         // position in fabric.byETA; -1 when parked
+	visited    uint64        // component-collection generation mark
+	frozen     bool          // waterfill scratch
 }
 
 // State returns the flow's lifecycle state.
@@ -97,8 +124,17 @@ func (f *Flow) State() FlowState { return f.state }
 func (f *Flow) Bytes() float64 { return f.bytes }
 
 // Remaining returns how many bytes are still to be delivered, as of the
-// last fabric event.
-func (f *Flow) Remaining() float64 { return f.remaining }
+// current instant.
+func (f *Flow) Remaining() float64 {
+	rem := f.remaining
+	if f.state == FlowActive && f.rate > 0 {
+		rem -= f.rate * f.fabric.engine.Now().Sub(f.lastUpdate).Seconds()
+		if rem < 0 {
+			rem = 0
+		}
+	}
+	return rem
+}
 
 // Rate returns the flow's current max-min share in bytes/sec.
 func (f *Flow) Rate() float64 { return f.rate }
@@ -116,20 +152,35 @@ func (f *Flow) Cancel() {
 	if f.state == FlowDone || f.state == FlowFailed || f.state == FlowCanceled {
 		return
 	}
-	f.fabric.settle()
 	f.startEv.Cancel()
-	f.fabric.finishFlow(f, FlowCanceled)
-	f.fabric.reschedule()
+	fb := f.fabric
+	if f.state == FlowActive {
+		fb.settleFlow(f, fb.engine.Now())
+	}
+	fb.finishFlow(f, FlowCanceled)
+	fb.armRecompute()
 }
 
 type node struct {
 	up         bool
 	egressCap  float64
 	ingressCap float64
+
+	// Persistent flow lists: every active flow sits in its source's out
+	// list and its destination's in list (swap-removed on finish).
+	out []*Flow
+	in  []*Flow
+
 	// busy accounting for idle-time measurement
 	activeFlows int
 	busySince   simclock.Time
 	busyTotal   simclock.Duration
+
+	// scratch owned by the component collector and the waterfill
+	egRem, inRem float64
+	egN, inN     int32
+	visited      uint64
+	dirtySeen    uint64
 }
 
 // Fabric simulates the cluster network. It must only be used from within
@@ -137,8 +188,10 @@ type node struct {
 type Fabric struct {
 	engine *simclock.Engine
 	cfg    Config
-	nodes  []*node
-	flows  map[*Flow]struct{}
+	nodes  []node
+
+	active []*Flow // all FlowActive flows
+	byETA  []*Flow // indexed min-heap on (eta, seq); active flows with rate > 0
 
 	// partition assigns each node a partition id; nil means fully
 	// connected. Flows may only cross between nodes with equal ids.
@@ -150,8 +203,25 @@ type Fabric struct {
 	// injection); nil means every node runs at full speed.
 	nodeFactor []float64
 
-	lastSettle simclock.Time
-	completion simclock.EventID
+	flowSeq uint64
+
+	// Dirty set and pooled scratch, reused across events so steady-state
+	// flow traffic never allocates.
+	dirty     []int
+	dirtyGen  uint64
+	visitGen  uint64
+	seeds     []int
+	compNodes []int
+	compFlows []*Flow
+	drained   []*Flow
+
+	inRecompute bool
+	recomputeEv simclock.EventID
+	recomputeAt simclock.Time
+	completion  simclock.EventID
+	completeAt  simclock.Time
+
+	stats fabricStats
 }
 
 // NewFabric creates a fabric with n machine endpoints.
@@ -166,13 +236,14 @@ func NewFabric(engine *simclock.Engine, n int, cfg Config) (*Fabric, error) {
 		cfg.IngressBytesPerSec = cfg.EgressBytesPerSec
 	}
 	f := &Fabric{
-		engine: engine,
-		cfg:    cfg,
-		nodes:  make([]*node, n),
-		flows:  make(map[*Flow]struct{}),
+		engine:   engine,
+		cfg:      cfg,
+		nodes:    make([]node, n),
+		dirtyGen: 1,
+		visitGen: 1,
 	}
 	for i := range f.nodes {
-		f.nodes[i] = &node{up: true, egressCap: cfg.EgressBytesPerSec, ingressCap: cfg.IngressBytesPerSec}
+		f.nodes[i] = node{up: true, egressCap: cfg.EgressBytesPerSec, ingressCap: cfg.IngressBytesPerSec}
 	}
 	return f, nil
 }
@@ -193,7 +264,7 @@ func (fb *Fabric) Nodes() int { return len(fb.nodes) }
 func (fb *Fabric) Config() Config { return fb.cfg }
 
 // ActiveFlows returns the number of flows not yet in a terminal state.
-func (fb *Fabric) ActiveFlows() int { return len(fb.flows) }
+func (fb *Fabric) ActiveFlows() int { return len(fb.active) }
 
 // StartFlow submits a transfer of size bytes from src to dst. After the α
 // startup latency the flow competes for bandwidth under max-min fairness.
@@ -212,7 +283,10 @@ func (fb *Fabric) StartFlow(src, dst int, bytes float64, label string, onDone fu
 		Src: src, Dst: dst, Label: label,
 		fabric: fb, bytes: bytes, remaining: bytes,
 		state: FlowStarting, started: fb.engine.Now(), onDone: onDone,
+		seq: fb.flowSeq, outIdx: -1, inIdx: -1, activeIdx: -1, heapIdx: -1,
 	}
+	fb.flowSeq++
+	fb.stats.flowsStarted++
 	if !fb.nodes[src].up || !fb.nodes[dst].up || !fb.Reachable(src, dst) {
 		// Fail asynchronously so callers never observe a callback during
 		// StartFlow itself.
@@ -233,12 +307,10 @@ func (fb *Fabric) StartFlow(src, dst int, bytes float64, label string, onDone fu
 			fb.finishFlow(fl, FlowFailed)
 			return
 		}
-		fb.settle()
 		fl.state = FlowActive
-		fb.flows[fl] = struct{}{}
-		fb.nodeActivate(fl.Src)
-		fb.nodeActivate(fl.Dst)
-		fb.reschedule()
+		fl.lastUpdate = fb.engine.Now()
+		fb.attachFlow(fl)
+		fb.armRecompute()
 	})
 	return fl
 }
@@ -250,23 +322,22 @@ func (fb *Fabric) checkNode(i int) {
 }
 
 // SetNodeUp marks an endpoint healthy or failed. Taking a node down fails
-// every flow that touches it.
+// every flow that touches it, in flow-start order.
 func (fb *Fabric) SetNodeUp(i int, up bool) {
 	fb.checkNode(i)
-	n := fb.nodes[i]
+	n := &fb.nodes[i]
 	if n.up == up {
 		return
 	}
-	fb.settle()
 	n.up = up
 	if !up {
-		for fl := range fb.flows {
-			if fl.Src == i || fl.Dst == i {
-				fb.finishFlow(fl, FlowFailed)
-			}
-		}
+		// Snapshot into a fresh slice: callbacks may fail further nodes.
+		doomed := make([]*Flow, 0, len(n.out)+len(n.in))
+		doomed = append(doomed, n.out...)
+		doomed = append(doomed, n.in...)
+		fb.failFlows(doomed)
 	}
-	fb.reschedule()
+	fb.armRecompute()
 }
 
 // SetNodeCapacity overrides one endpoint's egress and ingress bandwidth.
@@ -278,10 +349,10 @@ func (fb *Fabric) SetNodeCapacity(i int, egressBytesPerSec, ingressBytesPerSec f
 	if egressBytesPerSec <= 0 || ingressBytesPerSec <= 0 {
 		panic(fmt.Sprintf("netsim: node capacity must be positive, got %v/%v", egressBytesPerSec, ingressBytesPerSec))
 	}
-	fb.settle()
 	fb.nodes[i].egressCap = egressBytesPerSec
 	fb.nodes[i].ingressCap = ingressBytesPerSec
-	fb.reschedule()
+	fb.markDirty(i)
+	fb.armRecompute()
 }
 
 // NodeCapacity returns endpoint i's (egress, ingress) bandwidth.
@@ -298,9 +369,9 @@ func (fb *Fabric) NodeUp(i int) bool {
 
 // SetPartition splits the fabric: each listed group can only talk within
 // itself, and all unlisted nodes form one residual component. Active
-// flows crossing a partition boundary fail immediately; flows in their
-// startup window fail when the window elapses. A later call replaces the
-// previous partition wholesale.
+// flows crossing a partition boundary fail immediately, in flow-start
+// order; flows in their startup window fail when the window elapses. A
+// later call replaces the previous partition wholesale.
 func (fb *Fabric) SetPartition(groups ...[]int) {
 	part := make([]int, len(fb.nodes))
 	for gi, group := range groups {
@@ -312,14 +383,39 @@ func (fb *Fabric) SetPartition(groups ...[]int) {
 			part[i] = gi + 1
 		}
 	}
-	fb.settle()
 	fb.partition = part
-	for fl := range fb.flows {
+	var doomed []*Flow
+	for _, fl := range fb.active {
 		if !fb.Reachable(fl.Src, fl.Dst) {
-			fb.finishFlow(fl, FlowFailed)
+			doomed = append(doomed, fl)
 		}
 	}
-	fb.reschedule()
+	fb.failFlows(doomed)
+	fb.armRecompute()
+}
+
+// failFlows settles and fails the given flows in flow-start order.
+// Callbacks run synchronously and may mutate the fabric further; flows a
+// callback already finished are skipped.
+func (fb *Fabric) failFlows(doomed []*Flow) {
+	slices.SortFunc(doomed, func(a, b *Flow) int {
+		switch {
+		case a.seq < b.seq:
+			return -1
+		case a.seq > b.seq:
+			return 1
+		default:
+			return 0
+		}
+	})
+	now := fb.engine.Now()
+	for _, fl := range doomed {
+		if fl.state != FlowActive {
+			continue
+		}
+		fb.settleFlow(fl, now)
+		fb.finishFlow(fl, FlowFailed)
+	}
 }
 
 // ClearPartition heals all partitions.
@@ -347,7 +443,6 @@ func (fb *Fabric) SetLinkFactor(src, dst int, factor float64) {
 	if factor <= 0 || factor > 1 || math.IsNaN(factor) {
 		panic(fmt.Sprintf("netsim: link factor must be in (0,1], got %v", factor))
 	}
-	fb.settle()
 	if factor == 1 {
 		delete(fb.linkFactor, [2]int{src, dst})
 	} else {
@@ -356,25 +451,31 @@ func (fb *Fabric) SetLinkFactor(src, dst int, factor float64) {
 		}
 		fb.linkFactor[[2]int{src, dst}] = factor
 	}
-	fb.reschedule()
+	fb.markDirty(src)
+	fb.markDirty(dst)
+	fb.armRecompute()
 }
 
 // SetNodeFactor scales endpoint i's effective NIC bandwidth — straggler
-// injection. factor must be in (0, 1]; 1 restores full speed.
+// injection. factor must be in [0, 1]; 1 restores full speed, and 0
+// parks the node's flows at rate zero until bandwidth returns.
 func (fb *Fabric) SetNodeFactor(i int, factor float64) {
 	fb.checkNode(i)
-	if factor <= 0 || factor > 1 || math.IsNaN(factor) {
-		panic(fmt.Sprintf("netsim: node factor must be in (0,1], got %v", factor))
+	if factor < 0 || factor > 1 || math.IsNaN(factor) {
+		panic(fmt.Sprintf("netsim: node factor must be in [0,1], got %v", factor))
 	}
-	fb.settle()
 	if fb.nodeFactor == nil {
+		if factor == 1 {
+			return
+		}
 		fb.nodeFactor = make([]float64, len(fb.nodes))
 		for j := range fb.nodeFactor {
 			fb.nodeFactor[j] = 1
 		}
 	}
 	fb.nodeFactor[i] = factor
-	fb.reschedule()
+	fb.markDirty(i)
+	fb.armRecompute()
 }
 
 // NodeFactor returns endpoint i's current bandwidth scale.
@@ -413,7 +514,7 @@ func (fb *Fabric) flowCap(fl *Flow) float64 {
 // measurements of Figures 8 and 13b subtract this from elapsed time.
 func (fb *Fabric) BusyTime(i int) simclock.Duration {
 	fb.checkNode(i)
-	n := fb.nodes[i]
+	n := &fb.nodes[i]
 	total := n.busyTotal
 	if n.activeFlows > 0 {
 		total += fb.engine.Now().Sub(n.busySince)
@@ -425,7 +526,8 @@ func (fb *Fabric) BusyTime(i int) simclock.Duration {
 // typically at an iteration boundary.
 func (fb *Fabric) ResetBusyTime() {
 	now := fb.engine.Now()
-	for _, n := range fb.nodes {
+	for i := range fb.nodes {
+		n := &fb.nodes[i]
 		n.busyTotal = 0
 		if n.activeFlows > 0 {
 			n.busySince = now
@@ -434,7 +536,7 @@ func (fb *Fabric) ResetBusyTime() {
 }
 
 func (fb *Fabric) nodeActivate(i int) {
-	n := fb.nodes[i]
+	n := &fb.nodes[i]
 	if n.activeFlows == 0 {
 		n.busySince = fb.engine.Now()
 	}
@@ -442,7 +544,7 @@ func (fb *Fabric) nodeActivate(i int) {
 }
 
 func (fb *Fabric) nodeDeactivate(i int) {
-	n := fb.nodes[i]
+	n := &fb.nodes[i]
 	n.activeFlows--
 	if n.activeFlows == 0 {
 		n.busyTotal += fb.engine.Now().Sub(n.busySince)
@@ -452,32 +554,88 @@ func (fb *Fabric) nodeDeactivate(i int) {
 	}
 }
 
-// settle advances every active flow's remaining bytes to the current
-// instant at the rates computed at the previous settle point.
-func (fb *Fabric) settle() {
-	now := fb.engine.Now()
-	dt := now.Sub(fb.lastSettle).Seconds()
-	if dt > 0 {
-		for fl := range fb.flows {
-			fl.remaining -= fl.rate * dt
-			// Sub-byte residue is float error, not payload.
-			if fl.remaining < 1e-3 {
-				fl.remaining = 0
-			}
-		}
+// settleFlow advances one flow's remaining bytes to now at its current
+// rate. Rates only change at recompute instants, so per-flow settling is
+// exact; flows at rate zero only refresh their settle point.
+func (fb *Fabric) settleFlow(fl *Flow, now simclock.Time) {
+	if fl.rate == 0 || fl.lastUpdate == now {
+		fl.lastUpdate = now
+		return
 	}
-	fb.lastSettle = now
+	fb.stats.settleOps++
+	fl.remaining -= fl.rate * now.Sub(fl.lastUpdate).Seconds()
+	// Sub-byte residue is float error, not payload.
+	if fl.remaining < 1e-3 {
+		fl.remaining = 0
+	}
+	fl.lastUpdate = now
+}
+
+// attachFlow inserts a newly active flow into the persistent per-node
+// lists, the active list, and busy accounting. It enters the ETA heap at
+// the next recompute.
+func (fb *Fabric) attachFlow(fl *Flow) {
+	src := &fb.nodes[fl.Src]
+	fl.outIdx = int32(len(src.out))
+	src.out = append(src.out, fl)
+	dst := &fb.nodes[fl.Dst]
+	fl.inIdx = int32(len(dst.in))
+	dst.in = append(dst.in, fl)
+	fl.activeIdx = int32(len(fb.active))
+	fb.active = append(fb.active, fl)
+	if len(fb.active) > fb.stats.peakFlows {
+		fb.stats.peakFlows = len(fb.active)
+	}
+	fb.nodeActivate(fl.Src)
+	fb.nodeActivate(fl.Dst)
+	fb.markDirty(fl.Src)
+	fb.markDirty(fl.Dst)
+}
+
+// detachFlow swap-removes an active flow from every engine structure and
+// marks its endpoints dirty.
+func (fb *Fabric) detachFlow(fl *Flow) {
+	src := &fb.nodes[fl.Src]
+	last := len(src.out) - 1
+	moved := src.out[last]
+	src.out[fl.outIdx] = moved
+	moved.outIdx = fl.outIdx
+	src.out[last] = nil
+	src.out = src.out[:last]
+	fl.outIdx = -1
+
+	dst := &fb.nodes[fl.Dst]
+	last = len(dst.in) - 1
+	moved = dst.in[last]
+	dst.in[fl.inIdx] = moved
+	moved.inIdx = fl.inIdx
+	dst.in[last] = nil
+	dst.in = dst.in[:last]
+	fl.inIdx = -1
+
+	last = len(fb.active) - 1
+	moved = fb.active[last]
+	fb.active[fl.activeIdx] = moved
+	moved.activeIdx = fl.activeIdx
+	fb.active[last] = nil
+	fb.active = fb.active[:last]
+	fl.activeIdx = -1
+
+	fb.heapRemove(fl)
+	fb.nodeDeactivate(fl.Src)
+	fb.nodeDeactivate(fl.Dst)
+	fb.markDirty(fl.Src)
+	fb.markDirty(fl.Dst)
 }
 
 func (fb *Fabric) finishFlow(fl *Flow, state FlowState) {
 	if fl.state == FlowActive {
-		delete(fb.flows, fl)
-		fb.nodeDeactivate(fl.Src)
-		fb.nodeDeactivate(fl.Dst)
+		fb.detachFlow(fl)
 	}
 	fl.state = state
 	fl.rate = 0
 	fl.finished = fb.engine.Now()
+	fb.stats.flowsFinished++
 	if fl.onDone != nil {
 		cb := fl.onDone
 		fl.onDone = nil
@@ -485,114 +643,171 @@ func (fb *Fabric) finishFlow(fl *Flow, state FlowState) {
 	}
 }
 
-// reschedule recomputes max-min fair rates and schedules the next flow
-// completion. Flows that already hit zero remaining complete immediately.
-func (fb *Fabric) reschedule() {
-	fb.completion.Cancel()
-
-	// Complete flows that already drained (can happen after settle).
-	for {
-		var doneFlow *Flow
-		for fl := range fb.flows {
-			if fl.remaining == 0 {
-				doneFlow = fl
-				break
-			}
-		}
-		if doneFlow == nil {
-			break
-		}
-		fb.finishFlow(doneFlow, FlowDone)
-	}
-
-	fb.computeRates()
-
-	now := fb.engine.Now()
-	next := simclock.Forever
-	for fl := range fb.flows {
-		if fl.rate <= 0 {
-			continue
-		}
-		eta := now.Add(simclock.Duration(fl.remaining / fl.rate))
-		if eta <= now {
-			// The residual transfer time is below the clock's resolution
-			// at this timestamp; treating it as pending would loop at the
-			// same instant forever. Finish the flow now.
-			fl.remaining = 0
-			fb.finishFlow(fl, FlowDone)
-			fb.reschedule()
-			return
-		}
-		if eta < next {
-			next = eta
-		}
-	}
-	if next == simclock.Forever {
+// markDirty records that node i's capacity allocation may have changed;
+// the next recompute re-waterfills i's connected component.
+func (fb *Fabric) markDirty(i int) {
+	if fb.nodes[i].dirtySeen == fb.dirtyGen {
 		return
 	}
-	fb.completion = fb.engine.AtPriority(next, -10, func() {
-		fb.settle()
-		fb.reschedule()
-	})
+	fb.nodes[i].dirtySeen = fb.dirtyGen
+	fb.dirty = append(fb.dirty, i)
 }
 
-// computeRates runs max-min water-filling over per-node egress and
-// ingress capacities.
-func (fb *Fabric) computeRates() {
-	if len(fb.flows) == 0 {
+// armRecompute schedules the coalesced rate recompute for the current
+// instant. Mutations within one instant share a single recompute, which
+// is what makes a ring round O(N) instead of O(N²).
+func (fb *Fabric) armRecompute() {
+	if fb.inRecompute || len(fb.dirty) == 0 {
 		return
 	}
-	type cap struct {
-		remaining float64
-		flows     []*Flow
+	now := fb.engine.Now()
+	if fb.recomputeEv.Pending() && fb.recomputeAt == now {
+		return
 	}
-	egress := make(map[int]*cap)
-	ingress := make(map[int]*cap)
-	unfrozen := make(map[*Flow]bool, len(fb.flows))
-	for fl := range fb.flows {
-		fl.rate = 0
-		unfrozen[fl] = true
-		e := egress[fl.Src]
-		if e == nil {
-			e = &cap{remaining: fb.nodes[fl.Src].egressCap * fb.nodeScale(fl.Src)}
-			egress[fl.Src] = e
-		}
-		e.flows = append(e.flows, fl)
-		in := ingress[fl.Dst]
-		if in == nil {
-			in = &cap{remaining: fb.nodes[fl.Dst].ingressCap * fb.nodeScale(fl.Dst)}
-			ingress[fl.Dst] = in
-		}
-		in.flows = append(in.flows, fl)
+	fb.recomputeAt = now
+	if fb.recomputeEv == (simclock.EventID{}) {
+		fb.recomputeEv = fb.engine.AtPriority(now, recomputePriority, fb.recompute)
+	} else {
+		fb.engine.Rearm(fb.recomputeEv, now)
 	}
-	countUnfrozen := func(c *cap) int {
-		k := 0
-		for _, fl := range c.flows {
-			if unfrozen[fl] {
-				k++
-			}
-		}
-		return k
-	}
-	eps := 1e-6 * fb.cfg.EgressBytesPerSec
-	for len(unfrozen) > 0 {
-		// Find the tightest constraint: min over caps of remaining/unfrozen,
-		// and min over unfrozen flows of headroom to their link cap.
-		limit := math.Inf(1)
-		for _, group := range []map[int]*cap{egress, ingress} {
-			for _, c := range group {
-				k := countUnfrozen(c)
-				if k == 0 {
-					continue
+}
+
+// recompute is the once-per-instant rate pass: settle and re-waterfill
+// the connected components of all dirty nodes, complete flows that
+// drained, and re-aim the completion event at the new earliest ETA.
+func (fb *Fabric) recompute() {
+	fb.inRecompute = true
+	fb.stats.recomputes++
+	now := fb.engine.Now()
+	for len(fb.dirty) > 0 {
+		fb.collectComponent(now)
+		if len(fb.drained) > 0 {
+			// Completion callbacks fire in (ETA, flow-sequence) order and
+			// may mutate the fabric, so collect again afterwards.
+			slices.SortFunc(fb.drained, flowETACmp)
+			for _, fl := range fb.drained {
+				if fl.state == FlowActive {
+					fb.finishFlow(fl, FlowDone)
 				}
-				if share := c.remaining / float64(k); share < limit {
+			}
+			continue
+		}
+		fb.waterfill()
+		if fb.updateETAs(now) {
+			continue
+		}
+	}
+	fb.inRecompute = false
+	fb.armCompletion()
+}
+
+// collectComponent snapshots the dirty set and walks the union of its
+// nodes' connected components over the persistent flow lists, settling
+// every flow it reaches. Flows that drained end up in fb.drained.
+func (fb *Fabric) collectComponent(now simclock.Time) {
+	fb.seeds = append(fb.seeds[:0], fb.dirty...)
+	fb.dirty = fb.dirty[:0]
+	fb.dirtyGen++
+	fb.visitGen++
+	gen := fb.visitGen
+	fb.compNodes = fb.compNodes[:0]
+	fb.compFlows = fb.compFlows[:0]
+	fb.drained = fb.drained[:0]
+	for _, s := range fb.seeds {
+		if fb.nodes[s].visited == gen {
+			continue
+		}
+		fb.nodes[s].visited = gen
+		fb.compNodes = append(fb.compNodes, s)
+	}
+	for qi := 0; qi < len(fb.compNodes); qi++ {
+		n := &fb.nodes[fb.compNodes[qi]]
+		for _, fl := range n.out {
+			fb.visitFlow(fl, gen, now)
+		}
+		for _, fl := range n.in {
+			fb.visitFlow(fl, gen, now)
+		}
+	}
+	fb.stats.flowsRecomputed += uint64(len(fb.compFlows))
+	fb.stats.activeAtRecompute += uint64(len(fb.active))
+}
+
+func (fb *Fabric) visitFlow(fl *Flow, gen uint64, now simclock.Time) {
+	if fl.visited == gen {
+		return
+	}
+	fl.visited = gen
+	fb.settleFlow(fl, now)
+	fb.compFlows = append(fb.compFlows, fl)
+	if fl.remaining == 0 {
+		fb.drained = append(fb.drained, fl)
+	}
+	if n := &fb.nodes[fl.Src]; n.visited != gen {
+		n.visited = gen
+		fb.compNodes = append(fb.compNodes, fl.Src)
+	}
+	if n := &fb.nodes[fl.Dst]; n.visited != gen {
+		n.visited = gen
+		fb.compNodes = append(fb.compNodes, fl.Dst)
+	}
+}
+
+// waterfill runs max-min water-filling over the collected component,
+// using the scratch fields embedded in the nodes themselves.
+func (fb *Fabric) waterfill() {
+	flows := fb.compFlows
+	if len(flows) == 0 {
+		return
+	}
+	fb.stats.waterfills++
+	for _, fl := range flows {
+		fl.rate = 0
+		fl.frozen = false
+	}
+	for _, ni := range fb.compNodes {
+		n := &fb.nodes[ni]
+		sc := fb.nodeScale(ni)
+		n.egRem = n.egressCap * sc
+		n.inRem = n.ingressCap * sc
+		n.egN = int32(len(n.out))
+		n.inN = int32(len(n.in))
+	}
+	unfrozen := len(flows)
+	linked := len(fb.linkFactor) > 0
+	eps := 1e-6 * fb.cfg.EgressBytesPerSec
+	freeze := func(fl *Flow) {
+		fl.frozen = true
+		fb.nodes[fl.Src].egN--
+		fb.nodes[fl.Dst].inN--
+		unfrozen--
+	}
+	for unfrozen > 0 {
+		fb.stats.waterfillRounds++
+		// Find the tightest constraint: min over node caps of
+		// remaining/unfrozen, and min over unfrozen flows of headroom to
+		// their link cap.
+		limit := math.Inf(1)
+		for _, ni := range fb.compNodes {
+			n := &fb.nodes[ni]
+			if n.egN > 0 {
+				if share := n.egRem / float64(n.egN); share < limit {
+					limit = share
+				}
+			}
+			if n.inN > 0 {
+				if share := n.inRem / float64(n.inN); share < limit {
 					limit = share
 				}
 			}
 		}
-		for fl := range unfrozen {
-			if head := fb.flowCap(fl) - fl.rate; head < limit {
-				limit = head
+		if linked {
+			for _, fl := range flows {
+				if !fl.frozen {
+					if head := fb.flowCap(fl) - fl.rate; head < limit {
+						limit = head
+					}
+				}
 			}
 		}
 		if math.IsInf(limit, 1) {
@@ -603,38 +818,214 @@ func (fb *Fabric) computeRates() {
 		}
 		// Raise every unfrozen flow by limit, then freeze flows on any
 		// capacity that is now exhausted and flows that hit their link cap.
-		for fl := range unfrozen {
-			fl.rate += limit
-		}
-		for _, group := range []map[int]*cap{egress, ingress} {
-			for _, c := range group {
-				k := countUnfrozen(c)
-				c.remaining -= limit * float64(k)
+		for _, fl := range flows {
+			if !fl.frozen {
+				fl.rate += limit
 			}
 		}
+		for _, ni := range fb.compNodes {
+			n := &fb.nodes[ni]
+			n.egRem -= limit * float64(n.egN)
+			n.inRem -= limit * float64(n.inN)
+		}
 		froze := false
-		for _, group := range []map[int]*cap{egress, ingress} {
-			for _, c := range group {
-				if c.remaining <= eps {
-					for _, fl := range c.flows {
-						if unfrozen[fl] {
-							delete(unfrozen, fl)
-							froze = true
-						}
+		for _, ni := range fb.compNodes {
+			n := &fb.nodes[ni]
+			if n.egRem <= eps {
+				for _, fl := range n.out {
+					if !fl.frozen {
+						freeze(fl)
+						froze = true
+					}
+				}
+			}
+			if n.inRem <= eps {
+				for _, fl := range n.in {
+					if !fl.frozen {
+						freeze(fl)
+						froze = true
 					}
 				}
 			}
 		}
-		for fl := range unfrozen {
-			if fl.rate >= fb.flowCap(fl)-eps {
-				delete(unfrozen, fl)
-				froze = true
+		if linked {
+			for _, fl := range flows {
+				if !fl.frozen && fl.rate >= fb.flowCap(fl)-eps {
+					freeze(fl)
+					froze = true
+				}
 			}
 		}
 		if !froze {
 			break
 		}
 	}
+}
+
+// updateETAs refreshes the completion heap for the component's flows. A
+// flow whose residual transfer time is below the clock's resolution at
+// this timestamp finishes immediately — exactly one per pass, lowest
+// (ETA, sequence) first, so callbacks stay deterministic; it reports
+// whether it finished one (the recompute loop then runs again).
+func (fb *Fabric) updateETAs(now simclock.Time) bool {
+	var forced *Flow
+	for _, fl := range fb.compFlows {
+		if fl.state != FlowActive {
+			continue
+		}
+		if fl.rate <= 0 {
+			// Parked (zero-bandwidth endpoint): no ETA, no event-loop spin.
+			fb.heapRemove(fl)
+			continue
+		}
+		fl.eta = now.Add(simclock.Duration(fl.remaining / fl.rate))
+		fb.heapFix(fl)
+		if fl.eta <= now && (forced == nil || flowETACmp(fl, forced) < 0) {
+			forced = fl
+		}
+	}
+	if forced != nil {
+		forced.remaining = 0
+		fb.finishFlow(forced, FlowDone)
+		return true
+	}
+	return false
+}
+
+// armCompletion re-aims the persistent completion event at the heap's
+// earliest ETA, or parks it when no flow is progressing.
+func (fb *Fabric) armCompletion() {
+	if len(fb.byETA) == 0 {
+		fb.completion.Cancel()
+		return
+	}
+	eta := fb.byETA[0].eta
+	if fb.completion.Pending() && fb.completeAt == eta {
+		return
+	}
+	fb.completeAt = eta
+	if fb.completion == (simclock.EventID{}) {
+		fb.completion = fb.engine.AtPriority(eta, completionPriority, fb.onCompletion)
+	} else {
+		fb.engine.Rearm(fb.completion, eta)
+	}
+}
+
+// onCompletion fires at the earliest ETA: every due flow completes, in
+// heap order — (ETA, flow sequence) — with callbacks running inside this
+// event, before same-instant user events, as the priority layout demands.
+func (fb *Fabric) onCompletion() {
+	now := fb.engine.Now()
+	for len(fb.byETA) > 0 && fb.byETA[0].eta <= now {
+		fl := fb.byETA[0]
+		fb.settleFlow(fl, now)
+		fl.remaining = 0
+		fb.finishFlow(fl, FlowDone)
+	}
+	if len(fb.dirty) > 0 {
+		fb.armRecompute()
+	} else {
+		fb.armCompletion()
+	}
+}
+
+// flowETACmp orders flows by (ETA, start sequence) — the engine's
+// deterministic completion order.
+func flowETACmp(a, b *Flow) int {
+	switch {
+	case a.eta < b.eta:
+		return -1
+	case a.eta > b.eta:
+		return 1
+	case a.seq < b.seq:
+		return -1
+	case a.seq > b.seq:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func flowLess(a, b *Flow) bool {
+	return a.eta < b.eta || (a.eta == b.eta && a.seq < b.seq)
+}
+
+// heapFix inserts fl into the ETA heap or restores heap order after its
+// ETA changed.
+func (fb *Fabric) heapFix(fl *Flow) {
+	if fl.heapIdx < 0 {
+		fl.heapIdx = int32(len(fb.byETA))
+		fb.byETA = append(fb.byETA, fl)
+		fb.heapUp(int(fl.heapIdx))
+		return
+	}
+	i := int(fl.heapIdx)
+	fb.heapUp(i)
+	if int(fl.heapIdx) == i {
+		fb.heapDown(i)
+	}
+}
+
+func (fb *Fabric) heapRemove(fl *Flow) {
+	i := int(fl.heapIdx)
+	if i < 0 {
+		return
+	}
+	h := fb.byETA
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	fb.byETA = h[:n]
+	fl.heapIdx = -1
+	if i == n {
+		return
+	}
+	h[i] = last
+	last.heapIdx = int32(i)
+	fb.heapUp(i)
+	if int(last.heapIdx) == i {
+		fb.heapDown(i)
+	}
+}
+
+func (fb *Fabric) heapUp(i int) {
+	h := fb.byETA
+	fl := h[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if !flowLess(fl, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		h[i].heapIdx = int32(i)
+		i = p
+	}
+	h[i] = fl
+	fl.heapIdx = int32(i)
+}
+
+func (fb *Fabric) heapDown(i int) {
+	h := fb.byETA
+	n := len(h)
+	fl := h[i]
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		c := l
+		if r := l + 1; r < n && flowLess(h[r], h[l]) {
+			c = r
+		}
+		if !flowLess(h[c], fl) {
+			break
+		}
+		h[i] = h[c]
+		h[i].heapIdx = int32(i)
+		i = c
+	}
+	h[i] = fl
+	fl.heapIdx = int32(i)
 }
 
 // TransferTime returns the α + s/B point-to-point time for a transfer of

@@ -89,27 +89,31 @@ func (r *RingRun) runStep() {
 	slice := r.totalBytes / float64(n)
 	remaining := n
 	anyFailed := false
+	label := fmt.Sprintf("%v-step%d", r.kind, r.step)
+	// One label and one callback per round, shared by all n flows: the
+	// barrier state is per-round, not per-flow.
+	onDone := func(fl *Flow) {
+		if fl.State() != FlowDone {
+			anyFailed = true
+		}
+		remaining--
+		if remaining > 0 {
+			return
+		}
+		if anyFailed {
+			r.finish(true)
+			return
+		}
+		r.step++
+		if r.step >= r.steps {
+			r.finish(false)
+			return
+		}
+		r.runStep()
+	}
 	for i := 0; i < n; i++ {
 		src := r.participants[i]
 		dst := r.participants[(i+1)%n]
-		r.fabric.StartFlow(src, dst, slice, fmt.Sprintf("%v-step%d", r.kind, r.step), func(fl *Flow) {
-			if fl.State() != FlowDone {
-				anyFailed = true
-			}
-			remaining--
-			if remaining > 0 {
-				return
-			}
-			if anyFailed {
-				r.finish(true)
-				return
-			}
-			r.step++
-			if r.step >= r.steps {
-				r.finish(false)
-				return
-			}
-			r.runStep()
-		})
+		r.fabric.StartFlow(src, dst, slice, label, onDone)
 	}
 }

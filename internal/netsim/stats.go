@@ -1,0 +1,79 @@
+package netsim
+
+import "gemini/internal/metrics"
+
+// fabricStats are the engine's internal monotonic counters.
+type fabricStats struct {
+	flowsStarted      uint64
+	flowsFinished     uint64
+	settleOps         uint64
+	recomputes        uint64
+	waterfills        uint64
+	waterfillRounds   uint64
+	flowsRecomputed   uint64
+	activeAtRecompute uint64
+	peakFlows         int
+}
+
+// FabricStats is a snapshot of the fabric engine's counters: how many
+// flows it carried, how much rate-recomputation work the dirty-set core
+// actually did, and how much a full-fabric engine would have done.
+type FabricStats struct {
+	// FlowsStarted and FlowsFinished count flow lifecycle transitions.
+	FlowsStarted, FlowsFinished uint64
+	// SettleOps counts per-flow byte-accounting advances at nonzero rate.
+	SettleOps uint64
+	// Recomputes counts coalesced once-per-instant rate passes.
+	Recomputes uint64
+	// Waterfills counts component re-waterfills; WaterfillRounds the
+	// freeze rounds inside them.
+	Waterfills, WaterfillRounds uint64
+	// FlowsRecomputed sums component sizes over all collect passes;
+	// ActiveFlowSum sums the total active-flow count at those passes.
+	// Their ratio is what the dirty-set core saved.
+	FlowsRecomputed, ActiveFlowSum uint64
+	// PeakConcurrentFlows is the high-water mark of simultaneously
+	// active flows.
+	PeakConcurrentFlows int
+}
+
+// Stats snapshots the fabric's engine counters.
+func (fb *Fabric) Stats() FabricStats {
+	return FabricStats{
+		FlowsStarted:        fb.stats.flowsStarted,
+		FlowsFinished:       fb.stats.flowsFinished,
+		SettleOps:           fb.stats.settleOps,
+		Recomputes:          fb.stats.recomputes,
+		Waterfills:          fb.stats.waterfills,
+		WaterfillRounds:     fb.stats.waterfillRounds,
+		FlowsRecomputed:     fb.stats.flowsRecomputed,
+		ActiveFlowSum:       fb.stats.activeAtRecompute,
+		PeakConcurrentFlows: fb.stats.peakFlows,
+	}
+}
+
+// DirtyHitRate is the fraction of active flows the dirty-set core did
+// NOT have to touch, averaged over recompute passes: 0 means every pass
+// re-waterfilled the whole fabric (what the old engine always did), 1
+// means passes were free.
+func (s FabricStats) DirtyHitRate() float64 {
+	if s.ActiveFlowSum == 0 {
+		return 0
+	}
+	return 1 - float64(s.FlowsRecomputed)/float64(s.ActiveFlowSum)
+}
+
+// Counters exports the snapshot through the metrics package, for
+// surfacing in CLI output.
+func (s FabricStats) Counters() metrics.CounterSet {
+	return metrics.CounterSet{
+		{Name: "flows_started", Value: float64(s.FlowsStarted)},
+		{Name: "flows_finished", Value: float64(s.FlowsFinished)},
+		{Name: "peak_concurrent_flows", Value: float64(s.PeakConcurrentFlows)},
+		{Name: "settle_ops", Value: float64(s.SettleOps)},
+		{Name: "recomputes", Value: float64(s.Recomputes)},
+		{Name: "waterfills", Value: float64(s.Waterfills)},
+		{Name: "waterfill_rounds", Value: float64(s.WaterfillRounds)},
+		{Name: "dirty_hit_rate", Value: s.DirtyHitRate()},
+	}
+}

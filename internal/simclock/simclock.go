@@ -176,6 +176,35 @@ func (e *Engine) at(at Time, priority int, fn func()) EventID {
 	return EventID{ev}
 }
 
+// Rearm reschedules an existing event to fire at the absolute time at,
+// reusing its allocation: a still-pending event is moved in place, and a
+// fired or canceled one is revived. The event keeps its callback and
+// priority but is sequenced as if newly scheduled, so among same-instant
+// same-priority events it fires after those already queued. Like At,
+// rearming into the past panics.
+//
+// Rearm exists for long-lived periodic events (the netsim fabric's
+// completion and recompute events) that would otherwise allocate a fresh
+// event on every reschedule.
+func (e *Engine) Rearm(id EventID, at Time) {
+	ev := id.ev
+	if ev == nil {
+		panic("simclock: Rearm of zero EventID")
+	}
+	if at < e.now {
+		panic(fmt.Sprintf("simclock: rearming event at %v before now %v", at, e.now))
+	}
+	ev.at = at
+	ev.canceled = false
+	ev.seq = e.seq
+	e.seq++
+	if ev.index >= 0 {
+		heap.Fix(&e.queue, ev.index)
+	} else {
+		heap.Push(&e.queue, ev)
+	}
+}
+
 // Stop makes the current Run call return after the in-flight event
 // completes. Pending events remain queued.
 func (e *Engine) Stop() { e.stopped = true }

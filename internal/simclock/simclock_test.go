@@ -342,3 +342,91 @@ func TestReentrantRunPanics(t *testing.T) {
 	})
 	e.RunAll()
 }
+
+func TestRearmMovesPendingEvent(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	id := e.At(5, func() { fired = append(fired, e.Now()) })
+	e.Rearm(id, 2)
+	e.RunAll()
+	if len(fired) != 1 || fired[0] != 2 {
+		t.Fatalf("rearmed event fired at %v, want [2]", fired)
+	}
+}
+
+func TestRearmRevivesFiredAndCanceledEvents(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	id := e.At(1, func() { count++ })
+	e.RunAll()
+	if count != 1 {
+		t.Fatalf("event fired %d times, want 1", count)
+	}
+	// Revive the fired event.
+	e.Rearm(id, 3)
+	e.RunAll()
+	if count != 2 || e.Now() != 3 {
+		t.Fatalf("revived event: count %d at %v, want 2 at 3", count, e.Now())
+	}
+	// Revive a canceled event.
+	id.Cancel()
+	e.Rearm(id, 4)
+	e.RunAll()
+	if count != 3 || e.Now() != 4 {
+		t.Fatalf("revived canceled event: count %d at %v, want 3 at 4", count, e.Now())
+	}
+}
+
+func TestRearmKeepsPriorityAndResequences(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	low := e.AtPriority(10, -5, func() { order = append(order, "low") })
+	e.At(1, func() {
+		// Move the priority −5 event to the same instant as a priority-0
+		// event scheduled later: priority still wins the tie.
+		e.At(2, func() { order = append(order, "plain") })
+		e.Rearm(low, 2)
+	})
+	e.RunAll()
+	if len(order) != 2 || order[0] != "low" || order[1] != "plain" {
+		t.Fatalf("order %v, want [low plain]", order)
+	}
+}
+
+func TestRearmSequencesAfterExistingTies(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	a := e.At(1, func() { order = append(order, "a") })
+	e.RunAll()
+	// Same instant, same priority: the freshly scheduled event keeps its
+	// earlier sequence, the rearmed one fires after it.
+	e.At(1, func() { order = append(order, "b") })
+	e.Rearm(a, 1)
+	e.RunAll()
+	if len(order) != 3 || order[1] != "b" || order[2] != "a" {
+		t.Fatalf("order %v, want [a b a]", order)
+	}
+}
+
+func TestRearmIntoPastPanics(t *testing.T) {
+	e := NewEngine()
+	id := e.At(1, func() {})
+	e.At(5, func() {})
+	e.RunAll()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rearming into the past did not panic")
+		}
+	}()
+	e.Rearm(id, 2)
+}
+
+func TestRearmZeroEventPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rearming a zero EventID did not panic")
+		}
+	}()
+	e.Rearm(EventID{}, 1)
+}

@@ -1,6 +1,7 @@
 package training
 
 import (
+	"reflect"
 	"testing"
 
 	"gemini/internal/placement"
@@ -23,7 +24,7 @@ func TestExecutorFullyDeterministic(t *testing.T) {
 		return res
 	}
 	a, b := run(), run()
-	if *a != *b {
+	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("two identical runs diverged:\n%+v\n%+v", a, b)
 	}
 }

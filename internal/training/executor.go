@@ -3,6 +3,7 @@ package training
 import (
 	"fmt"
 
+	"gemini/internal/metrics"
 	"gemini/internal/netsim"
 	"gemini/internal/placement"
 	"gemini/internal/schedule"
@@ -68,6 +69,9 @@ type ExecResult struct {
 	OOM bool
 	// RequiredBufferBytes is the scheme's GPU buffer demand.
 	RequiredBufferBytes float64
+	// FabricCounters snapshots the network engine's counters after the
+	// run: flow totals, recompute work, and the dirty-set hit rate.
+	FabricCounters metrics.CounterSet
 }
 
 // Overhead returns the iteration-time overhead over the no-checkpoint
@@ -339,6 +343,7 @@ func (ex *executor) run(res *ExecResult) {
 		res.CheckpointWallTime = meanDur(ckptTimes)
 	}
 	res.NetworkIdle = meanDur(idleTimes)
+	res.FabricCounters = ex.fabric.Stats().Counters()
 }
 
 func meanDur(ds []simclock.Duration) simclock.Duration {
@@ -409,18 +414,19 @@ func (ex *executor) startIteration() {
 		if ex.observer != nil {
 			observe = ex.observer.observe(label, ex.engine.Now())
 		}
+		// One callback shared by all n ring flows; machine 0's flow feeds
+		// the online profiler.
+		onDone := func(fl *netsim.Flow) {
+			if observe != nil && fl.Src == 0 {
+				observe(fl)
+			}
+			remaining--
+			if remaining == 0 {
+				done()
+			}
+		}
 		for i := 0; i < n; i++ {
-			dst := (i + 1) % n
-			i := i
-			ex.fabric.StartFlow(i, dst, bytes, label, func(fl *netsim.Flow) {
-				if i == 0 && observe != nil {
-					observe(fl)
-				}
-				remaining--
-				if remaining == 0 {
-					done()
-				}
-			})
+			ex.fabric.StartFlow(i, (i+1)%n, bytes, label, onDone)
 		}
 	}
 
