@@ -14,3 +14,15 @@ go test -run='^$' -bench=. -benchtime=1x -benchmem ./...
 # the fabric benchmarks must still run at every scale.
 go test -run='^TestSteadyStateFabricEventsDoNotAllocate$' -count=1 ./internal/netsim
 go test -run='^$' -bench='^BenchmarkFabricRing' -benchtime=1x -benchmem ./internal/netsim
+
+# Observability gates. Disabled tracing and metrics must stay
+# allocation-free (also outside the race detector), and the geminisim
+# -trace export must parse as Chrome trace JSON with events from at
+# least four subsystems — a refactor that silently unwires a
+# subsystem's tracing fails here instead of shipping an empty track.
+go test -run='^TestDisabledTracingAllocsZero$' -count=1 ./internal/trace
+go test -run='^TestHistogramObserveAllocsZero$' -count=1 ./internal/metrics
+TRACE_OUT="$(mktemp -t geminitrace.XXXXXX.json)"
+go run ./cmd/geminisim -days 1 -trace "$TRACE_OUT" > /dev/null
+go run ./cmd/tracelint -min-categories 4 -min-events 1000 "$TRACE_OUT"
+rm -f "$TRACE_OUT"

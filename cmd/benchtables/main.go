@@ -16,8 +16,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"gemini/internal/experiments"
+	"gemini/internal/simclock"
+	"gemini/internal/trace"
 )
 
 func main() {
@@ -25,6 +28,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	ablations := flag.Bool("ablations", false, "also run the design-choice ablations")
 	workers := flag.Int("workers", 0, "number of concurrent experiments (0 = GOMAXPROCS)")
+	traceOut := flag.String("trace", "", "write a wall-clock Chrome trace of the experiment sweep to this file")
 	flag.Parse()
 
 	if *list {
@@ -45,6 +49,27 @@ func main() {
 		}
 		run = []experiments.Experiment{e}
 	}
+	// With -trace, each experiment gets its own tracer (experiments run
+	// concurrently; tracers are per-run sinks) recording a wall-clock span
+	// per experiment; the sinks merge into one timeline at export.
+	var tracers []*trace.Tracer
+	if *traceOut != "" {
+		epoch := time.Now()
+		now := func() simclock.Time { return simclock.Time(time.Since(epoch).Seconds()) }
+		for i := range run {
+			tr := trace.NewTracer(now)
+			tracers = append(tracers, tr)
+			tk := tr.Track("benchtables", run[i].ID)
+			inner := run[i].Run
+			id := run[i].ID
+			run[i].Run = func() (string, error) {
+				tk.Begin(trace.CatExperiments, id)
+				defer tk.End()
+				return inner()
+			}
+		}
+	}
+
 	failed := false
 	for _, r := range experiments.RunAll(context.Background(), run, *workers) {
 		fmt.Printf("== %s — %s ==\n", r.ID, r.Title)
@@ -54,6 +79,22 @@ func main() {
 			continue
 		}
 		fmt.Println(r.Output)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		werr := trace.WriteJSON(f, tracers...)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, werr)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: wrote %s (%d experiments); load it at ui.perfetto.dev\n", *traceOut, len(tracers))
 	}
 	if failed {
 		os.Exit(1)

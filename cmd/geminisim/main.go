@@ -10,9 +10,11 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"gemini"
 	"gemini/internal/baselines"
@@ -35,6 +37,7 @@ func main() {
 		poisson     = flag.Bool("poisson", false, "Poisson failure arrivals instead of fixed spacing")
 		replacement = flag.Duration("replacement", 0, "machine replacement delay (0 = standby machines)")
 		timeline    = flag.Bool("timeline", false, "render the iteration timeline with the checkpoint plan")
+		traceOut    = flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) of a small traced run to this file")
 	)
 	flag.Parse()
 
@@ -100,4 +103,78 @@ func main() {
 			spec.Name, res.EffectiveRatio, res.MeanWasted, res.TotalWasted,
 			res.FromLocal, res.FromPeer, res.FromRemote)
 	}
+
+	if *traceOut != "" {
+		spec := gemini.JobSpec{
+			Model: *modelName, Instance: *instance, Machines: *machines, Replicas: *replicas,
+		}
+		if err := writeTrace(job, spec, *traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeTrace renders one small deterministic traced run as Chrome
+// trace-event JSON: a GEMINI-schedule executor run (training compute and
+// collectives, checkpoint flows and copies on per-machine tracks) merged
+// with a control-plane run where a seeded software + hardware failure
+// drives the full §6.2 recovery (chaos injection, kvstore election,
+// recovery phases).
+func writeTrace(job *gemini.Job, spec gemini.JobSpec, path string) error {
+	execTr := gemini.NewTracer()
+	res, err := job.ExecuteSchemeTraced(gemini.SchemeGemini, execTr)
+	if err != nil {
+		return err
+	}
+	if res.OOM {
+		execTr = nil // nothing ran; export the control plane alone
+	}
+
+	iter := gemini.Duration(job.Timeline.Iteration)
+	at := gemini.Time(3*iter + iter/2)
+	sched, err := gemini.Faults().
+		Crash(at, 1, gemini.SoftwareFailure).
+		Crash(at, 2%spec.Machines, gemini.HardwareFailure).
+		Build(spec.Machines)
+	if err != nil {
+		return err
+	}
+	traced, err := gemini.NewJob(spec, gemini.WithFaults(sched))
+	if err != nil {
+		return err
+	}
+	engine, sys, err := traced.RecoverySystem(gemini.DefaultCloudConfig())
+	if err != nil {
+		return err
+	}
+	ctl := gemini.NewTracer()
+	sys.SetTracer(ctl)
+	sys.SetRemoteEvery(10)
+	sys.Start()
+	engine.Run(gemini.Time(25 * iter))
+
+	var buf bytes.Buffer
+	if err := gemini.WriteTrace(&buf, execTr, ctl); err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	st, err := gemini.TraceStatsFromJSON(buf.Bytes())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ntrace: wrote %s (%d events, %d processes, categories:", path, st.Events, len(st.Processes))
+	cats := make([]string, 0, len(st.Categories))
+	for c := range st.Categories {
+		cats = append(cats, c)
+	}
+	sort.Strings(cats)
+	for _, c := range cats {
+		fmt.Printf(" %s=%d", c, st.Categories[c])
+	}
+	fmt.Println(")")
+	fmt.Println("  load it at ui.perfetto.dev or chrome://tracing")
+	return nil
 }

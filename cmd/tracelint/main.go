@@ -1,0 +1,55 @@
+// Command tracelint validates an exported Chrome trace-event JSON file:
+// it must parse, contain events, and cover at least a minimum number of
+// distinct subsystem categories. ci.sh runs it against the geminisim
+// -trace smoke output so a refactor that silently unwires a subsystem's
+// tracing fails the build instead of shipping an empty track.
+//
+// Usage:
+//
+//	tracelint -min-categories 4 out.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"gemini/internal/trace"
+)
+
+func main() {
+	minCats := flag.Int("min-categories", 4, "minimum distinct event categories required")
+	minEvents := flag.Int("min-events", 1, "minimum non-metadata events required")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracelint [-min-categories n] [-min-events n] <trace.json>")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	st, err := trace.StatsFromJSON(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracelint: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	cats := make([]string, 0, len(st.Categories))
+	for c := range st.Categories {
+		cats = append(cats, c)
+	}
+	sort.Strings(cats)
+	fmt.Printf("%s: %d events, %d processes, %d categories %v\n",
+		path, st.Events, len(st.Processes), len(cats), cats)
+	if st.Events < *minEvents {
+		fmt.Fprintf(os.Stderr, "tracelint: %d events, want ≥ %d\n", st.Events, *minEvents)
+		os.Exit(1)
+	}
+	if len(cats) < *minCats {
+		fmt.Fprintf(os.Stderr, "tracelint: %d distinct categories %v, want ≥ %d\n", len(cats), cats, *minCats)
+		os.Exit(1)
+	}
+}

@@ -39,6 +39,8 @@
 package gemini
 
 import (
+	"io"
+
 	"gemini/internal/baselines"
 	"gemini/internal/chaos"
 	"gemini/internal/cloud"
@@ -317,3 +319,27 @@ type (
 	// TraceEvent is one logged event.
 	TraceEvent = trace.Event
 )
+
+// Structured observability: span tracing with Chrome trace-event
+// (Perfetto-loadable) export.
+type (
+	// Tracer collects one run's spans, instants, and counter samples on
+	// named tracks. Nil = disabled and free. Not concurrency-safe: give
+	// each run its own tracer and merge them at export.
+	Tracer = trace.Tracer
+	// TraceStats summarizes an exported trace document.
+	TraceStats = trace.JSONStats
+)
+
+// NewTracer creates an empty tracer. The simulation installs its clock
+// when the tracer is attached (Job.ExecuteSchemeTraced, System.SetTracer,
+// Fabric.SetTracer).
+func NewTracer() *Tracer { return trace.NewTracer(nil) }
+
+// WriteTrace renders the tracers as one Chrome trace-event JSON document,
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+func WriteTrace(w io.Writer, tracers ...*Tracer) error { return trace.WriteJSON(w, tracers...) }
+
+// TraceStatsFromJSON parses an exported trace and summarizes its event
+// and category counts.
+func TraceStatsFromJSON(data []byte) (*TraceStats, error) { return trace.StatsFromJSON(data) }

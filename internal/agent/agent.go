@@ -123,13 +123,24 @@ type System struct {
 
 	iteration        int64
 	remoteEveryIters int64
-	training         bool
-	recovering       bool
-	iterEv           simclock.EventID
-	data             *statemgr.Manager // optional byte-level data plane
+	// lastRemoteCommitted is the newest iteration actually written to the
+	// remote persistent tier — recorded at commit time, so recovery never
+	// derives it from the current cadence (which SetRemoteEvery may have
+	// changed since the last commit).
+	lastRemoteCommitted int64
+	training            bool
+	recovering          bool
+	iterEv              simclock.EventID
+	data                *statemgr.Manager // optional byte-level data plane
 
 	recoveries int
 	sweepEv    simclock.EventID
+
+	// Structured tracing (nil = disabled): recovery phases and iterations
+	// on rootTrack, injections on chaosTrack, elections on kvTrack.
+	rootTrack  *trace.Track
+	chaosTrack *trace.Track
+	kvTrack    *trace.Track
 
 	// Chaos state: ranks cut off from the network (heartbeats and peer
 	// retrieval both fail) and per-rank bandwidth factors for stragglers.
@@ -172,6 +183,20 @@ func NewSystem(engine *simclock.Engine, cl *cluster.Cluster, ck *ckpt.Engine,
 
 // Log returns the system's event log.
 func (s *System) Log() *trace.Log { return s.log }
+
+// SetTracer attaches a structured tracer: recovery phases (§6.2 steps
+// 1–5) and control-plane iterations land on a "control-plane/root-agent"
+// track, chaos injections and kvstore elections on their own tracks.
+// Call before Start; a nil tracer leaves tracing disabled and free.
+func (s *System) SetTracer(tr *trace.Tracer) {
+	if tr == nil {
+		return
+	}
+	tr.SetNow(s.engine.Now)
+	s.rootTrack = tr.Track("control-plane", "root-agent")
+	s.chaosTrack = tr.Track("control-plane", "chaos")
+	s.kvTrack = tr.Track("control-plane", "kvstore")
+}
 
 // SetDataPlane attaches a byte-level checkpoint data plane: every
 // iteration moves real shard payloads, every recovery restores and
@@ -294,6 +319,9 @@ func (s *System) promoteRoot() {
 		if won {
 			s.rootRank = rank
 			s.log.Add("root-agent", "elected", "rank %d is root", rank)
+			if s.kvTrack.Enabled() {
+				s.kvTrack.InstantArgs(trace.CatKVStore, "elected", fmt.Sprintf("rank=%d", rank))
+			}
 			break
 		}
 	}
@@ -327,6 +355,9 @@ func (s *System) InjectFailure(rank int, kind cluster.MachineState) {
 	// back to the cluster's own state to classify the failure.
 	_, _ = s.store.Put(failurePrefix+strconv.Itoa(rank), kind.String(), 0)
 	s.log.Add("injector", "failure", "rank %d: %v", rank, kind)
+	if s.chaosTrack.Enabled() {
+		s.chaosTrack.InstantArgs(trace.CatChaos, "failure", fmt.Sprintf("rank=%d kind=%v", rank, kind))
+	}
 	s.scheduleSweep()
 }
 
@@ -396,6 +427,10 @@ func (s *System) WatchRootFailover() {
 			s.promoteRoot()
 			if s.rootRank >= 0 && s.rootRank != prevRoot {
 				s.log.Add("root-agent", "failover", "root moved %d → %d", prevRoot, s.rootRank)
+				if s.kvTrack.Enabled() {
+					s.kvTrack.InstantArgs(trace.CatKVStore, "failover",
+						fmt.Sprintf("from=%d to=%d", prevRoot, s.rootRank))
+				}
 				// The new root immediately checks cluster health: the old
 				// root's machine is typically the failed one.
 				s.rootCheck()

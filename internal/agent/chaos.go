@@ -7,6 +7,7 @@ import (
 	"gemini/internal/cluster"
 	"gemini/internal/kvstore"
 	"gemini/internal/simclock"
+	"gemini/internal/trace"
 )
 
 // This file is the fault-injection surface of the control plane: network
@@ -28,6 +29,9 @@ func (s *System) StartPartition(ranks ...int) {
 		s.partitioned[rank] = true
 	}
 	s.log.Add("injector", "partition", "ranks %v isolated", ranks)
+	if s.chaosTrack.Enabled() {
+		s.chaosTrack.InstantArgs(trace.CatChaos, "partition", fmt.Sprintf("ranks=%v", ranks))
+	}
 	s.scheduleSweep()
 }
 
@@ -43,6 +47,9 @@ func (s *System) HealPartition() {
 	sort.Ints(healed)
 	s.partitioned = make(map[int]bool)
 	s.log.Add("injector", "partition-heal", "ranks %v reconnected", healed)
+	if s.chaosTrack.Enabled() {
+		s.chaosTrack.InstantArgs(trace.CatChaos, "partition-heal", fmt.Sprintf("ranks=%v", healed))
+	}
 	for _, rank := range healed {
 		w := s.workers[rank]
 		switch {
@@ -98,6 +105,9 @@ func (s *System) SetStraggler(rank int, factor float64) {
 	}
 	s.stragglers[rank] = factor
 	s.log.Add("injector", "straggler", "rank %d degraded to %.0f%% bandwidth", rank, factor*100)
+	if s.chaosTrack.Enabled() {
+		s.chaosTrack.InstantArgs(trace.CatChaos, "straggler", fmt.Sprintf("rank=%d factor=%v", rank, factor))
+	}
 }
 
 // stragglerFactor returns a rank's current bandwidth scale.
@@ -120,10 +130,12 @@ func (s *System) SetKVAvailable(up bool) {
 		s.store.SetAvailable(false)
 		s.sweepEv.Cancel()
 		s.log.Add("injector", "kv-outage", "key-value store unavailable")
+		s.chaosTrack.Instant(trace.CatChaos, "kv-outage")
 		return
 	}
 	s.store.SetAvailable(true)
 	s.log.Add("injector", "kv-restore", "key-value store available again")
+	s.chaosTrack.Instant(trace.CatChaos, "kv-restore")
 	s.scheduleSweep()
 }
 
@@ -133,6 +145,7 @@ func (s *System) SetKVAvailable(up bool) {
 func (s *System) SetLeaseJitter(max simclock.Duration) {
 	s.store.SetLeaseJitter(max, 1)
 	s.log.Add("injector", "lease-jitter", "lease expiries jittered by up to %v", max)
+	s.chaosTrack.Instant(trace.CatChaos, "lease-jitter")
 }
 
 // InjectCorrelated fails several machines at the same instant with the

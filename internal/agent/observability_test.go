@@ -1,0 +1,208 @@
+package agent
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gemini/internal/cloud"
+	"gemini/internal/cluster"
+	"gemini/internal/simclock"
+	"gemini/internal/trace"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// Pins the lastRemoteIteration bugfix: the remote-fallback version must
+// be the iteration actually committed to the remote tier, not one derived
+// from the cadence in force at recovery time. Before the fix, shrinking
+// the cadence mid-run made recovery claim a remote checkpoint (here 21)
+// that was never written; the newest real commit is 20.
+func TestSetRemoteEveryMidRunUsesCommittedVersion(t *testing.T) {
+	f := newFixture(t, 4, 2, cloud.DefaultConfig())
+	f.sys.SetRemoteEvery(10) // commits at iterations 10, 20, …
+	f.sys.Start()
+	// After iteration 22 the newest remote commit is 20. Tighten the
+	// cadence to 7: the next commit would land at 28, but the whole
+	// group {2,3} dies at iteration 25 — before any commit under the
+	// new cadence exists.
+	f.engine.At(simclock.Time(22*iterTime+1), func() {
+		f.sys.SetRemoteEvery(7)
+	})
+	f.engine.At(simclock.Time(25*iterTime+10), func() {
+		f.sys.InjectFailure(2, cluster.HardwareFailed)
+		f.sys.InjectFailure(3, cluster.HardwareFailed)
+	})
+	f.engine.Run(simclock.Time(60 * iterTime))
+	if f.sys.Recoveries() != 1 {
+		t.Fatalf("%d recoveries, want 1", f.sys.Recoveries())
+	}
+	ret, _ := f.log.Last("retrieved")
+	if !strings.Contains(ret.Detail, "from remote") {
+		t.Fatalf("retrieval detail %q, want remote fallback", ret.Detail)
+	}
+	rec, _ := f.log.Last("recovery-complete")
+	if strings.Contains(rec.Detail, "iteration 21") {
+		t.Fatalf("recovery claims the phantom cadence-derived version: %q", rec.Detail)
+	}
+	if !strings.Contains(rec.Detail, "iteration 20") {
+		t.Fatalf("recovery detail %q, want the committed remote iteration 20", rec.Detail)
+	}
+}
+
+// spanNames collects the names recorded on a track.
+func spanNames(tk *trace.Track) map[string]int {
+	out := make(map[string]int)
+	for _, sp := range tk.Spans() {
+		out[sp.Name]++
+	}
+	return out
+}
+
+func TestRecoveryPhasesTraced(t *testing.T) {
+	f := newFixture(t, 4, 2, cloud.DefaultConfig())
+	f.sys.SetRemoteEvery(10)
+	tr := trace.NewTracer(nil)
+	f.sys.SetTracer(tr)
+	f.sys.Start()
+	f.engine.At(simclock.Time(5*iterTime+10), func() {
+		f.sys.InjectFailure(2, cluster.HardwareFailed)
+	})
+	f.engine.Run(simclock.Time(20 * iterTime))
+	if f.sys.Recoveries() != 1 {
+		t.Fatalf("%d recoveries, want 1", f.sys.Recoveries())
+	}
+
+	root := tr.Track("control-plane", "root-agent")
+	names := spanNames(root)
+	for _, want := range []string{"recovery", "serialize", "replace", "retrieve", "warmup", "iteration"} {
+		if names[want] == 0 {
+			t.Errorf("no %q span on root-agent track (got %v)", want, names)
+		}
+	}
+	if root.OpenSpans() != 0 {
+		t.Fatalf("%d spans left open after recovery completed", root.OpenSpans())
+	}
+	// The §6.2 phases nest inside the recovery span and are ordered.
+	var rec, ser, rtv, wu trace.Span
+	for _, sp := range root.Spans() {
+		switch sp.Name {
+		case "recovery":
+			rec = sp
+		case "serialize":
+			ser = sp
+		case "retrieve":
+			rtv = sp
+		case "warmup":
+			wu = sp
+		}
+	}
+	if !(rec.Start <= ser.Start && ser.End <= rtv.Start && rtv.End <= wu.Start && wu.End <= rec.End) {
+		t.Fatalf("phase spans out of order: recovery=%+v serialize=%+v retrieve=%+v warmup=%+v",
+			rec, ser, rtv, wu)
+	}
+	if !strings.Contains(rtv.Args, "source=") {
+		t.Fatalf("retrieve span args %q missing source", rtv.Args)
+	}
+
+	chaosTk := tr.Track("control-plane", "chaos")
+	var sawFailure bool
+	for _, in := range chaosTk.Instants() {
+		if in.Name == "failure" && in.Cat == trace.CatChaos {
+			sawFailure = true
+		}
+	}
+	if !sawFailure {
+		t.Fatalf("no chaos failure instant (got %+v)", chaosTk.Instants())
+	}
+	kvTk := tr.Track("control-plane", "kvstore")
+	var sawElected bool
+	for _, in := range kvTk.Instants() {
+		if in.Name == "elected" && in.Cat == trace.CatKVStore {
+			sawElected = true
+		}
+	}
+	if !sawElected {
+		t.Fatalf("no kvstore election instant (got %+v)", kvTk.Instants())
+	}
+}
+
+// Pins the exported trace JSON for a small deterministic run, byte for
+// byte: a seeded failure, the full recovery, and the export layout
+// (pids, tids, lanes, args) must all stay reproducible. Regenerate with
+// `go test ./internal/agent -run GoldenTrace -update` after an
+// intentional format or instrumentation change.
+func TestGoldenTraceJSON(t *testing.T) {
+	f := newFixture(t, 4, 2, cloud.DefaultConfig())
+	f.sys.SetRemoteEvery(10)
+	tr := trace.NewTracer(nil)
+	f.sys.SetTracer(tr)
+	f.sys.Start()
+	f.engine.At(simclock.Time(3*iterTime+10), func() {
+		f.sys.InjectFailure(2, cluster.SoftwareFailed)
+	})
+	f.engine.Run(simclock.Time(12 * iterTime))
+	if f.sys.Recoveries() != 1 {
+		t.Fatalf("%d recoveries, want 1", f.sys.Recoveries())
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteJSON(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "golden_trace.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exported trace differs from %s (run with -update if intentional)\ngot:  %.400s\nwant: %.400s",
+			golden, buf.String(), want)
+	}
+	// Sanity beyond byte equality: the document is valid and covers the
+	// control-plane subsystems.
+	st, err := trace.StatsFromJSON(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cat := range []string{trace.CatAgent, trace.CatChaos, trace.CatKVStore} {
+		if st.Categories[cat] == 0 {
+			t.Errorf("no %s events in golden trace (categories: %v)", cat, st.Categories)
+		}
+	}
+}
+
+// A traced run must replay bit-identically to an untraced one: tracing
+// only observes, never schedules.
+func TestTracingDoesNotPerturbDeterminism(t *testing.T) {
+	run := func(withTracer bool) []trace.Event {
+		f := newFixture(t, 4, 2, cloud.DefaultConfig())
+		f.sys.SetRemoteEvery(10)
+		if withTracer {
+			f.sys.SetTracer(trace.NewTracer(nil))
+		}
+		f.sys.Start()
+		f.engine.At(simclock.Time(5*iterTime+10), func() {
+			f.sys.InjectFailure(1, cluster.SoftwareFailed)
+			f.sys.InjectFailure(2, cluster.HardwareFailed)
+		})
+		f.engine.Run(simclock.Time(30 * iterTime))
+		return f.log.Events()
+	}
+	plain, traced := run(false), run(true)
+	if len(plain) != len(traced) {
+		t.Fatalf("event counts differ: %d vs %d", len(plain), len(traced))
+	}
+	for i := range plain {
+		if plain[i] != traced[i] {
+			t.Fatalf("event %d differs:\n  plain:  %+v\n  traced: %+v", i, plain[i], traced[i])
+		}
+	}
+}

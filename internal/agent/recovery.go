@@ -8,6 +8,7 @@ import (
 	"gemini/internal/ckpt"
 	"gemini/internal/cluster"
 	"gemini/internal/simclock"
+	"gemini/internal/trace"
 )
 
 // RemoteEveryIterations is how often the remote persistent tier gets a
@@ -21,8 +22,13 @@ func (s *System) scheduleIteration() {
 	if !s.training || s.recovering {
 		return
 	}
+	start := s.engine.Now()
 	s.iterEv = s.engine.After(s.opts.IterationTime, func() {
 		s.completeIteration()
+		if s.rootTrack.Enabled() {
+			s.rootTrack.SpanArgs(trace.CatAgent, "iteration", start, s.engine.Now(),
+				fmt.Sprintf("iter=%d", s.iteration))
+		}
 		s.scheduleIteration()
 	})
 }
@@ -42,11 +48,6 @@ func (s *System) completeIteration() {
 		if err := s.data.Checkpoint(s.ckpt, iter, healthy); err != nil {
 			panic(fmt.Sprintf("agent: data-plane checkpoint: %v", err))
 		}
-		if iter%s.remoteEvery() == 0 {
-			if err := s.data.CheckpointRemote(iter); err != nil {
-				panic(fmt.Sprintf("agent: remote checkpoint: %v", err))
-			}
-		}
 	} else {
 		for owner := 0; owner < s.placement.N; owner++ {
 			if !healthy(owner) {
@@ -61,6 +62,18 @@ func (s *System) completeIteration() {
 				s.ckpt.Commit(holder, owner, iter, 0)
 			}
 		}
+	}
+	// The remote persistent tier commits on its own cadence; the commit is
+	// recorded so recovery reads what was actually written, not what the
+	// current cadence implies (SetRemoteEvery may have changed it since).
+	if iter%s.remoteEvery() == 0 {
+		if s.data != nil {
+			if err := s.data.CheckpointRemote(iter); err != nil {
+				panic(fmt.Sprintf("agent: remote checkpoint: %v", err))
+			}
+		}
+		s.lastRemoteCommitted = iter
+		s.rootTrack.Instant(trace.CatAgent, "remote-checkpoint")
 	}
 	// Best-effort: during a store outage the committed-iteration key lags
 	// behind; recovery reads versions from the checkpoint engine, not here.
@@ -83,11 +96,12 @@ func (s *System) SetRemoteEvery(iterations int64) {
 	s.remoteEveryIters = iterations
 }
 
-// lastRemoteIteration returns the newest iteration captured in the
-// remote persistent store.
+// lastRemoteIteration returns the newest iteration actually committed to
+// the remote persistent store. Deriving it from the current cadence
+// would be wrong: after SetRemoteEvery mid-run it could name an
+// iteration no commit ever covered.
 func (s *System) lastRemoteIteration() int64 {
-	every := s.remoteEvery()
-	return s.iteration - s.iteration%every
+	return s.lastRemoteCommitted
 }
 
 // beginRecovery is the root agent's recovery workflow (§6.2):
@@ -113,9 +127,16 @@ func (s *System) beginRecovery(failed []int) {
 		s.store.Delete(failurePrefix + strconv.Itoa(rank))
 	}
 	s.log.Add("root-agent", "failure-detected", "ranks %v (hardware: %d)", failed, len(hardware))
+	if s.rootTrack.Enabled() {
+		// Step 1: the whole recovery is one span; phases nest inside it.
+		s.rootTrack.BeginArgs(trace.CatAgent, "recovery",
+			fmt.Sprintf("ranks=%v hardware=%d", failed, len(hardware)))
+	}
 
 	// Step 2: serialize resident checkpoints on all alive machines.
+	serStart := s.engine.Now()
 	s.engine.After(s.opts.SerializeTime, func() {
+		s.rootTrack.Span(trace.CatAgent, "serialize", serStart, s.engine.Now())
 		s.log.Add("root-agent", "serialized", "in-memory checkpoints saved in %v", s.opts.SerializeTime)
 		// Software-failed machines restart in place regardless of whether
 		// hardware replacements are also in flight (a mixed failure must
@@ -133,9 +154,13 @@ func (s *System) beginRecovery(failed []int) {
 		// Sorted order keeps the operator's randomized provisioning delays
 		// deterministic for a given schedule.
 		pending := 0
+		replStart := s.engine.Now()
 		proceed := func() {
 			if pending != 0 {
 				return
+			}
+			if len(hardware) > 0 {
+				s.rootTrack.Span(trace.CatAgent, "replace", replStart, s.engine.Now())
 			}
 			s.attemptRetrieval(failed, hardware, 0)
 		}
@@ -182,6 +207,7 @@ func (s *System) attemptRetrieval(failed []int, hardware map[int]bool, attempt i
 			s.log.Add("root-agent", "retry-backoff",
 				"no reachable consistent version (attempt %d/%d); retrying in %v",
 				attempt+1, s.opts.RetryMax, delay)
+			s.rootTrack.Instant(trace.CatAgent, "retry-backoff")
 			s.engine.After(delay, func() {
 				s.attemptRetrieval(failed, hardware, attempt+1)
 			})
@@ -289,9 +315,16 @@ func (s *System) attemptRetrieval(failed []int, hardware map[int]bool, attempt i
 			}
 		}
 	}
+	rtvStart := s.engine.Now()
 	s.engine.After(retrieval, func() {
+		if s.rootTrack.Enabled() {
+			s.rootTrack.SpanArgs(trace.CatAgent, "retrieve", rtvStart, s.engine.Now(),
+				fmt.Sprintf("source=%s version=%d", source, version))
+		}
 		s.log.Add("root-agent", "retrieved", "version %d from %s in %v", version, source, retrieval)
+		wuStart := s.engine.Now()
 		s.engine.After(s.opts.WarmupTime, func() {
+			s.rootTrack.Span(trace.CatAgent, "warmup", wuStart, s.engine.Now())
 			// Roll back any progress past the recovered version and
 			// restart agents on the failed machines.
 			if version < s.iteration {
@@ -320,6 +353,7 @@ func (s *System) attemptRetrieval(failed []int, hardware map[int]bool, attempt i
 			s.recovering = false
 			s.recoveries++
 			s.log.Add("root-agent", "recovery-complete", "resumed at iteration %d", version)
+			s.rootTrack.End() // closes the "recovery" span from beginRecovery
 			// The root itself may have been among the failed; ensure a
 			// root exists and training restarts.
 			if _, ok := s.election.Leader(); !ok {

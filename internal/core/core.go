@@ -181,6 +181,18 @@ func (j *Job) ExecuteScheme(s schedule.Scheme) (*training.ExecResult, error) {
 	return training.Execute(j.Config, opts)
 }
 
+// ExecuteSchemeTraced is ExecuteScheme with a structured tracer attached:
+// the run's iterations, compute steps, collectives, checkpoint chunks,
+// and GPU→CPU copies are recorded on the tracer's tracks for export.
+func (j *Job) ExecuteSchemeTraced(s schedule.Scheme, tr *trace.Tracer) (*training.ExecResult, error) {
+	if j.Spec.Parallelism != training.ZeRO3 {
+		return nil, fmt.Errorf("core: the interference executor supports ZeRO-3 only, job uses %v", j.Spec.Parallelism)
+	}
+	opts := training.DefaultExecOptions(j.Placement, s)
+	opts.Tracer = tr
+	return training.Execute(j.Config, opts)
+}
+
 // ExecuteSchemeWithBuffers runs the executor with an explicit reserved
 // GPU buffer size R and sub-buffer count p — the pipeline-depth ablation.
 func (j *Job) ExecuteSchemeWithBuffers(s schedule.Scheme, bufferBytes float64, parts int) (*training.ExecResult, error) {

@@ -129,13 +129,20 @@ type Summary struct {
 	StdDev         float64
 }
 
-// Summarize computes summary statistics. It panics on an empty sample —
-// summarizing nothing is always a harness bug.
+// Summarize computes summary statistics. NaN inputs are ignored — one
+// poisoned measurement must not poison every statistic of the run. It
+// panics when nothing remains (empty or all-NaN sample): summarizing
+// nothing is always a harness bug.
 func Summarize(xs []float64) Summary {
-	if len(xs) == 0 {
+	sorted := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			sorted = append(sorted, x)
+		}
+	}
+	if len(sorted) == 0 {
 		panic("metrics: empty sample")
 	}
-	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
 	var sum, sq float64
 	for _, x := range sorted {

@@ -1,0 +1,296 @@
+package metrics
+
+// Registry unifies the repo's counter story: where CounterSet is a
+// finished, ordered snapshot (what Fabric.Stats returns), a Registry
+// holds the *live* instruments a run updates — monotonic counters,
+// gauges, and streaming histograms — and renders them into a CounterSet
+// on demand. Like trace.Tracer it is a per-run sink: not safe for
+// concurrent use, give each run its own and merge/print after the run.
+//
+// A nil *Registry is the disabled registry: it hands out nil instruments
+// whose update methods no-op without allocating, so hot paths can update
+// metrics unconditionally.
+
+import (
+	"fmt"
+	"math"
+)
+
+// CounterVar is a monotonically increasing counter. Nil no-ops.
+type CounterVar struct{ v float64 }
+
+// Inc adds 1.
+func (c *CounterVar) Inc() { c.Add(1) }
+
+// Add increases the counter by delta.
+func (c *CounterVar) Add(delta float64) {
+	if c == nil {
+		return
+	}
+	c.v += delta
+}
+
+// Value returns the current count; 0 for nil.
+func (c *CounterVar) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a last-value-wins instrument. Nil no-ops.
+type Gauge struct{ v float64 }
+
+// Set records the current value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v = v
+}
+
+// Value returns the last set value; 0 for nil.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// histBuckets spans 2^-48 … 2^47 in base-2 exponential buckets — wide
+// enough for everything the simulator measures (sub-microsecond spans to
+// multi-day horizons) in fixed memory.
+const (
+	histBuckets = 96
+	histOffset  = 48
+)
+
+// Histogram is a streaming base-2 exponential histogram: Observe is
+// O(1), allocation-free, and keeps exact count/sum/min/max alongside
+// bucket counts for approximate quantiles (≤ one octave of error,
+// clamped to the observed [min, max]). Zero and negative observations
+// land in the lowest bucket; NaN observations are counted and ignored.
+// Nil no-ops.
+type Histogram struct {
+	count    uint64
+	nans     uint64
+	sum      float64
+	min, max float64
+	buckets  [histBuckets]uint64
+}
+
+func bucketIndex(v float64) int {
+	if v <= 0 {
+		return 0
+	}
+	i := math.Ilogb(v) + histOffset
+	if i < 0 {
+		return 0
+	}
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	if math.IsNaN(v) {
+		h.nans++
+		return
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[bucketIndex(v)]++
+}
+
+// Count returns the number of non-NaN observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// NaNs returns the number of ignored NaN observations.
+func (h *Histogram) NaNs() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.nans
+}
+
+// Sum returns the sum of observations; 0 for nil or empty.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Mean returns the exact mean; 0 for nil or empty.
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min returns the smallest observation; 0 for nil or empty.
+func (h *Histogram) Min() float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation; 0 for nil or empty.
+func (h *Histogram) Max() float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile returns the approximate p-quantile (p in [0, 1]): the
+// geometric midpoint of the bucket holding the p-th observation, clamped
+// to the observed range. 0 for nil or empty.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(p * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, n := range h.buckets {
+		cum += n
+		if cum >= rank {
+			// Bucket i spans [2^(i-histOffset), 2^(i-histOffset+1)).
+			mid := math.Ldexp(1.5, i-histOffset)
+			return math.Min(h.max, math.Max(h.min, mid))
+		}
+	}
+	return h.max
+}
+
+type instrumentKind int
+
+const (
+	kindCounter instrumentKind = iota
+	kindGauge
+	kindHistogram
+)
+
+type instrument struct {
+	name string
+	kind instrumentKind
+	c    *CounterVar
+	g    *Gauge
+	h    *Histogram
+}
+
+// Registry holds named instruments in registration order.
+type Registry struct {
+	order []instrument
+	index map[string]int
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{index: make(map[string]int)}
+}
+
+func (r *Registry) lookup(name string, kind instrumentKind) (instrument, bool) {
+	if i, ok := r.index[name]; ok {
+		in := r.order[i]
+		if in.kind != kind {
+			panic(fmt.Sprintf("metrics: %q already registered with a different type", name))
+		}
+		return in, true
+	}
+	return instrument{}, false
+}
+
+func (r *Registry) add(in instrument) {
+	r.index[in.name] = len(r.order)
+	r.order = append(r.order, in)
+}
+
+// Counter returns the named counter, registering it on first use.
+// A nil registry returns a nil (disabled) counter.
+func (r *Registry) Counter(name string) *CounterVar {
+	if r == nil {
+		return nil
+	}
+	if in, ok := r.lookup(name, kindCounter); ok {
+		return in.c
+	}
+	c := &CounterVar{}
+	r.add(instrument{name: name, kind: kindCounter, c: c})
+	return c
+}
+
+// Gauge returns the named gauge, registering it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	if in, ok := r.lookup(name, kindGauge); ok {
+		return in.g
+	}
+	g := &Gauge{}
+	r.add(instrument{name: name, kind: kindGauge, g: g})
+	return g
+}
+
+// Histogram returns the named histogram, registering it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if in, ok := r.lookup(name, kindHistogram); ok {
+		return in.h
+	}
+	h := &Histogram{}
+	r.add(instrument{name: name, kind: kindHistogram, h: h})
+	return h
+}
+
+// Snapshot renders every instrument into a CounterSet in registration
+// order. Counters and gauges emit name=value; a histogram expands to
+// name.count, name.mean, name.p50, name.p99, and name.max. Nil yields
+// nil.
+func (r *Registry) Snapshot() CounterSet {
+	if r == nil {
+		return nil
+	}
+	var cs CounterSet
+	for _, in := range r.order {
+		switch in.kind {
+		case kindCounter:
+			cs = append(cs, Counter{Name: in.name, Value: in.c.Value()})
+		case kindGauge:
+			cs = append(cs, Counter{Name: in.name, Value: in.g.Value()})
+		case kindHistogram:
+			cs = append(cs,
+				Counter{Name: in.name + ".count", Value: float64(in.h.Count())},
+				Counter{Name: in.name + ".mean", Value: in.h.Mean()},
+				Counter{Name: in.name + ".p50", Value: in.h.Quantile(0.50)},
+				Counter{Name: in.name + ".p99", Value: in.h.Quantile(0.99)},
+				Counter{Name: in.name + ".max", Value: in.h.Max()},
+			)
+		}
+	}
+	return cs
+}

@@ -1,0 +1,186 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummarizeEdgeTable(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name      string
+		in        []float64
+		wantPanic bool
+		want      Summary
+	}{
+		{name: "empty", in: nil, wantPanic: true},
+		{name: "all NaN", in: []float64{nan, nan}, wantPanic: true},
+		{name: "single", in: []float64{7},
+			want: Summary{N: 1, Mean: 7, Min: 7, Max: 7, P50: 7, P90: 7, P99: 7}},
+		{name: "single negative", in: []float64{-3},
+			want: Summary{N: 1, Mean: -3, Min: -3, Max: -3, P50: -3, P90: -3, P99: -3}},
+		{name: "NaN ignored", in: []float64{nan, 2, nan, 4},
+			want: Summary{N: 2, Mean: 3, Min: 2, Max: 4, P50: 3, P90: 3.8, P99: 3.98, StdDev: 1}},
+		{name: "two equal", in: []float64{5, 5},
+			want: Summary{N: 2, Mean: 5, Min: 5, Max: 5, P50: 5, P90: 5, P99: 5}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.wantPanic {
+				defer func() {
+					if recover() == nil {
+						t.Fatal("no panic")
+					}
+				}()
+				Summarize(tc.in)
+				return
+			}
+			got := Summarize(tc.in)
+			fields := []struct {
+				name      string
+				got, want float64
+			}{
+				{"Mean", got.Mean, tc.want.Mean}, {"Min", got.Min, tc.want.Min},
+				{"Max", got.Max, tc.want.Max}, {"P50", got.P50, tc.want.P50},
+				{"P90", got.P90, tc.want.P90}, {"P99", got.P99, tc.want.P99},
+				{"StdDev", got.StdDev, tc.want.StdDev},
+			}
+			if got.N != tc.want.N {
+				t.Errorf("N = %d, want %d", got.N, tc.want.N)
+			}
+			for _, f := range fields {
+				if math.IsNaN(f.got) || math.Abs(f.got-f.want) > 1e-9 {
+					t.Errorf("%s = %v, want %v", f.name, f.got, f.want)
+				}
+			}
+		})
+	}
+}
+
+func TestPercentileTable(t *testing.T) {
+	cases := []struct {
+		name   string
+		sorted []float64
+		p      float64
+		want   float64
+	}{
+		{"single p0", []float64{3}, 0, 3},
+		{"single p100", []float64{3}, 1, 3},
+		{"pair p0", []float64{1, 2}, 0, 1},
+		{"pair p50", []float64{1, 2}, 0.5, 1.5},
+		{"pair p100", []float64{1, 2}, 1, 2},
+		{"triple exact index", []float64{1, 2, 3}, 0.5, 2},
+		{"triple interpolated", []float64{0, 10, 20}, 0.25, 5},
+	}
+	for _, tc := range cases {
+		if got := percentile(tc.sorted, tc.p); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s: percentile(%v, %v) = %v, want %v", tc.name, tc.sorted, tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestRegistryNilIsDisabled(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z")
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Mean() != 0 ||
+		h.Min() != 0 || h.Max() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 || h.NaNs() != 0 {
+		t.Fatal("nil instruments recorded something")
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry snapshot not nil")
+	}
+}
+
+func TestRegistryDeduplicatesAndSnapshotOrder(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("flows")
+	b := r.Counter("flows")
+	if a != b {
+		t.Fatal("same name returned distinct counters")
+	}
+	a.Add(2)
+	r.Gauge("active").Set(7)
+	h := r.Histogram("lat")
+	h.Observe(1)
+	h.Observe(1)
+	cs := r.Snapshot()
+	wantNames := []string{"flows", "active", "lat.count", "lat.mean", "lat.p50", "lat.p99", "lat.max"}
+	if len(cs) != len(wantNames) {
+		t.Fatalf("snapshot = %v", cs)
+	}
+	for i, w := range wantNames {
+		if cs[i].Name != w {
+			t.Fatalf("snapshot[%d] = %q, want %q (full: %v)", i, cs[i].Name, w, cs)
+		}
+	}
+	if v, _ := cs.Get("flows"); v != 2 {
+		t.Fatalf("flows = %v", v)
+	}
+	if v, _ := cs.Get("lat.count"); v != 2 {
+		t.Fatalf("lat.count = %v", v)
+	}
+	out := cs.String()
+	if !strings.Contains(out, "flows=2") || !strings.Contains(out, "active=7") {
+		t.Fatalf("String() = %q", out)
+	}
+}
+
+func TestRegistryTypeClashPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering as gauge did not panic")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestHistogramStreaming(t *testing.T) {
+	h := &Histogram{}
+	for _, v := range []float64{1, 2, 4, 8, 100} {
+		h.Observe(v)
+	}
+	h.Observe(math.NaN())
+	if h.Count() != 5 || h.NaNs() != 1 {
+		t.Fatalf("count=%d nans=%d", h.Count(), h.NaNs())
+	}
+	if h.Sum() != 115 || h.Mean() != 23 || h.Min() != 1 || h.Max() != 100 {
+		t.Fatalf("sum=%v mean=%v min=%v max=%v", h.Sum(), h.Mean(), h.Min(), h.Max())
+	}
+	// Quantiles are octave-approximate: check bucket-level accuracy.
+	if q := h.Quantile(0.5); q < 2 || q > 8 {
+		t.Fatalf("p50 = %v, want within [2, 8]", q)
+	}
+	if q := h.Quantile(1); q < 64 || q > 100 {
+		t.Fatalf("p100 = %v, want within [64, 100]", q)
+	}
+	if q := h.Quantile(0); q < 1 || q > 2 {
+		t.Fatalf("p0 = %v, want within [1, 2]", q)
+	}
+	// Zero, negative and extreme values must not fall outside the range.
+	h2 := &Histogram{}
+	h2.Observe(0)
+	h2.Observe(-5)
+	h2.Observe(1e300)
+	if h2.Count() != 3 || h2.Min() != -5 || h2.Max() != 1e300 {
+		t.Fatalf("h2: count=%d min=%v max=%v", h2.Count(), h2.Min(), h2.Max())
+	}
+	if q := h2.Quantile(0.5); math.IsNaN(q) || q < -5 || q > 1e300 {
+		t.Fatalf("h2 p50 = %v outside observed range", q)
+	}
+}
+
+func TestHistogramObserveAllocsZero(t *testing.T) {
+	h := &Histogram{}
+	if n := testing.AllocsPerRun(100, func() { h.Observe(3.7) }); n != 0 {
+		t.Fatalf("Observe allocates %.1f/op, want 0", n)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"gemini/internal/simclock"
+	"gemini/internal/trace"
 )
 
 // Copier models a machine's GPU→CPU (device-to-host) copy channel. GEMINI's
@@ -22,6 +23,7 @@ type Copier struct {
 	busy      bool
 	busyTotal simclock.Duration
 	busySince simclock.Time
+	track     *trace.Track // nil = untraced
 }
 
 // Copy is one queued or in-flight GPU→CPU copy.
@@ -111,6 +113,7 @@ func (c *Copier) kick() {
 		cp.state = FlowDone
 		c.busy = false
 		c.busyTotal += c.engine.Now().Sub(c.busySince)
+		c.track.Span(trace.CatNetsim, cp.Label, c.busySince, c.engine.Now())
 		if cp.onDone != nil {
 			cb := cp.onDone
 			cp.onDone = nil

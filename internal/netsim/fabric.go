@@ -24,6 +24,7 @@ import (
 	"slices"
 
 	"gemini/internal/simclock"
+	"gemini/internal/trace"
 )
 
 // Config describes the fabric connecting training machines.
@@ -222,6 +223,10 @@ type Fabric struct {
 	completeAt  simclock.Time
 
 	stats fabricStats
+
+	// nicTracks[i] is machine i's NIC trace track; nil when tracing is
+	// off, which must keep finishFlow allocation-free.
+	nicTracks []*trace.Track
 }
 
 // NewFabric creates a fabric with n machine endpoints.
@@ -636,6 +641,18 @@ func (fb *Fabric) finishFlow(fl *Flow, state FlowState) {
 	fl.rate = 0
 	fl.finished = fb.engine.Now()
 	fb.stats.flowsFinished++
+	if fb.nicTracks != nil {
+		// Constant arg strings: the traced path may allocate (appends),
+		// but never formats.
+		switch state {
+		case FlowDone:
+			fb.nicTracks[fl.Src].Span(trace.CatNetsim, fl.Label, fl.started, fl.finished)
+		case FlowFailed:
+			fb.nicTracks[fl.Src].SpanArgs(trace.CatNetsim, fl.Label, fl.started, fl.finished, "state=failed")
+		case FlowCanceled:
+			fb.nicTracks[fl.Src].SpanArgs(trace.CatNetsim, fl.Label, fl.started, fl.finished, "state=canceled")
+		}
+	}
 	if fl.onDone != nil {
 		cb := fl.onDone
 		fl.onDone = nil

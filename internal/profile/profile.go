@@ -106,6 +106,10 @@ type Profile struct {
 	// NormalizedStdDev is the largest coefficient of variation observed
 	// across the per-span lengths — the <10% stability the paper reports.
 	NormalizedStdDev float64
+	// Discarded is how many recorded iterations were dropped as outliers
+	// (span count differing from the modal shape). A large value means
+	// the profile rests on fewer iterations than the window suggests.
+	Discarded int
 }
 
 // TotalIdle returns the sum of idle span lengths per iteration.
@@ -217,7 +221,7 @@ func (r *Recorder) Build() (*Profile, error) {
 			used = append(used, tr)
 		}
 	}
-	prof := &Profile{Iterations: len(used)}
+	prof := &Profile{Iterations: len(used), Discarded: len(r.traces) - len(used)}
 	if modal == 0 {
 		var iterSum simclock.Duration
 		for _, tr := range used {

@@ -171,8 +171,49 @@ func TestRecorderDiscardsOutlierShapes(t *testing.T) {
 	if prof.Iterations != 3 {
 		t.Fatalf("used %d iterations, want 3 (outlier dropped)", prof.Iterations)
 	}
+	if prof.Discarded != 1 {
+		t.Fatalf("Discarded = %d, want 1", prof.Discarded)
+	}
 	if len(prof.Spans) != 2 {
 		t.Fatalf("spans %v, want 2", prof.Spans)
+	}
+}
+
+func TestBuildReportsDiscardCounts(t *testing.T) {
+	cases := []struct {
+		name               string
+		shapes             []int // idle-span count per recorded iteration
+		wantUsed, wantDrop int
+	}{
+		{"uniform", []int{2, 2, 2}, 3, 0},
+		{"single iteration", []int{1}, 1, 0},
+		{"one outlier", []int{2, 2, 1}, 2, 1},
+		{"majority outvoted", []int{3, 1, 1}, 2, 1},
+		{"tie keeps larger count", []int{2, 2, 1, 1}, 2, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := MustNewRecorder(len(tc.shapes))
+			for i, spans := range tc.shapes {
+				base := simclock.Time(i * 100)
+				r.BeginIteration(base)
+				// spans idle gaps need spans ops splitting [0, 100): op k
+				// covers [10k, 10k+5), leaving a gap after each op and
+				// none before the first (op 0 starts at 0).
+				for k := 0; k < spans; k++ {
+					r.RecordOp(base.Add(simclock.Duration(10*k)), base.Add(simclock.Duration(10*k+5)), "c")
+				}
+				r.EndIteration(base.Add(simclock.Duration(10 * spans)))
+			}
+			prof, err := r.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if prof.Iterations != tc.wantUsed || prof.Discarded != tc.wantDrop {
+				t.Fatalf("used/discarded = %d/%d, want %d/%d",
+					prof.Iterations, prof.Discarded, tc.wantUsed, tc.wantDrop)
+			}
+		})
 	}
 }
 

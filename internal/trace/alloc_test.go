@@ -1,0 +1,33 @@
+//go:build !race
+
+package trace
+
+import "testing"
+
+// The whole point of the nil-receiver design is that instrumented hot
+// paths (fabric finishFlow, executor compute callbacks, agent recovery)
+// cost nothing when tracing is off. Pin it: every disabled emission must
+// allocate exactly 0 bytes. Mirrors netsim/alloc_test.go; skipped under
+// -race because the race runtime instruments allocation.
+func TestDisabledTracingAllocsZero(t *testing.T) {
+	var tr *Tracer
+	tk := tr.Track("machine-0", "nic")
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Span", func() { tk.Span(CatNetsim, "flow", 1, 2) }},
+		{"SpanArgs", func() { tk.SpanArgs(CatNetsim, "flow", 1, 2, "state=done") }},
+		{"BeginEnd", func() { tk.Begin(CatAgent, "phase"); tk.End() }},
+		{"Instant", func() { tk.Instant(CatChaos, "crash") }},
+		{"InstantArgs", func() { tk.InstantArgs(CatChaos, "crash", "rank=3") }},
+		{"Sample", func() { tk.Sample("active", 7) }},
+		{"Track", func() { _ = tr.Track("machine-1", "nic") }},
+		{"Enabled", func() { _ = tk.Enabled() }},
+	}
+	for _, c := range cases {
+		if n := testing.AllocsPerRun(200, c.fn); n != 0 {
+			t.Errorf("disabled %s allocates %.1f bytes/op, want 0", c.name, n)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package trace
+
+// Chrome trace-event exporter: renders one or more Tracers as a JSON
+// document loadable by Perfetto (ui.perfetto.dev) and chrome://tracing.
+// Layout: every Track.Process becomes a process (pid), every Track a
+// thread (tid) inside it. Spans on one track may overlap (concurrent
+// flows on one NIC), which the "X" complete-event format cannot express
+// on a single thread row, so the exporter lays overlapping spans out
+// into lanes — extra tids named "thread·2", "thread·3", … — at export
+// time. Runtime emission stays a plain append.
+//
+// Everything about the output is deterministic: pids/tids follow track
+// creation order, spans keep (start, emission) order, and args maps are
+// marshaled with sorted keys by encoding/json.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"gemini/internal/simclock"
+)
+
+// chromeEvent is one trace-event JSON object. The zero Dur is omitted,
+// which instants and metadata events rely on.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Cat  string         `json:"cat,omitempty"`
+	S    string         `json:"s,omitempty"` // instant scope: "t" = thread
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeDoc is the JSON-object container format; Perfetto accepts both
+// the bare-array and the object form, and the object form leaves room
+// for metadata.
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+func micros(t simclock.Time) float64 { return float64(t) * 1e6 }
+
+// WriteJSON renders the tracers' contents as one Chrome trace-event JSON
+// document. Multiple tracers merge into one timeline with disjoint pid
+// ranges (per-run sinks from concurrent runs, or the separate engines of
+// one CLI invocation). Spans still open at export time are closed at the
+// tracer's current clock and tagged open=true.
+func WriteJSON(w io.Writer, tracers ...*Tracer) error {
+	var events []chromeEvent
+	pid := 0
+	tid := 0
+	for _, tr := range tracers {
+		if tr == nil {
+			continue
+		}
+		// Processes in first-track order, tracks grouped under them.
+		procPid := make(map[string]int)
+		for _, tk := range tr.tracks {
+			p, ok := procPid[tk.Process]
+			if !ok {
+				pid++
+				p = pid
+				procPid[tk.Process] = p
+				events = append(events, chromeEvent{
+					Name: "process_name", Ph: "M", Pid: p,
+					Args: map[string]any{"name": tk.Process},
+				})
+			}
+			tid = appendTrack(&events, tk, p, tid, tr.now())
+		}
+	}
+	doc := chromeDoc{TraceEvents: events, DisplayTimeUnit: "ms"}
+	if doc.TraceEvents == nil {
+		doc.TraceEvents = []chromeEvent{}
+	}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		return fmt.Errorf("trace: encoding chrome trace: %w", err)
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// appendTrack lays one track's spans out into non-overlapping lanes and
+// emits its events; it returns the next free tid.
+func appendTrack(events *[]chromeEvent, tk *Track, pid, tid int, now simclock.Time) int {
+	// Spans in (start, emission-order): emission order already never puts
+	// an earlier-starting span after a later one on the same lane
+	// incorrectly, but completed-at-finish producers (flows) emit in end
+	// order, so re-sort stably by start.
+	spans := make([]Span, 0, len(tk.spans)+len(tk.open))
+	spans = append(spans, tk.spans...)
+	for _, sp := range tk.open { // close still-open spans at "now"
+		sp.End = now
+		if sp.Args == "" {
+			sp.Args = "open=true"
+		} else {
+			sp.Args += " open=true"
+		}
+		spans = append(spans, sp)
+	}
+	order := make([]int, len(spans))
+	for i := range order {
+		order[i] = i
+	}
+	// Stable insertion-friendly sort by start time.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && spans[order[j]].Start < spans[order[j-1]].Start; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	// Greedy lane assignment: first lane whose last span ended by Start.
+	var laneEnd []simclock.Time
+	lane := make([]int, len(spans))
+	for _, si := range order {
+		sp := spans[si]
+		placed := -1
+		for li, end := range laneEnd {
+			if end <= sp.Start {
+				placed = li
+				break
+			}
+		}
+		if placed < 0 {
+			placed = len(laneEnd)
+			laneEnd = append(laneEnd, sp.End)
+		} else {
+			laneEnd[placed] = sp.End
+		}
+		lane[si] = placed
+	}
+	lanes := len(laneEnd)
+	if lanes == 0 {
+		lanes = 1 // instants and samples still need a row
+	}
+	laneTid := make([]int, lanes)
+	for li := 0; li < lanes; li++ {
+		tid++
+		laneTid[li] = tid
+		name := tk.Thread
+		if li > 0 {
+			name = fmt.Sprintf("%s·%d", tk.Thread, li+1)
+		}
+		*events = append(*events, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	for _, si := range order {
+		sp := spans[si]
+		ev := chromeEvent{
+			Name: sp.Name, Ph: "X", Cat: sp.Cat,
+			Ts: micros(sp.Start), Dur: micros(sp.End) - micros(sp.Start),
+			Pid: pid, Tid: laneTid[lane[si]],
+		}
+		if sp.Args != "" {
+			ev.Args = map[string]any{"detail": sp.Args}
+		}
+		*events = append(*events, ev)
+	}
+	for _, in := range tk.instants {
+		ev := chromeEvent{
+			Name: in.Name, Ph: "i", Cat: in.Cat, S: "t",
+			Ts: micros(in.At), Pid: pid, Tid: laneTid[0],
+		}
+		if in.Args != "" {
+			ev.Args = map[string]any{"detail": in.Args}
+		}
+		*events = append(*events, ev)
+	}
+	for _, sm := range tk.samples {
+		*events = append(*events, chromeEvent{
+			Name: sm.Name, Ph: "C",
+			Ts: micros(sm.At), Pid: pid, Tid: laneTid[0],
+			Args: map[string]any{"value": sm.Value},
+		})
+	}
+	return tid
+}
+
+// JSONStats summarizes a Chrome trace-event document — what the CI
+// smoke gate and cmd/tracelint assert on.
+type JSONStats struct {
+	// Events counts non-metadata trace events.
+	Events int
+	// Categories counts events per category ("training", "netsim", …).
+	Categories map[string]int
+	// Processes lists process names in pid order.
+	Processes []string
+}
+
+// StatsFromJSON parses a document produced by WriteJSON (or any Chrome
+// trace-event JSON in object form) and summarizes it.
+func StatsFromJSON(data []byte) (*JSONStats, error) {
+	var doc chromeDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("trace: invalid chrome trace JSON: %w", err)
+	}
+	st := &JSONStats{Categories: make(map[string]int)}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" {
+			if ev.Name == "process_name" {
+				if name, ok := ev.Args["name"].(string); ok {
+					st.Processes = append(st.Processes, name)
+				}
+			}
+			continue
+		}
+		st.Events++
+		if ev.Cat != "" {
+			st.Categories[ev.Cat]++
+		}
+	}
+	return st, nil
+}

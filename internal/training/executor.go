@@ -8,6 +8,7 @@ import (
 	"gemini/internal/placement"
 	"gemini/internal/schedule"
 	"gemini/internal/simclock"
+	"gemini/internal/trace"
 )
 
 // ExecOptions configures checkpointing for the executor.
@@ -30,6 +31,11 @@ type ExecOptions struct {
 	Iterations int
 	// ProfileWindow is the §5.4 online-profiling window.
 	ProfileWindow int
+	// Tracer, when non-nil, records the run's structured trace: iteration
+	// and compute spans on cluster tracks, every finished flow on its
+	// source machine's NIC track, copies on per-machine copier tracks.
+	// Nil (the default) keeps the hot paths allocation-free.
+	Tracer *trace.Tracer
 }
 
 // DefaultExecOptions returns the paper's implementation parameters.
@@ -298,6 +304,9 @@ type executor struct {
 	fabric  *netsim.Fabric
 	copiers []*netsim.Copier
 
+	iterTrack *trace.Track // nil = untraced
+	compTrack *trace.Track
+
 	iterStart  simclock.Time
 	ckptStart  simclock.Time
 	ckptSeen   bool
@@ -318,6 +327,15 @@ func (ex *executor) run(res *ExecResult) {
 	for i := range ex.copiers {
 		ex.copiers[i] = netsim.MustNewCopier(ex.engine, ex.cfg.Instance.GPUToCPUBytesPerSec)
 	}
+	if tr := ex.opts.Tracer; tr.Enabled() {
+		tr.SetNow(ex.engine.Now)
+		ex.fabric.SetTracer(tr)
+		for i := range ex.copiers {
+			ex.copiers[i].SetTrack(tr.Track(fmt.Sprintf("machine-%d", i), "copier"))
+		}
+		ex.iterTrack = tr.Track("cluster", "iteration")
+		ex.compTrack = tr.Track("cluster", "compute")
+	}
 
 	var iterTimes, ckptTimes, idleTimes []simclock.Duration
 	total := ex.opts.Iterations + 1 // one warmup
@@ -329,6 +347,13 @@ func (ex *executor) run(res *ExecResult) {
 		ex.startIteration()
 		ex.engine.RunAll()
 		iterLen := ex.engine.Now().Sub(ex.iterStart)
+		if ex.iterTrack.Enabled() {
+			args := fmt.Sprintf("iter=%d", iter)
+			if iter == 0 {
+				args = "iter=0 warmup=true"
+			}
+			ex.iterTrack.SpanArgs(trace.CatTraining, "iteration", ex.iterStart, ex.engine.Now(), args)
+		}
 		if iter == 0 {
 			continue
 		}
@@ -464,9 +489,17 @@ func (ex *executor) startIteration() {
 			compNext++
 			compBusy = true
 			compStarted[c] = true
+			compStart := ex.engine.Now()
 			ex.engine.After(computeDur[c], func() {
 				compBusy = false
 				compDone[c] = true
+				if ex.compTrack.Enabled() {
+					name := fmt.Sprintf("fwd%d", c)
+					if c >= L {
+						name = fmt.Sprintf("bwd%d", c-L)
+					}
+					ex.compTrack.Span(trace.CatTraining, name, compStart, ex.engine.Now())
+				}
 				pump()
 			})
 		}
@@ -475,7 +508,10 @@ func (ex *executor) startIteration() {
 			agNext == steps && rsNext == L && !commInFlight {
 			updateStarted = true
 			upd := simclock.Duration(ex.shard / 1e9 * cfg.Calib.UpdatePhaseSecondsPerGB)
-			ex.engine.After(upd, func() {})
+			updStart := ex.engine.Now()
+			ex.engine.After(upd, func() {
+				ex.compTrack.Span(trace.CatTraining, "update", updStart, ex.engine.Now())
+			})
 		}
 	}
 	ex.pump = pump
