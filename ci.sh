@@ -22,7 +22,17 @@ go test -run='^$' -bench='^BenchmarkFabricRing' -benchtime=1x -benchmem ./intern
 # subsystem's tracing fails here instead of shipping an empty track.
 go test -run='^TestDisabledTracingAllocsZero$' -count=1 ./internal/trace
 go test -run='^TestHistogramObserveAllocsZero$' -count=1 ./internal/metrics
+go test -run='^TestRecorderSampleAllocsZero$' -count=1 ./internal/metrics
 TRACE_OUT="$(mktemp -t geminitrace.XXXXXX.json)"
 go run ./cmd/geminisim -days 1 -trace "$TRACE_OUT" > /dev/null
 go run ./cmd/tracelint -min-categories 4 -min-events 1000 "$TRACE_OUT"
 rm -f "$TRACE_OUT"
+
+# Health-monitor export gates: the -metrics Prometheus exposition must
+# validate with enough metric families, and the -timeline CSV must be a
+# well-formed monotone timeline with one row per sampled iteration.
+PROM_OUT="$(mktemp -t geminiprom.XXXXXX.prom)"
+CSV_OUT="$(mktemp -t geminitl.XXXXXX.csv)"
+go run ./cmd/geminisim -days 1 -metrics "$PROM_OUT" -timeline "$CSV_OUT" > /dev/null
+go run ./cmd/promcheck -prom "$PROM_OUT" -min-families 10 -csv "$CSV_OUT" -min-rows 20
+rm -f "$PROM_OUT" "$CSV_OUT"

@@ -1,12 +1,14 @@
 // Command geminisim runs a configurable GEMINI training-with-failures
 // simulation and prints a full report: job sizing, checkpoint plan,
-// recovery probabilities, the live recovery trace, and the long-run
-// effective-training-time comparison against the baselines.
+// recovery probabilities, the live recovery trace, the run-health
+// metrics, and the long-run effective-training-time comparison against
+// the baselines.
 //
 // Example:
 //
 //	geminisim -model "GPT-2 100B" -instance p4d.24xlarge -machines 16 \
-//	          -replicas 2 -days 10 -failures-per-day 4 -hardware 0.5
+//	          -replicas 2 -days 10 -failures-per-day 4 -hardware 0.5 \
+//	          -metrics out.prom -timeline out.csv
 package main
 
 import (
@@ -36,8 +38,10 @@ func main() {
 		seed        = flag.Int64("seed", 1, "failure-schedule seed (Poisson mode)")
 		poisson     = flag.Bool("poisson", false, "Poisson failure arrivals instead of fixed spacing")
 		replacement = flag.Duration("replacement", 0, "machine replacement delay (0 = standby machines)")
-		timeline    = flag.Bool("timeline", false, "render the iteration timeline with the checkpoint plan")
+		renderTL    = flag.Bool("render-timeline", false, "render the iteration timeline with the checkpoint plan")
 		traceOut    = flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) of a small traced run to this file")
+		metricsOut  = flag.String("metrics", "", "write the run's metrics in Prometheus text exposition format to this file")
+		timelineOut = flag.String("timeline", "", "write the sampled health-gauge timeline as CSV to this file")
 	)
 	flag.Parse()
 
@@ -60,15 +64,24 @@ func main() {
 		fmt.Printf("  P(recover from CPU memory | %d simultaneous failures) = %.3f\n",
 			k, job.RecoveryProbability(k))
 	}
-	if *timeline {
+	if *renderTL {
 		fmt.Println()
 		fmt.Print(training.RenderTimeline(job.Timeline, job.Plan, 100))
 	}
 
-	if res, err := job.ExecuteScheme(gemini.SchemeGemini); err == nil && !res.OOM {
+	// One registry spans both runs: the executor fills training.*, the
+	// monitored control-plane run below fills health.*.
+	reg := gemini.NewMetricsRegistry()
+	if res, err := job.ExecuteSchemeObserved(gemini.SchemeGemini, nil, reg); err == nil && !res.OOM {
 		fmt.Printf("\nfluid executor (GEMINI schedule): iteration %.2f s, overhead %.1f%%\n",
 			res.IterationTime.Seconds(), res.Overhead()*100)
+		fmt.Printf("  idle utilization: %.3f of checkpoint bytes inside idle spans\n", res.IdleUtilization)
 		fmt.Printf("  fabric: %s\n", res.FabricCounters)
+	}
+
+	if err := runHealth(job, reg, *metricsOut, *timelineOut); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 
 	horizon := simclock.Duration(*days) * simclock.Day
@@ -113,6 +126,77 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runHealth runs a small deterministic monitored control-plane
+// simulation — the same seeded software + hardware failure that the
+// -trace export uses — with the run health monitor attached: the agent
+// system fills the health.* gauges in reg, a recorder samples them once
+// per iteration into a sim-time timeline, and every recovery leaves an
+// Eq. 1 wasted-time record. The health report section always prints;
+// -metrics and -timeline additionally export the registry as Prometheus
+// text and the sampled timeline as CSV.
+func runHealth(job *gemini.Job, reg *gemini.MetricsRegistry, promPath, csvPath string) error {
+	spec := job.Spec
+	iter := gemini.Duration(job.Timeline.Iteration)
+	at := gemini.Time(3*iter + iter/2)
+	sched, err := gemini.Faults().
+		Crash(at, 1, gemini.SoftwareFailure).
+		Crash(at, 2%spec.Machines, gemini.HardwareFailure).
+		Build(spec.Machines)
+	if err != nil {
+		return err
+	}
+	monitored, err := gemini.NewJob(spec, gemini.WithFaults(sched))
+	if err != nil {
+		return err
+	}
+	engine, sys, err := monitored.RecoverySystem(gemini.DefaultCloudConfig())
+	if err != nil {
+		return err
+	}
+	sys.SetMetrics(reg)
+	sys.SetRemoteEvery(10)
+	rec := gemini.NewMetricsRecorder(reg, 4096)
+	rec.Watch("health.iteration", "health.replica_coverage", "health.min_replicas",
+		"health.ckpt_staleness_local", "health.ckpt_staleness_remote", "health.recoveries")
+	rec.Start(engine, iter)
+	sys.Start()
+	engine.Run(gemini.Time(25 * iter))
+	rec.Stop()
+
+	fmt.Printf("\nhealth: monitored run, %d failures injected, %d samples at %.1f s cadence\n",
+		len(sched), rec.Samples(), iter.Seconds())
+	for _, ev := range sys.WastedEvents() {
+		fmt.Printf("  failure ranks %v: recovered from %s ckpt v%d, lost %d iters, wasted %s (T_lost %s + T_recovery %s)\n",
+			ev.Ranks, ev.Source, ev.Version, ev.LostIterations,
+			ev.Wasted(), ev.TLost, ev.TRecovery)
+	}
+	for _, c := range reg.Snapshot() {
+		fmt.Printf("  %s = %g\n", c.Name, c.Value)
+	}
+
+	if promPath != "" {
+		var buf bytes.Buffer
+		if err := gemini.WriteMetricsProm(&buf, reg); err != nil {
+			return err
+		}
+		if err := os.WriteFile(promPath, buf.Bytes(), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s (Prometheus text exposition)\n", promPath)
+	}
+	if csvPath != "" {
+		var buf bytes.Buffer
+		if err := gemini.WriteTimelineCSV(&buf, rec); err != nil {
+			return err
+		}
+		if err := os.WriteFile(csvPath, buf.Bytes(), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s (sampled health timeline)\n", csvPath)
+	}
+	return nil
 }
 
 // writeTrace renders one small deterministic traced run as Chrome

@@ -1,0 +1,165 @@
+// Command promcheck validates the run health monitor's two export
+// formats: a Prometheus text-exposition file (-prom) and a sampled
+// sim-time timeline CSV (-csv). ci.sh runs it against the geminisim
+// -metrics/-timeline smoke outputs so a refactor that breaks the
+// exposition syntax or stops the recorder sampling fails the build
+// instead of shipping an unscrapeable endpoint or an empty timeline.
+//
+// Usage:
+//
+//	promcheck -prom out.prom -min-families 5 -csv out.csv -min-rows 10
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+var (
+	// Metric names per the Prometheus data model; label matching below is
+	// deliberately loose — we validate our own exporter, not arbitrary input.
+	nameRe   = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$`)
+)
+
+func main() {
+	promPath := flag.String("prom", "", "Prometheus text-exposition file to validate")
+	minFamilies := flag.Int("min-families", 1, "minimum # TYPE metric families required in -prom")
+	csvPath := flag.String("csv", "", "timeline CSV file to validate")
+	minRows := flag.Int("min-rows", 1, "minimum data rows required in -csv")
+	flag.Parse()
+	if *promPath == "" && *csvPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: promcheck [-prom file [-min-families n]] [-csv file [-min-rows n]]")
+		os.Exit(2)
+	}
+	if *promPath != "" {
+		if err := checkProm(*promPath, *minFamilies); err != nil {
+			fmt.Fprintf(os.Stderr, "promcheck: %s: %v\n", *promPath, err)
+			os.Exit(1)
+		}
+	}
+	if *csvPath != "" {
+		if err := checkCSV(*csvPath, *minRows); err != nil {
+			fmt.Fprintf(os.Stderr, "promcheck: %s: %v\n", *csvPath, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// checkProm enforces the exposition-format shape our exporter promises:
+// every non-comment line is `name[{labels}] value` with a parseable
+// float, every # TYPE names a valid family with a known kind, and at
+// least minFamilies families appear.
+func checkProm(path string, minFamilies int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	families := map[string]string{}
+	samples := 0
+	sc := bufio.NewScanner(f)
+	for line := 1; sc.Scan(); line++ {
+		text := sc.Text()
+		switch {
+		case text == "":
+			continue
+		case strings.HasPrefix(text, "# TYPE "):
+			fields := strings.Fields(text)
+			if len(fields) != 4 {
+				return fmt.Errorf("line %d: malformed TYPE comment %q", line, text)
+			}
+			name, kind := fields[2], fields[3]
+			if !nameRe.MatchString(name) {
+				return fmt.Errorf("line %d: invalid family name %q", line, name)
+			}
+			switch kind {
+			case "counter", "gauge", "summary", "histogram", "untyped":
+			default:
+				return fmt.Errorf("line %d: unknown family kind %q", line, kind)
+			}
+			if prev, dup := families[name]; dup {
+				return fmt.Errorf("line %d: family %q declared twice (%s, %s)", line, name, prev, kind)
+			}
+			families[name] = kind
+		case strings.HasPrefix(text, "#"):
+			continue // HELP or free comment
+		default:
+			m := sampleRe.FindStringSubmatch(text)
+			if m == nil {
+				return fmt.Errorf("line %d: malformed sample %q", line, text)
+			}
+			if _, err := strconv.ParseFloat(m[3], 64); err != nil {
+				return fmt.Errorf("line %d: sample %s has non-float value %q", line, m[1], m[3])
+			}
+			samples++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if samples == 0 {
+		return fmt.Errorf("no samples")
+	}
+	if len(families) < minFamilies {
+		return fmt.Errorf("%d metric families, want ≥ %d", len(families), minFamilies)
+	}
+	fmt.Printf("%s: %d families, %d samples\n", path, len(families), samples)
+	return nil
+}
+
+// checkCSV enforces the recorder timeline's shape: a header whose first
+// column is "time", uniform column counts, all-float cells, strictly
+// increasing time, and at least minRows data rows.
+func checkCSV(path string, minRows int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	if !sc.Scan() {
+		return fmt.Errorf("empty file")
+	}
+	header := strings.Split(sc.Text(), ",")
+	if header[0] != "time" {
+		return fmt.Errorf("header starts with %q, want \"time\"", header[0])
+	}
+	if len(header) < 2 {
+		return fmt.Errorf("header has no watched columns")
+	}
+	rows := 0
+	prev := -1.0
+	for line := 2; sc.Scan(); line++ {
+		cells := strings.Split(sc.Text(), ",")
+		if len(cells) != len(header) {
+			return fmt.Errorf("line %d: %d columns, header has %d", line, len(cells), len(header))
+		}
+		for i, cell := range cells {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return fmt.Errorf("line %d: column %q has non-float cell %q", line, header[i], cell)
+			}
+			if i == 0 {
+				if v <= prev {
+					return fmt.Errorf("line %d: time %v not after %v", line, v, prev)
+				}
+				prev = v
+			}
+		}
+		rows++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if rows < minRows {
+		return fmt.Errorf("%d data rows, want ≥ %d", rows, minRows)
+	}
+	fmt.Printf("%s: %d columns, %d rows\n", path, len(header), rows)
+	return nil
+}

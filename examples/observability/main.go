@@ -10,9 +10,15 @@
 //     re-election, and the serialize → replace → retrieve → warmup
 //     recovery phases nested inside one recovery span.
 //
-// Tracing is a pure observer: a traced run replays bit-identically to an
-// untraced one, and with no tracer attached the instrumentation
-// allocates nothing.
+// The same control-plane run also carries the run health monitor: a
+// metrics registry fills with health.* gauges (replica coverage,
+// checkpoint staleness, Eq. 1 wasted time per failure), a recorder
+// samples them once per iteration, and the run ends with a Prometheus
+// text exposition plus a CSV timeline next to the trace.
+//
+// Both surfaces are pure observers: a monitored run replays
+// bit-identically to an unmonitored one, and with nothing attached the
+// instrumentation allocates nothing.
 package main
 
 import (
@@ -66,10 +72,24 @@ func main() {
 	ctl := gemini.NewTracer()
 	sys.SetTracer(ctl)
 	sys.SetRemoteEvery(10)
+
+	// Attach the health monitor to the same run: gauges live in the
+	// registry, the recorder snapshots them every iteration.
+	reg := gemini.NewMetricsRegistry()
+	sys.SetMetrics(reg)
+	rec := gemini.NewMetricsRecorder(reg, 1024)
+	rec.Watch("health.iteration", "health.replica_coverage",
+		"health.ckpt_staleness_local", "health.recoveries")
+	rec.Start(engine, iter)
+
 	sys.Start()
 	engine.Run(gemini.Time(30 * iter))
 	fmt.Printf("control plane: %d recovery, resumed at iteration %d\n",
 		sys.Recoveries(), sys.Iteration())
+	for _, ev := range sys.WastedEvents() {
+		fmt.Printf("  wasted %s on ranks %v: T_lost %s + T_recovery %s, recovered from %s\n",
+			ev.Wasted(), ev.Ranks, ev.TLost, ev.TRecovery, ev.Source)
+	}
 
 	// Merge both sinks into one Perfetto-loadable document.
 	var buf bytes.Buffer
@@ -92,5 +112,24 @@ func main() {
 			log.Fatalf("subsystem %q emitted nothing — its tracing came unwired", cat)
 		}
 	}
-	fmt.Println("\nopen it at ui.perfetto.dev or chrome://tracing")
+	// Export the health monitor's two views of the same run: current
+	// values for a Prometheus scrape, the sampled series as a timeline.
+	var prom bytes.Buffer
+	if err := gemini.WriteMetricsProm(&prom, reg); err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile("gemini-metrics.prom", prom.Bytes(), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	var csv bytes.Buffer
+	if err := gemini.WriteTimelineCSV(&csv, rec); err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile("gemini-timeline.csv", csv.Bytes(), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote gemini-metrics.prom (%d instruments) and gemini-timeline.csv (%d samples)\n",
+		len(reg.Snapshot()), rec.Samples())
+
+	fmt.Println("\nopen the trace at ui.perfetto.dev or chrome://tracing")
 }

@@ -41,12 +41,14 @@ package gemini
 import (
 	"io"
 
+	"gemini/internal/agent"
 	"gemini/internal/baselines"
 	"gemini/internal/chaos"
 	"gemini/internal/cloud"
 	"gemini/internal/cluster"
 	"gemini/internal/core"
 	"gemini/internal/failure"
+	"gemini/internal/metrics"
 	"gemini/internal/model"
 	"gemini/internal/placement"
 	"gemini/internal/runsim"
@@ -343,3 +345,43 @@ func WriteTrace(w io.Writer, tracers ...*Tracer) error { return trace.WriteJSON(
 // TraceStatsFromJSON parses an exported trace and summarizes its event
 // and category counts.
 func TraceStatsFromJSON(data []byte) (*TraceStats, error) { return trace.StatsFromJSON(data) }
+
+// Run health monitoring: live metric instruments, a sim-time series
+// recorder, and Prometheus / CSV export. Attach a registry to the
+// control plane with System.SetMetrics (health.* gauges, the Eq. 1
+// wasted-time histograms) or to the executor via
+// Job.ExecuteSchemeObserved (training.* instruments); a Recorder
+// samples watched instruments on a sim-time cadence for timeline
+// export. Monitoring is a pure observer — a monitored run replays
+// bit-identically.
+type (
+	// MetricsRegistry holds one run's named live instruments.
+	MetricsRegistry = metrics.Registry
+	// MetricsRecorder samples watched instruments into sim-time series.
+	MetricsRecorder = metrics.Recorder
+	// MetricsSeries is one instrument's sampled timeline (a ring buffer).
+	MetricsSeries = metrics.Series
+	// MetricsSnapshot is a finished, ordered name=value rendering.
+	MetricsSnapshot = metrics.CounterSet
+	// HealthEvent is one failure's Eq. 1 wasted-time record, from
+	// System.WastedEvents.
+	HealthEvent = agent.WastedEvent
+)
+
+// NewMetricsRegistry creates an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// NewMetricsRecorder creates a recorder over reg keeping the newest
+// capacity samples per watched instrument. Call Watch with instrument
+// names, then Start it on the run's engine.
+func NewMetricsRecorder(reg *MetricsRegistry, capacity int) *MetricsRecorder {
+	return metrics.NewRecorder(reg, capacity)
+}
+
+// WriteMetricsProm renders the registry's instruments in Prometheus text
+// exposition format (counters, gauges, histograms as summaries).
+func WriteMetricsProm(w io.Writer, reg *MetricsRegistry) error { return metrics.WriteProm(w, reg) }
+
+// WriteTimelineCSV renders the recorder's sampled series as a CSV
+// timeline: a time column plus one column per watched instrument.
+func WriteTimelineCSV(w io.Writer, rec *MetricsRecorder) error { return metrics.WriteCSV(w, rec) }

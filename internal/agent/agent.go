@@ -136,6 +136,13 @@ type System struct {
 	recoveries int
 	sweepEv    simclock.EventID
 
+	// Health monitor (nil = disabled): coverage/staleness gauges plus the
+	// per-failure Eq. 1 wasted-time ledger. recoveryStart anchors the
+	// TRecovery measurement of the recovery in flight.
+	health        *healthMonitor
+	wastedEvents  []WastedEvent
+	recoveryStart simclock.Time
+
 	// Structured tracing (nil = disabled): recovery phases and iterations
 	// on rootTrack, injections on chaosTrack, elections on kvTrack.
 	rootTrack  *trace.Track
@@ -358,6 +365,9 @@ func (s *System) InjectFailure(rank int, kind cluster.MachineState) {
 	if s.chaosTrack.Enabled() {
 		s.chaosTrack.InstantArgs(trace.CatChaos, "failure", fmt.Sprintf("rank=%d kind=%v", rank, kind))
 	}
+	// Coverage degrades the instant the machine (and, for hardware, its
+	// CPU memory) is gone — not at the next iteration boundary.
+	s.observeHealth()
 	s.scheduleSweep()
 }
 

@@ -1,0 +1,153 @@
+package agent
+
+// Run health monitor: the control plane's self-observation layer. It
+// tracks the quantities the paper reasons about — replica coverage
+// (Theorem 1), checkpoint staleness against both storage tiers, and the
+// Eq. 1 wasted-time breakdown per failure (T_lost + T_recovery) — as
+// metrics gauges/histograms and as Perfetto counter samples. Like
+// tracing, it is a pure observer: it reads simulation state and never
+// schedules events, so a monitored run replays bit-identically.
+
+import (
+	"gemini/internal/metrics"
+	"gemini/internal/simclock"
+	"gemini/internal/trace"
+)
+
+// WastedEvent is one failure's Eq. 1 accounting: the wall-clock window
+// from detection to resumption (TRecovery) plus the recomputation debt
+// of rolling back to the recovered version (TLost).
+type WastedEvent struct {
+	// Detected is when the root agent began recovery; Resumed is when
+	// training restarted.
+	Detected, Resumed simclock.Time
+	// Ranks are the machines the root declared failed.
+	Ranks []int
+	// Source is where the checkpoint came from: local, peer, or remote.
+	Source string
+	// Version is the iteration training resumed from.
+	Version int64
+	// LostIterations is how many committed iterations the rollback
+	// discarded (Eq. 1's lost progress).
+	LostIterations int64
+	// TLost is the recomputation cost of those iterations; TRecovery is
+	// the detection-to-resumption downtime.
+	TLost, TRecovery simclock.Duration
+}
+
+// Wasted returns the event's total Eq. 1 wasted time.
+func (ev WastedEvent) Wasted() simclock.Duration { return ev.TLost + ev.TRecovery }
+
+// healthMonitor holds the control plane's registered instruments.
+type healthMonitor struct {
+	iteration   *metrics.Gauge
+	coverage    *metrics.Gauge
+	minReplicas *metrics.Gauge
+	staleLocal  *metrics.Gauge
+	staleRemote *metrics.Gauge
+	recoveries  *metrics.CounterVar
+	wasted      *metrics.Histogram
+	lost        *metrics.Histogram
+	downtime    *metrics.Histogram
+}
+
+// SetMetrics attaches a health monitor publishing into reg under the
+// health.* namespace. Call before Start; a nil registry leaves
+// monitoring disabled and free.
+func (s *System) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	s.health = &healthMonitor{
+		iteration:   reg.Gauge("health.iteration"),
+		coverage:    reg.Gauge("health.replica_coverage"),
+		minReplicas: reg.Gauge("health.min_replicas"),
+		staleLocal:  reg.Gauge("health.ckpt_staleness_local"),
+		staleRemote: reg.Gauge("health.ckpt_staleness_remote"),
+		recoveries:  reg.Counter("health.recoveries"),
+		wasted:      reg.Histogram("health.wasted_seconds"),
+		lost:        reg.Histogram("health.lost_seconds"),
+		downtime:    reg.Histogram("health.recovery_seconds"),
+	}
+	s.observeHealth()
+}
+
+// WastedEvents returns the per-failure Eq. 1 records in completion
+// order. Recorded whether or not a metrics registry is attached.
+func (s *System) WastedEvents() []WastedEvent { return s.wastedEvents }
+
+// observeHealth refreshes the coverage and staleness gauges from the
+// checkpoint engine's placement state. Called at every gauge-moving
+// control-plane transition: iteration completion, failure injection,
+// recovery completion. Reads state only — never schedules events.
+func (s *System) observeHealth() {
+	if s.health == nil && !s.rootTrack.Enabled() {
+		return
+	}
+	alive := func(rank int) bool { return s.cluster.Machine(rank).Healthy() }
+	covered, minReplicas := s.ckpt.Coverage(alive)
+	coverage := float64(covered) / float64(s.placement.N)
+
+	// Local staleness: the worst owner's distance from its newest
+	// surviving in-memory generation; an owner with nothing surviving is
+	// as stale as the run is long.
+	var staleLocal int64
+	for owner := 0; owner < s.placement.N; owner++ {
+		stale := s.iteration
+		if v, ok := s.ckpt.NewestCommitted(owner, alive); ok {
+			stale = s.iteration - v
+		}
+		if stale < 0 {
+			stale = 0
+		}
+		if stale > staleLocal {
+			staleLocal = stale
+		}
+	}
+	staleRemote := s.iteration - s.lastRemoteIteration()
+	if staleRemote < 0 {
+		staleRemote = 0
+	}
+
+	if h := s.health; h != nil {
+		h.iteration.Set(float64(s.iteration))
+		h.coverage.Set(coverage)
+		h.minReplicas.Set(float64(minReplicas))
+		h.staleLocal.Set(float64(staleLocal))
+		h.staleRemote.Set(float64(staleRemote))
+	}
+	if s.rootTrack.Enabled() {
+		s.rootTrack.Sample("replica_coverage", coverage)
+		s.rootTrack.Sample("min_replicas", float64(minReplicas))
+		s.rootTrack.Sample("ckpt_staleness_local", float64(staleLocal))
+	}
+}
+
+// recordRecovery appends the failure's WastedEvent and feeds the wasted-
+// time histograms. Called once per completed recovery, just before
+// training resumes.
+func (s *System) recordRecovery(failed []int, source string, version, lostIters int64) {
+	now := s.engine.Now()
+	ev := WastedEvent{
+		Detected:       s.recoveryStart,
+		Resumed:        now,
+		Ranks:          append([]int(nil), failed...),
+		Source:         source,
+		Version:        version,
+		LostIterations: lostIters,
+		TLost:          simclock.Duration(lostIters) * s.opts.IterationTime,
+		TRecovery:      now.Sub(s.recoveryStart),
+	}
+	s.wastedEvents = append(s.wastedEvents, ev)
+	if h := s.health; h != nil {
+		h.recoveries.Inc()
+		h.wasted.Observe(ev.Wasted().Seconds())
+		h.lost.Observe(ev.TLost.Seconds())
+		h.downtime.Observe(ev.TRecovery.Seconds())
+	}
+	if s.rootTrack.Enabled() {
+		s.rootTrack.Sample("wasted_seconds", ev.Wasted().Seconds())
+		s.rootTrack.InstantArgs(trace.CatAgent, "wasted-time",
+			"source="+source+" t_lost="+ev.TLost.String()+" t_recovery="+ev.TRecovery.String())
+	}
+}

@@ -78,6 +78,7 @@ func (s *System) completeIteration() {
 	// Best-effort: during a store outage the committed-iteration key lags
 	// behind; recovery reads versions from the checkpoint engine, not here.
 	_, _ = s.store.Put(iterationKey, strconv.FormatInt(iter, 10), 0)
+	s.observeHealth()
 }
 
 // remoteEvery returns the remote-tier cadence in iterations.
@@ -113,6 +114,7 @@ func (s *System) lastRemoteIteration() int64 {
 //  5. restart and warm up, then resume from the recovered iteration.
 func (s *System) beginRecovery(failed []int) {
 	s.recovering = true
+	s.recoveryStart = s.engine.Now()
 	s.iterEv.Cancel()
 
 	hardware := make(map[int]bool)
@@ -327,6 +329,10 @@ func (s *System) attemptRetrieval(failed []int, hardware map[int]bool, attempt i
 			s.rootTrack.Span(trace.CatAgent, "warmup", wuStart, s.engine.Now())
 			// Roll back any progress past the recovered version and
 			// restart agents on the failed machines.
+			lostIters := s.iteration - version
+			if lostIters < 0 {
+				lostIters = 0
+			}
 			if version < s.iteration {
 				s.ckpt.RollbackTo(version)
 			}
@@ -352,6 +358,8 @@ func (s *System) attemptRetrieval(failed []int, hardware map[int]bool, attempt i
 			}
 			s.recovering = false
 			s.recoveries++
+			s.recordRecovery(failed, source, version, lostIters)
+			s.observeHealth()
 			s.log.Add("root-agent", "recovery-complete", "resumed at iteration %d", version)
 			s.rootTrack.End() // closes the "recovery" span from beginRecovery
 			// The root itself may have been among the failed; ensure a

@@ -328,6 +328,63 @@ func (e *Engine) ConsistentVersion(alive func(int) bool) (int64, bool) {
 	return best, found
 }
 
+// NewestCommitted returns the newest committed generation of owner's
+// shard resident on any alive holder — the basis of the health monitor's
+// per-machine staleness gauge. ok is false when no alive holder has any
+// committed generation (the shard is only recoverable from the remote
+// persistent tier).
+func (e *Engine) NewestCommitted(owner int, alive func(int) bool) (int64, bool) {
+	best := int64(0)
+	found := false
+	for _, holder := range e.placement.Replicas(owner) {
+		if alive != nil && !alive(holder) {
+			continue
+		}
+		for _, sh := range e.CompletedVersions(holder, owner) {
+			if !found || sh.Iteration > best {
+				best, found = sh.Iteration, true
+			}
+		}
+	}
+	return best, found
+}
+
+// Coverage summarizes in-memory replica survival for the health monitor
+// (the quantity Theorem 1 reasons about): covered counts owners with at
+// least one committed shard generation on an alive holder, and
+// minReplicas is the smallest number of alive holders any single owner
+// has left — the cluster's distance from losing a shard entirely.
+// Before any checkpoint commits, covered is 0 and minReplicas counts
+// alive holders regardless (placement survival, not data survival, is
+// what degrades first).
+func (e *Engine) Coverage(alive func(int) bool) (covered, minReplicas int) {
+	minReplicas = -1
+	for owner := 0; owner < e.n; owner++ {
+		holders := 0
+		hasData := false
+		for _, holder := range e.placement.Replicas(owner) {
+			if alive != nil && !alive(holder) {
+				continue
+			}
+			holders++
+			if !hasData {
+				sl := e.store(holder).slots[owner]
+				hasData = sl != nil && sl.newest != nil
+			}
+		}
+		if hasData {
+			covered++
+		}
+		if minReplicas < 0 || holders < minReplicas {
+			minReplicas = holders
+		}
+	}
+	if minReplicas < 0 {
+		minReplicas = 0
+	}
+	return covered, minReplicas
+}
+
 // planParallelRanks gates parallel recovery planning: below this many
 // ranks the per-rank lookups are too cheap to amortize goroutine
 // startup, so planning stays inline.

@@ -392,3 +392,87 @@ func TestPropertyConsistencyMatchesPlacementSurvival(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Coverage is the health monitor's view of Theorem 1: covered tracks
+// data survival (owners with a committed copy on an alive machine),
+// minReplicas tracks redundancy capacity (alive holders per owner) — the
+// two degrade independently, and the gauges must show both.
+func TestCoverageReactsToFailures(t *testing.T) {
+	e := newEngine(t, 4, 2) // groups {0,1}, {2,3}
+
+	// Before any checkpoint: no data anywhere, full redundancy.
+	covered, minReplicas := e.Coverage(allAlive)
+	if covered != 0 || minReplicas != 2 {
+		t.Fatalf("fresh engine: covered=%d minReplicas=%d, want 0/2", covered, minReplicas)
+	}
+
+	checkpointAll(e, 100)
+	covered, minReplicas = e.Coverage(allAlive)
+	if covered != 4 || minReplicas != 2 {
+		t.Fatalf("after checkpoint: covered=%d minReplicas=%d, want 4/2", covered, minReplicas)
+	}
+
+	// One machine down: every shard still survives somewhere, but the
+	// group that lost a member is one failure from data loss.
+	oneDown := func(r int) bool { return r != 1 }
+	covered, minReplicas = e.Coverage(oneDown)
+	if covered != 4 || minReplicas != 1 {
+		t.Fatalf("one down: covered=%d minReplicas=%d, want 4/1", covered, minReplicas)
+	}
+
+	// The whole group {0,1} down: ranks 0 and 1 lose their shards.
+	groupDown := func(r int) bool { return r >= 2 }
+	covered, minReplicas = e.Coverage(groupDown)
+	if covered != 2 || minReplicas != 0 {
+		t.Fatalf("group down: covered=%d minReplicas=%d, want 2/0", covered, minReplicas)
+	}
+}
+
+func TestCoverageSeesOnlyCommittedData(t *testing.T) {
+	e := newEngine(t, 4, 2)
+	// In-progress bytes are not coverage.
+	e.Begin(0, 0, 1)
+	e.Receive(0, 0, 1, shardSize)
+	if covered, _ := e.Coverage(allAlive); covered != 0 {
+		t.Fatalf("uncommitted shard counted as coverage: covered=%d", covered)
+	}
+	e.Commit(0, 0, 1, 0)
+	if covered, _ := e.Coverage(allAlive); covered != 1 {
+		t.Fatalf("after commit: covered=%d, want 1", covered)
+	}
+	// A wiped holder no longer contributes data, even while alive.
+	e.Wipe(0)
+	if covered, _ := e.Coverage(allAlive); covered != 0 {
+		t.Fatalf("after wipe: covered=%d, want 0", covered)
+	}
+}
+
+// NewestCommitted backs the per-machine staleness gauge: it must track
+// the newest surviving generation, skipping dead holders.
+func TestNewestCommitted(t *testing.T) {
+	e := newEngine(t, 4, 2)
+	if _, ok := e.NewestCommitted(0, allAlive); ok {
+		t.Fatal("fresh engine reported a committed generation")
+	}
+	checkpointAll(e, 100)
+	if v, ok := e.NewestCommitted(0, allAlive); !ok || v != 100 {
+		t.Fatalf("NewestCommitted = %d/%v, want 100/true", v, ok)
+	}
+	// Commit 101 only on holder 1; the owner-wide newest advances.
+	e.Begin(1, 0, 101)
+	e.Receive(1, 0, 101, shardSize)
+	e.Commit(1, 0, 101, 0)
+	if v, ok := e.NewestCommitted(0, allAlive); !ok || v != 101 {
+		t.Fatalf("after partial 101: NewestCommitted = %d/%v, want 101/true", v, ok)
+	}
+	// With holder 1 dead the newest surviving generation is back to 100.
+	oneDown := func(r int) bool { return r != 1 }
+	if v, ok := e.NewestCommitted(0, oneDown); !ok || v != 100 {
+		t.Fatalf("holder 1 dead: NewestCommitted = %d/%v, want 100/true", v, ok)
+	}
+	// With the whole replica group dead there is nothing left.
+	groupDown := func(r int) bool { return r >= 2 }
+	if _, ok := e.NewestCommitted(0, groupDown); ok {
+		t.Fatal("NewestCommitted found data with every holder dead")
+	}
+}

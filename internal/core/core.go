@@ -17,6 +17,7 @@ import (
 	"gemini/internal/cloud"
 	"gemini/internal/cluster"
 	"gemini/internal/failure"
+	"gemini/internal/metrics"
 	"gemini/internal/model"
 	"gemini/internal/placement"
 	"gemini/internal/profile"
@@ -190,6 +191,21 @@ func (j *Job) ExecuteSchemeTraced(s schedule.Scheme, tr *trace.Tracer) (*trainin
 	}
 	opts := training.DefaultExecOptions(j.Placement, s)
 	opts.Tracer = tr
+	return training.Execute(j.Config, opts)
+}
+
+// ExecuteSchemeObserved is ExecuteScheme with the full observability
+// surface attached: a structured tracer (may be nil) and a metrics
+// registry (may be nil) that receives the run's training.* instruments —
+// per-iteration timing histograms and the Algorithm 2 idle-utilization
+// gauge.
+func (j *Job) ExecuteSchemeObserved(s schedule.Scheme, tr *trace.Tracer, reg *metrics.Registry) (*training.ExecResult, error) {
+	if j.Spec.Parallelism != training.ZeRO3 {
+		return nil, fmt.Errorf("core: the interference executor supports ZeRO-3 only, job uses %v", j.Spec.Parallelism)
+	}
+	opts := training.DefaultExecOptions(j.Placement, s)
+	opts.Tracer = tr
+	opts.Metrics = reg
 	return training.Execute(j.Config, opts)
 }
 

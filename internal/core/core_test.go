@@ -7,8 +7,10 @@ import (
 	"gemini/internal/cloud"
 	"gemini/internal/cluster"
 	"gemini/internal/failure"
+	"gemini/internal/metrics"
 	"gemini/internal/schedule"
 	"gemini/internal/simclock"
+	"gemini/internal/trace"
 )
 
 func paperJob(t *testing.T) *Job {
@@ -164,5 +166,43 @@ func TestRecoverySystemEndToEnd(t *testing.T) {
 	}
 	if !sys.Training() {
 		t.Fatal("training did not resume")
+	}
+}
+
+// ExecuteSchemeObserved attaches both observability surfaces at once:
+// the tracer records the run's spans, the registry fills with training.*
+// instruments, and the measured result matches the unobserved run.
+func TestExecuteSchemeObserved(t *testing.T) {
+	j := paperJob(t)
+	tr := trace.NewTracer(nil)
+	reg := metrics.NewRegistry()
+	res, err := j.ExecuteSchemeObserved(schedule.SchemeGemini, tr, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare, err := j.ExecuteScheme(schedule.SchemeGemini)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IterationTime != bare.IterationTime {
+		t.Fatalf("observed run measured %v, bare run %v — observation perturbed the sim",
+			res.IterationTime, bare.IterationTime)
+	}
+	if res.IdleUtilization != 1 {
+		t.Fatalf("idle utilization %v, want 1 (plan fits for the flagship config)", res.IdleUtilization)
+	}
+	cs := reg.Snapshot()
+	if v, ok := cs.Get("training.iteration_seconds.count"); !ok || v == 0 {
+		t.Fatalf("no iteration observations in registry: %v", cs)
+	}
+	if v, ok := cs.Get("training.idle_utilization"); !ok || v != 1 {
+		t.Fatalf("idle_utilization gauge %v/%v, want 1", v, ok)
+	}
+	if len(tr.Tracks()) == 0 {
+		t.Fatal("tracer recorded no tracks")
+	}
+	// Both nil is legal: plain execution.
+	if _, err := j.ExecuteSchemeObserved(schedule.SchemeGemini, nil, nil); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,0 +1,141 @@
+package metrics
+
+// Export formats for the run health monitor: Prometheus text exposition
+// (format version 0.0.4) for the point-in-time state of a Registry or
+// Snapshot, and CSV for a Recorder's sim-time timeline. Both renderings
+// are fully deterministic — instruments in registration order, values in
+// shortest-round-trip form — so a fixed-seed run exports byte-identical
+// files (pinned by golden tests).
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// promName mangles an instrument name into the Prometheus metric-name
+// alphabet [a-zA-Z0-9_:], mapping every other rune ('.', '-', …) to '_'.
+func promName(name string) string {
+	out := []byte(name)
+	for i := 0; i < len(out); i++ {
+		c := out[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				out[i] = '_'
+			}
+		default:
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}
+
+// promValue renders a float the way Prometheus clients do: shortest form
+// that round-trips.
+func promValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promQuantiles are the quantile labels a histogram exports as a summary.
+var promQuantiles = []struct {
+	label string
+	p     float64
+}{{"0.5", 0.50}, {"0.9", 0.90}, {"0.99", 0.99}}
+
+// WriteProm renders the registry in Prometheus text exposition format:
+// counters as `counter`, gauges as `gauge`, histograms as `summary`
+// (quantiles from the streaming buckets, plus _sum and _count).
+// Instruments appear in registration order. A nil registry writes
+// nothing.
+func WriteProm(w io.Writer, r *Registry) error {
+	if r == nil {
+		return nil
+	}
+	for _, in := range r.order {
+		name := promName(in.name)
+		var err error
+		switch in.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %s\n", name, name, promValue(in.c.Value()))
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, promValue(in.g.Value()))
+		case kindHistogram:
+			if _, err = fmt.Fprintf(w, "# TYPE %s summary\n", name); err != nil {
+				return err
+			}
+			for _, q := range promQuantiles {
+				if _, err = fmt.Fprintf(w, "%s{quantile=%q} %s\n", name, q.label, promValue(in.h.Quantile(q.p))); err != nil {
+					return err
+				}
+			}
+			_, err = fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, promValue(in.h.Sum()), name, in.h.Count())
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePromSnapshot renders an already-flattened CounterSet (what
+// Registry.Snapshot and Fabric.Stats produce) as Prometheus gauges, in
+// set order. Use WriteProm when the live registry is at hand — it keeps
+// instrument kinds; a snapshot has forgotten them.
+func WritePromSnapshot(w io.Writer, cs CounterSet) error {
+	for _, c := range cs {
+		name := promName(c.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, promValue(c.Value)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders the recorder's timeline as CSV: a `time` column of
+// simulated seconds and one column per watched series, in watch order.
+// The recorder samples every column at every tick, so rows align; rows
+// are emitted oldest first, and only the points still held by the rings
+// appear (evicted history is gone by design).
+func WriteCSV(w io.Writer, r *Recorder) error {
+	if r == nil {
+		return nil
+	}
+	series := r.Series()
+	if _, err := io.WriteString(w, "time"); err != nil {
+		return err
+	}
+	for _, s := range series {
+		if _, err := fmt.Fprintf(w, ",%s", s.Name()); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(w, "\n"); err != nil {
+		return err
+	}
+	if len(series) == 0 {
+		return nil
+	}
+	rows := series[0].Len()
+	for _, s := range series[1:] {
+		if s.Len() != rows {
+			return fmt.Errorf("metrics: ragged timeline: series %q has %d points, %q has %d",
+				series[0].Name(), rows, s.Name(), s.Len())
+		}
+	}
+	for i := 0; i < rows; i++ {
+		if _, err := io.WriteString(w, promValue(float64(series[0].Point(i).At))); err != nil {
+			return err
+		}
+		for _, s := range series {
+			if _, err := fmt.Fprintf(w, ",%s", promValue(s.Point(i).Value)); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

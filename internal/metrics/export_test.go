@@ -1,0 +1,159 @@
+package metrics
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// monitorFixture builds a deterministic registry + recorder resembling
+// what a monitored run produces: counters, gauges (including a name that
+// needs Prometheus mangling), a histogram, and a sampled timeline.
+func monitorFixture() (*Registry, *Recorder) {
+	reg := NewRegistry()
+	rec := reg.Counter("health.recoveries")
+	cov := reg.Gauge("health.replica_coverage")
+	stale := reg.Gauge("health.ckpt_staleness_local")
+	wasted := reg.Histogram("health.wasted_seconds")
+
+	r := NewRecorder(reg, 16)
+	r.Watch("health.replica_coverage", "health.ckpt_staleness_local", "health.recoveries")
+
+	cov.Set(1)
+	stale.Set(0)
+	r.Sample(60)
+	stale.Set(1)
+	r.Sample(120)
+	// A failure: coverage drops, a recovery completes, wasted time lands.
+	cov.Set(0.75)
+	stale.Set(3)
+	rec.Inc()
+	wasted.Observe(241.5)
+	wasted.Observe(388)
+	r.Sample(180)
+	cov.Set(1)
+	stale.Set(0)
+	r.Sample(240)
+	return reg, r
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	golden := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("output differs from %s (run with -update if intentional)\ngot:\n%s\nwant:\n%s", golden, got, want)
+	}
+}
+
+// The Prometheus exposition must be byte-stable: registration order,
+// shortest-round-trip values, deterministic quantiles.
+func TestWritePromGolden(t *testing.T) {
+	reg, _ := monitorFixture()
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, reg); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "golden_metrics.prom", buf.Bytes())
+
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE health_recoveries counter\n",
+		"# TYPE health_replica_coverage gauge\nhealth_replica_coverage 1\n",
+		"# TYPE health_wasted_seconds summary\n",
+		`health_wasted_seconds{quantile="0.5"}`,
+		"health_wasted_seconds_sum 629.5\n",
+		"health_wasted_seconds_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// The CSV timeline must be byte-stable too.
+func TestWriteCSVGolden(t *testing.T) {
+	_, rec := monitorFixture()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "golden_timeline.csv", buf.Bytes())
+
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if lines[0] != "time,health.replica_coverage,health.ckpt_staleness_local,health.recoveries" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if len(lines) != 5 {
+		t.Fatalf("%d lines, want header + 4 rows", len(lines))
+	}
+	if lines[3] != "180,0.75,3,1" {
+		t.Fatalf("failure row %q, want 180,0.75,3,1", lines[3])
+	}
+}
+
+func TestWritePromNilRegistry(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, nil); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil registry: err=%v bytes=%d", err, buf.Len())
+	}
+	if err := WriteCSV(&buf, nil); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil recorder: err=%v bytes=%d", err, buf.Len())
+	}
+}
+
+func TestWritePromSnapshot(t *testing.T) {
+	cs := CounterSet{
+		{Name: "fabric.settles", Value: 42},
+		{Name: "fabric.dirty-hit-rate", Value: 0.875},
+	}
+	var buf bytes.Buffer
+	if err := WritePromSnapshot(&buf, cs); err != nil {
+		t.Fatal(err)
+	}
+	want := "# TYPE fabric_settles gauge\nfabric_settles 42\n" +
+		"# TYPE fabric_dirty_hit_rate gauge\nfabric_dirty_hit_rate 0.875\n"
+	if buf.String() != want {
+		t.Fatalf("snapshot exposition:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+func TestWriteCSVRaggedSeriesErrors(t *testing.T) {
+	reg := NewRegistry()
+	rec := NewRecorder(reg, 4)
+	rec.Watch("a", "b")
+	rec.Sample(1)
+	// Corrupt alignment by appending directly to one series.
+	rec.Series()[0].Append(2, 5)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, rec); err == nil {
+		t.Fatal("ragged timeline did not error")
+	}
+}
+
+func TestPromNameMangling(t *testing.T) {
+	cases := map[string]string{
+		"health.replica_coverage": "health_replica_coverage",
+		"nic·2":                   "nic__2", // multi-byte rune: every byte mangles
+		"9lives":                  "_lives",
+		"ok_name:sub":             "ok_name:sub",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

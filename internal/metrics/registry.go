@@ -168,6 +168,14 @@ func (h *Histogram) Quantile(p float64) float64 {
 	if h == nil || h.count == 0 {
 		return 0
 	}
+	// Clamp p before the uint64 conversion: a negative product converts
+	// implementation-defined (in practice to a huge rank, silently turning
+	// Quantile(-0.1) into the maximum).
+	if math.IsNaN(p) || p < 0 {
+		p = 0
+	} else if p > 1 {
+		p = 1
+	}
 	rank := uint64(math.Ceil(p * float64(h.count)))
 	if rank < 1 {
 		rank = 1

@@ -184,3 +184,103 @@ func TestHistogramObserveAllocsZero(t *testing.T) {
 		t.Fatalf("Observe allocates %.1f/op, want 0", n)
 	}
 }
+
+// Pins the Snapshot ordering contract the Prometheus/CSV exporters rely
+// on for byte-stability: instruments appear in registration order,
+// whatever their kind and however interleaved their registration, with
+// each histogram expanding to its five aggregates in place.
+func TestSnapshotOrderIsRegistrationOrder(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("g1")
+	r.Counter("c1")
+	r.Histogram("h1").Observe(2)
+	r.Gauge("g2")
+	r.Counter("c2")
+	// Re-lookups must not re-order.
+	r.Counter("c1")
+	r.Gauge("g1")
+	want := []string{
+		"g1", "c1",
+		"h1.count", "h1.mean", "h1.p50", "h1.p99", "h1.max",
+		"g2", "c2",
+	}
+	cs := r.Snapshot()
+	if len(cs) != len(want) {
+		t.Fatalf("snapshot has %d entries, want %d: %v", len(cs), len(want), cs)
+	}
+	for i, name := range want {
+		if cs[i].Name != name {
+			t.Fatalf("snapshot[%d] = %q, want %q (full: %v)", i, cs[i].Name, name, cs)
+		}
+	}
+	// Two snapshots of the same registry render identically — the
+	// byte-stability the export golden files build on.
+	if a, b := r.Snapshot().String(), r.Snapshot().String(); a != b {
+		t.Fatalf("snapshot rendering unstable:\n%s\n%s", a, b)
+	}
+}
+
+// Quantile edge cases: out-of-range p values clamp, a single observation
+// dominates every quantile, and empty histograms yield zeros everywhere.
+func TestHistogramQuantileEdgeTable(t *testing.T) {
+	single := &Histogram{}
+	single.Observe(7)
+	many := &Histogram{}
+	for _, v := range []float64{1, 2, 4, 8} {
+		many.Observe(v)
+	}
+	cases := []struct {
+		name     string
+		h        *Histogram
+		p        float64
+		min, max float64 // acceptable result range
+	}{
+		{"p<0 clamps to first observation", many, -0.5, 1, 2},
+		{"p=0 behaves like the minimum", many, 0, 1, 2},
+		{"p=1 is the maximum bucket", many, 1, 4, 8},
+		{"p>1 clamps to the maximum", many, 2.5, 4, 8},
+		{"single observation, p=0", single, 0, 7, 7},
+		{"single observation, p=0.5", single, 0.5, 7, 7},
+		{"single observation, p=1", single, 1, 7, 7},
+	}
+	for _, tc := range cases {
+		if q := tc.h.Quantile(tc.p); q < tc.min || q > tc.max {
+			t.Errorf("%s: Quantile(%v) = %v, want within [%v, %v]", tc.name, tc.p, q, tc.min, tc.max)
+		}
+	}
+	empty := &Histogram{}
+	if q := empty.Quantile(0.5); q != 0 {
+		t.Errorf("empty Quantile(0.5) = %v, want 0", q)
+	}
+	if q := empty.Quantile(0); q != 0 {
+		t.Errorf("empty Quantile(0) = %v, want 0", q)
+	}
+	if q := empty.Quantile(1); q != 0 {
+		t.Errorf("empty Quantile(1) = %v, want 0", q)
+	}
+}
+
+// Mean/Min/Max on an empty (or all-NaN) histogram are zero, not NaN —
+// the health report prints them unconditionally.
+func TestHistogramEmptyAggregates(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		prep func(*Histogram)
+	}{
+		{"empty", func(*Histogram) {}},
+		{"all-NaN", func(h *Histogram) { h.Observe(math.NaN()); h.Observe(math.NaN()) }},
+	} {
+		h := &Histogram{}
+		tc.prep(h)
+		if h.Count() != 0 {
+			t.Errorf("%s: count = %d, want 0", tc.name, h.Count())
+		}
+		for name, got := range map[string]float64{
+			"Mean": h.Mean(), "Min": h.Min(), "Max": h.Max(), "Sum": h.Sum(),
+		} {
+			if got != 0 || math.IsNaN(got) {
+				t.Errorf("%s: %s = %v, want 0", tc.name, name, got)
+			}
+		}
+	}
+}

@@ -67,6 +67,9 @@ type Result struct {
 	FromLocal, FromPeer, FromRemote int
 	// TotalWasted is Σ (lost progress + recovery downtime).
 	TotalWasted simclock.Duration
+	// TotalLost and TotalDowntime split TotalWasted into Eq. 1's two
+	// terms: rolled-back progress vs detection-to-resumption downtime.
+	TotalLost, TotalDowntime simclock.Duration
 	// MeanWasted is TotalWasted over the number of recoveries.
 	MeanWasted simclock.Duration
 	// StallTime is the cumulative per-checkpoint serialization stall.
@@ -197,6 +200,8 @@ func Run(cfg Config) (*Result, error) {
 		down := s.RecoveryDowntime(src, replacement)
 		wasted := simclock.Duration(rollback) + down
 		res.TotalWasted += wasted
+		res.TotalLost += simclock.Duration(rollback)
+		res.TotalDowntime += down
 		res.WastedSamples = append(res.WastedSamples, wasted.Seconds())
 		resume = at.Add(down)
 		recoveries++

@@ -286,3 +286,35 @@ func TestRunValidation(t *testing.T) {
 	}()
 	MustRun(outOfRange)
 }
+
+// TotalLost and TotalDowntime are Eq. 1's two terms; they must always
+// reconstruct TotalWasted exactly, and both must be exercised by a
+// failure schedule.
+func TestWastedBreakdownSumsToTotal(t *testing.T) {
+	_, _, gem := specs(t, 16)
+	horizon := 10 * simclock.Day
+	fs := softwareFailures(t, 16, 8, horizon)
+	res := run(t, gem, 16, fs, horizon)
+	if res.Failures == 0 {
+		t.Fatal("schedule produced no failures")
+	}
+	// The three sums accumulate independently, so allow float association
+	// noise — relative, not exact.
+	sum := res.TotalLost + res.TotalDowntime
+	if diff := (sum - res.TotalWasted).Seconds(); diff > 1e-6*res.TotalWasted.Seconds() || -diff > 1e-6*res.TotalWasted.Seconds() {
+		t.Fatalf("TotalLost %v + TotalDowntime %v != TotalWasted %v",
+			res.TotalLost, res.TotalDowntime, res.TotalWasted)
+	}
+	if res.TotalDowntime <= 0 {
+		t.Fatal("failures happened but no downtime accrued")
+	}
+	if res.TotalLost < 0 {
+		t.Fatalf("negative lost progress %v", res.TotalLost)
+	}
+	// Without failures both terms are zero.
+	clean := run(t, gem, 16, nil, horizon)
+	if clean.TotalLost != 0 || clean.TotalDowntime != 0 || clean.TotalWasted != 0 {
+		t.Fatalf("clean run wasted %v/%v/%v, want zeros",
+			clean.TotalLost, clean.TotalDowntime, clean.TotalWasted)
+	}
+}

@@ -117,6 +117,19 @@ func (pl *Plan) TotalBytes() float64 {
 	return total
 }
 
+// IdleUtilization returns the fraction of scheduled checkpoint bytes
+// that fit inside profiled idle spans rather than overflowing into the
+// update phase — the quantity Algorithm 2 maximizes, reported by the
+// health monitor as health.idle_utilization. An empty plan wastes no
+// training time, so it counts as fully utilized (1).
+func (pl *Plan) IdleUtilization() float64 {
+	total := pl.TotalBytes()
+	if total == 0 {
+		return 1
+	}
+	return (total - pl.OverflowBytes) / total
+}
+
 // ChunksInSpan returns the chunks scheduled into span index i.
 func (pl *Plan) ChunksInSpan(i int) []Chunk {
 	var out []Chunk

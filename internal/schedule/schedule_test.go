@@ -307,8 +307,10 @@ func TestPropertyPartitionInvariants(t *testing.T) {
 		if err != nil {
 			return false
 		}
+		// Relative tolerance: TotalBytes sums thousands of chunks when the
+		// buffer is tiny, so absolute error scales with the byte count.
 		want := float64(p.Replicas-1) * p.CheckpointBytes
-		if math.Abs(plan.TotalBytes()-want) > 1e-6 {
+		if math.Abs(plan.TotalBytes()-want) > 1e-9*math.Max(1, want) {
 			return false
 		}
 		maxChunk := p.BufferBytes/float64(p.BufferParts) + 1e-9
@@ -341,5 +343,35 @@ func TestPropertyMoreIdleNeverWorse(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// IdleUtilization is the health monitor's Algorithm 2 gauge: the
+// fraction of checkpoint traffic hidden inside profiled idle spans.
+func TestPlanIdleUtilization(t *testing.T) {
+	// A fitting plan is fully utilized.
+	p := baseParams()
+	if u := MustPartition(p).IdleUtilization(); math.Abs(u-1) > 1e-12 {
+		t.Fatalf("fitting plan utilization %v, want 1", u)
+	}
+	// An overflowing plan reports exactly the in-span fraction.
+	p.CheckpointBytes = 10_000
+	plan := MustPartition(p)
+	want := (plan.TotalBytes() - plan.OverflowBytes) / plan.TotalBytes()
+	if u := plan.IdleUtilization(); math.Abs(u-want) > 1e-12 {
+		t.Fatalf("overflowing plan utilization %v, want %v", u, want)
+	}
+	if u := plan.IdleUtilization(); u <= 0 || u >= 1 {
+		t.Fatalf("overflowing plan utilization %v, want strictly inside (0, 1)", u)
+	}
+	// An empty plan wastes nothing: utilization 1 by convention.
+	empty := &Plan{}
+	if u := empty.IdleUtilization(); u != 1 {
+		t.Fatalf("empty plan utilization %v, want 1", u)
+	}
+	// Fully-overflowing synthetic plan: utilization 0.
+	allOver := &Plan{Chunks: []Chunk{{Span: 1, Bytes: 50}}, OverflowBytes: 50}
+	if u := allOver.IdleUtilization(); u != 0 {
+		t.Fatalf("all-overflow plan utilization %v, want 0", u)
 	}
 }

@@ -36,6 +36,10 @@ type ExecOptions struct {
 	// source machine's NIC track, copies on per-machine copier tracks.
 	// Nil (the default) keeps the hot paths allocation-free.
 	Tracer *trace.Tracer
+	// Metrics, when non-nil, receives per-iteration observations under
+	// the training.* namespace (iteration/checkpoint/idle histograms and
+	// the Algorithm 2 idle-utilization gauge). Nil disables them free.
+	Metrics *metrics.Registry
 }
 
 // DefaultExecOptions returns the paper's implementation parameters.
@@ -70,6 +74,11 @@ type ExecResult struct {
 	// NetworkIdle is the mean per-iteration network idle time observed on
 	// a machine NIC, checkpoint traffic included.
 	NetworkIdle simclock.Duration
+	// IdleUtilization is the fraction of checkpoint bytes released inside
+	// profiled idle spans rather than after them — the executor-side view
+	// of schedule.Plan.IdleUtilization. 1 for Baseline (no traffic to
+	// hide), 0 for Blocking (training gated behind the full transfer).
+	IdleUtilization float64
 	// OOM reports that the scheme needed more GPU memory than available;
 	// no iterations were executed.
 	OOM bool
@@ -148,6 +157,8 @@ func Execute(cfg Config, opts ExecOptions) (*ExecResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	res.IdleUtilization = idleUtilization(opts.Scheme, jobs, params)
+	opts.Metrics.Gauge("training.idle_utilization").Set(res.IdleUtilization)
 	if opts.Scheme != schedule.SchemeBaseline {
 		res.CheckpointTime = StandaloneCheckpointTime(cfg, opts.Placement.M, opts.BufferBytes, opts.BufferParts)
 	}
@@ -281,6 +292,32 @@ func buildChunkJobs(scheme schedule.Scheme, params schedule.Params) (jobs []chun
 	}
 }
 
+// idleUtilization mirrors schedule.Plan.IdleUtilization over the
+// executor's realized job list: the fraction of checkpoint bytes whose
+// release offset falls inside a profiled idle span. Baseline moves no
+// bytes (vacuously 1); Blocking gates training behind the transfer, so
+// nothing is hidden (0).
+func idleUtilization(scheme schedule.Scheme, jobs []chunkJob, params schedule.Params) float64 {
+	switch scheme {
+	case schedule.SchemeBaseline:
+		return 1
+	case schedule.SchemeBlocking:
+		return 0
+	}
+	last := lastOffset(params)
+	var total, inSpan float64
+	for _, j := range jobs {
+		total += j.bytes
+		if j.notBefore < last {
+			inSpan += j.bytes
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return inSpan / total
+}
+
 func lastOffset(params schedule.Params) simclock.Duration {
 	if len(params.Spans) == 0 {
 		return 0
@@ -337,6 +374,12 @@ func (ex *executor) run(res *ExecResult) {
 		ex.compTrack = tr.Track("cluster", "compute")
 	}
 
+	// Nil-registry instruments no-op, so the untracked path stays free.
+	iterHist := ex.opts.Metrics.Histogram("training.iteration_seconds")
+	ckptHist := ex.opts.Metrics.Histogram("training.ckpt_wall_seconds")
+	idleHist := ex.opts.Metrics.Histogram("training.network_idle_seconds")
+	iterCount := ex.opts.Metrics.Counter("training.iterations")
+
 	var iterTimes, ckptTimes, idleTimes []simclock.Duration
 	total := ex.opts.Iterations + 1 // one warmup
 	for iter := 0; iter < total; iter++ {
@@ -358,10 +401,14 @@ func (ex *executor) run(res *ExecResult) {
 			continue
 		}
 		iterTimes = append(iterTimes, iterLen)
+		iterCount.Inc()
+		iterHist.Observe(iterLen.Seconds())
 		if ex.ckptDone > ex.ckptStart {
 			ckptTimes = append(ckptTimes, ex.ckptDone.Sub(ex.ckptStart))
+			ckptHist.Observe(ex.ckptDone.Sub(ex.ckptStart).Seconds())
 		}
 		idleTimes = append(idleTimes, iterLen-ex.fabric.BusyTime(0))
+		idleHist.Observe((iterLen - ex.fabric.BusyTime(0)).Seconds())
 	}
 	res.IterationTime = meanDur(iterTimes)
 	if len(ckptTimes) > 0 {

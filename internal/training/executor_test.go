@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"gemini/internal/metrics"
 	"gemini/internal/placement"
 	"gemini/internal/schedule"
 )
@@ -176,5 +177,55 @@ func TestExecutorSingleReplicaLocalOnly(t *testing.T) {
 	}
 	if res.CheckpointTime <= 0 {
 		t.Fatal("local copies should still be measured as checkpoint time")
+	}
+}
+
+// The executor publishes per-iteration training.* metrics and its
+// realized Algorithm 2 idle utilization: GEMINI hides everything in idle
+// spans (1), Blocking hides nothing (0), Baseline has nothing to hide.
+func TestExecutorMetricsAndIdleUtilization(t *testing.T) {
+	execWithMetrics := func(scheme schedule.Scheme) (*ExecResult, *metrics.Registry) {
+		cfg := cfg40Bp3dn(t)
+		opts := DefaultExecOptions(placement.MustMixed(cfg.Machines, 2), scheme)
+		opts.Iterations = 2
+		opts.Metrics = metrics.NewRegistry()
+		res, err := Execute(cfg, opts)
+		if err != nil {
+			t.Fatalf("Execute(%v): %v", scheme, err)
+		}
+		return res, opts.Metrics
+	}
+
+	res, reg := execWithMetrics(schedule.SchemeGemini)
+	if res.IdleUtilization != 1 {
+		t.Errorf("GEMINI idle utilization %v, want 1 (fits in idle spans)", res.IdleUtilization)
+	}
+	cs := reg.Snapshot()
+	if v, _ := cs.Get("training.iterations"); v != 2 {
+		t.Errorf("training.iterations = %v, want 2", v)
+	}
+	if v, _ := cs.Get("training.iteration_seconds.count"); v != 2 {
+		t.Errorf("iteration_seconds.count = %v, want 2", v)
+	}
+	if v, _ := cs.Get("training.iteration_seconds.mean"); v != res.IterationTime.Seconds() {
+		t.Errorf("iteration_seconds.mean = %v, want %v", v, res.IterationTime.Seconds())
+	}
+	if v, _ := cs.Get("training.ckpt_wall_seconds.count"); v != 2 {
+		t.Errorf("ckpt_wall_seconds.count = %v, want 2", v)
+	}
+	if v, _ := cs.Get("training.idle_utilization"); v != 1 {
+		t.Errorf("idle_utilization gauge = %v, want 1", v)
+	}
+
+	if res, _ := execWithMetrics(schedule.SchemeBlocking); res.IdleUtilization != 0 {
+		t.Errorf("Blocking idle utilization %v, want 0 (gated)", res.IdleUtilization)
+	}
+	res, reg = execWithMetrics(schedule.SchemeBaseline)
+	if res.IdleUtilization != 1 {
+		t.Errorf("Baseline idle utilization %v, want 1 (vacuous)", res.IdleUtilization)
+	}
+	// Baseline takes no checkpoints: the checkpoint histogram stays empty.
+	if v, _ := reg.Snapshot().Get("training.ckpt_wall_seconds.count"); v != 0 {
+		t.Errorf("baseline ckpt_wall_seconds.count = %v, want 0", v)
 	}
 }
