@@ -2,7 +2,10 @@
 # Benchmark suite runner: executes every Benchmark* three times with
 # allocation stats and records the raw `go test -json` event stream in
 # BENCH_<date>.json, so runs on different machines/dates can be diffed
-# (e.g. with benchstat fed from the "Output" fields).
+# (e.g. with benchstat fed from the "Output" fields). This includes the
+# observability pair (BenchmarkControlPlaneMonitor{Off,On}) and the
+# per-strategy overhead set (BenchmarkControlPlaneStrategy/<name>)
+# whose numbers back the EXPERIMENTS.md overhead tables.
 #
 # Usage:
 #   ./bench.sh                # full suite, -count=3

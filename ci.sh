@@ -36,3 +36,27 @@ CSV_OUT="$(mktemp -t geminitl.XXXXXX.csv)"
 go run ./cmd/geminisim -days 1 -metrics "$PROM_OUT" -timeline "$CSV_OUT" > /dev/null
 go run ./cmd/promcheck -prom "$PROM_OUT" -min-families 10 -csv "$CSV_OUT" -min-rows 20
 rm -f "$PROM_OUT" "$CSV_OUT"
+
+# Strategy gates: every registered checkpoint strategy must survive the
+# geminisim control-plane smoke (-strategy is the registry's public
+# surface), and an unknown name must fail at job construction instead
+# of misbehaving mid-run.
+for s in adaptive gemini sparse tiered; do
+	go run ./cmd/geminisim -days 1 -strategy "$s" > /dev/null
+done
+if go run ./cmd/geminisim -days 1 -strategy no-such-strategy > /dev/null 2>&1; then
+	echo "geminisim accepted an unknown strategy name" >&2
+	exit 1
+fi
+
+# Facade gates: the examples are the documented surface of the options
+# API (WithStrategy/WithTracer/WithMetrics) and must keep running, and
+# the deprecated observability shims must stay until their removal is
+# deliberate — callers migrate on their own schedule.
+go run ./examples/quickstart > /dev/null
+EX_DIR="$(mktemp -d -t geminiex.XXXXXX)"
+go build -o "$EX_DIR/observability" ./examples/observability
+(cd "$EX_DIR" && ./observability > /dev/null)
+rm -rf "$EX_DIR"
+grep -q "func (j \*Job) ExecuteSchemeTraced" internal/core/core.go
+grep -q "func (j \*Job) ExecuteSchemeObserved" internal/core/core.go

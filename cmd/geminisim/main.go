@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"gemini"
 	"gemini/internal/baselines"
@@ -38,6 +39,8 @@ func main() {
 		seed        = flag.Int64("seed", 1, "failure-schedule seed (Poisson mode)")
 		poisson     = flag.Bool("poisson", false, "Poisson failure arrivals instead of fixed spacing")
 		replacement = flag.Duration("replacement", 0, "machine replacement delay (0 = standby machines)")
+		stratName   = flag.String("strategy", "gemini",
+			"checkpoint strategy for the monitored control-plane run (one of: "+strings.Join(gemini.StrategyNames(), ", ")+")")
 		renderTL    = flag.Bool("render-timeline", false, "render the iteration timeline with the checkpoint plan")
 		traceOut    = flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) of a small traced run to this file")
 		metricsOut  = flag.String("metrics", "", "write the run's metrics in Prometheus text exposition format to this file")
@@ -47,14 +50,14 @@ func main() {
 
 	job, err := gemini.NewJob(gemini.JobSpec{
 		Model: *modelName, Instance: *instance, Machines: *machines, Replicas: *replicas,
-	})
+	}, gemini.WithStrategy(*stratName))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 
-	fmt.Printf("job: %s on %d× %s, m=%d replicas\n",
-		*modelName, *machines, *instance, *replicas)
+	fmt.Printf("job: %s on %d× %s, m=%d replicas, %s checkpoint strategy\n",
+		*modelName, *machines, *instance, *replicas, *stratName)
 	fmt.Printf("  checkpoint: %.1f GB total, %.1f GB/machine shard\n",
 		job.Config.Model.CheckpointBytes()/1e9, job.Config.ShardBytesPerMachine()/1e9)
 	fmt.Printf("  iteration: %.1f s (%.1f s network idle)\n",
@@ -118,10 +121,9 @@ func main() {
 	}
 
 	if *traceOut != "" {
-		spec := gemini.JobSpec{
-			Model: *modelName, Instance: *instance, Machines: *machines, Replicas: *replicas,
-		}
-		if err := writeTrace(job, spec, *traceOut); err != nil {
+		// job.Spec carries the validated strategy, so the traced
+		// control-plane run exercises the same policy as -strategy asked.
+		if err := writeTrace(job, job.Spec, *traceOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -165,8 +167,8 @@ func runHealth(job *gemini.Job, reg *gemini.MetricsRegistry, promPath, csvPath s
 	engine.Run(gemini.Time(25 * iter))
 	rec.Stop()
 
-	fmt.Printf("\nhealth: monitored run, %d failures injected, %d samples at %.1f s cadence\n",
-		len(sched), rec.Samples(), iter.Seconds())
+	fmt.Printf("\nhealth: monitored run (%s strategy, active policy %s), %d failures injected, %d samples at %.1f s cadence\n",
+		sys.Strategy().Name(), sys.Strategy().Active(), len(sched), rec.Samples(), iter.Seconds())
 	for _, ev := range sys.WastedEvents() {
 		fmt.Printf("  failure ranks %v: recovered from %s ckpt v%d, lost %d iters, wasted %s (T_lost %s + T_recovery %s)\n",
 			ev.Ranks, ev.Source, ev.Version, ev.LostIterations,

@@ -37,14 +37,14 @@ func main() {
 		Machines: 16,
 	}
 
-	// Run 1: the executor with a tracer attached. Same simulation as
-	// ExecuteScheme — the tracer only watches.
-	job, err := gemini.NewJob(spec)
+	// Run 1: the executor with a tracer attached. Same simulation as an
+	// untraced ExecuteScheme — the tracer only watches.
+	execTr := gemini.NewTracer()
+	job, err := gemini.NewJob(spec, gemini.WithTracer(execTr))
 	if err != nil {
 		log.Fatal(err)
 	}
-	execTr := gemini.NewTracer()
-	res, err := job.ExecuteSchemeTraced(gemini.SchemeGemini, execTr)
+	res, err := job.ExecuteScheme(gemini.SchemeGemini)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,7 +61,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	faulty, err := gemini.NewJob(spec, gemini.WithFaults(sched))
+	// The control-plane tracer and the health monitor's registry attach
+	// at job construction; RecoverySystem wires them into the run.
+	ctl := gemini.NewTracer()
+	reg := gemini.NewMetricsRegistry()
+	faulty, err := gemini.NewJob(spec,
+		gemini.WithFaults(sched), gemini.WithTracer(ctl), gemini.WithMetrics(reg))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,14 +74,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ctl := gemini.NewTracer()
-	sys.SetTracer(ctl)
 	sys.SetRemoteEvery(10)
 
-	// Attach the health monitor to the same run: gauges live in the
-	// registry, the recorder snapshots them every iteration.
-	reg := gemini.NewMetricsRegistry()
-	sys.SetMetrics(reg)
+	// The recorder snapshots the registry's gauges every iteration.
 	rec := gemini.NewMetricsRecorder(reg, 1024)
 	rec.Watch("health.iteration", "health.replica_coverage",
 		"health.ckpt_staleness_local", "health.recoveries")

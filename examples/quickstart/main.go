@@ -17,8 +17,7 @@ func main() {
 		Model:    "GPT-2 100B",
 		Instance: "p4d.24xlarge",
 		Machines: 16,
-		Replicas: 2,
-	})
+	}, gemini.WithReplicas(2))
 	if err != nil {
 		log.Fatal(err)
 	}

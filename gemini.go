@@ -39,6 +39,7 @@
 package gemini
 
 import (
+	"fmt"
 	"io"
 
 	"gemini/internal/agent"
@@ -54,6 +55,7 @@ import (
 	"gemini/internal/runsim"
 	"gemini/internal/schedule"
 	"gemini/internal/simclock"
+	"gemini/internal/strategy"
 	"gemini/internal/trace"
 	"gemini/internal/training"
 )
@@ -70,36 +72,108 @@ type (
 
 // Option tweaks a JobSpec before derivation. Options override the
 // corresponding JobSpec fields, so a spec can stay a three-field literal
-// (model, instance, machines) with everything else supplied here.
-type Option func(*JobSpec)
+// (model, instance, machines) with everything else supplied here. An
+// option's argument is validated when NewJob applies it, so a bad value
+// fails job construction with a descriptive error instead of
+// misbehaving deep inside a run.
+type Option func(*JobSpec) error
 
 // WithReplicas sets the checkpoint replica count m (default 2).
 func WithReplicas(m int) Option {
-	return func(s *JobSpec) { s.Replicas = m }
+	return func(s *JobSpec) error {
+		if m < 1 {
+			return fmt.Errorf("gemini: WithReplicas(%d): replica count must be ≥ 1", m)
+		}
+		s.Replicas = m
+		return nil
+	}
 }
 
 // WithRemoteBandwidth sets the persistent store's aggregate bandwidth in
 // bytes per second (default 20 Gbps, the paper's FSx setup).
 func WithRemoteBandwidth(bytesPerSec float64) Option {
-	return func(s *JobSpec) { s.RemoteBandwidth = bytesPerSec }
+	return func(s *JobSpec) error {
+		if bytesPerSec <= 0 {
+			return fmt.Errorf("gemini: WithRemoteBandwidth(%v): bandwidth must be positive", bytesPerSec)
+		}
+		s.RemoteBandwidth = bytesPerSec
+		return nil
+	}
 }
 
 // WithParallelism selects the distribution strategy (default ZeRO-3).
 func WithParallelism(p Parallelism) Option {
-	return func(s *JobSpec) { s.Parallelism = p }
+	return func(s *JobSpec) error {
+		s.Parallelism = p
+		return nil
+	}
 }
 
 // WithFaults attaches a fault schedule to the job; Job.RecoverySystem
 // arms it automatically. Build one with Faults().
 func WithFaults(fs FaultSchedule) Option {
-	return func(s *JobSpec) { s.Faults = fs }
+	return func(s *JobSpec) error {
+		if fs == nil {
+			return fmt.Errorf("gemini: WithFaults(nil): build a schedule with Faults() — an empty schedule needs no option")
+		}
+		s.Faults = fs
+		return nil
+	}
 }
 
+// WithStrategy selects the named checkpoint strategy the recovery
+// system runs — one of StrategyNames(): "gemini" (the paper's scheme,
+// the default), "tiered" (GPU-buffer → CPU → remote ladder), "sparse"
+// (delta/changed-shards-only commits), or "adaptive" (switches among
+// them at runtime from the observed failure stream).
+func WithStrategy(name string) Option {
+	return func(s *JobSpec) error {
+		if _, err := strategy.New(name); err != nil {
+			return err
+		}
+		s.Strategy = name
+		return nil
+	}
+}
+
+// WithTracer attaches a structured tracer to the job: every run the job
+// starts — the interference executor, the recovery control plane —
+// records its spans, instants, and counter samples on it.
+func WithTracer(tr *Tracer) Option {
+	return func(s *JobSpec) error {
+		if tr == nil {
+			return fmt.Errorf("gemini: WithTracer(nil): omit the option to run untraced")
+		}
+		s.Tracer = tr
+		return nil
+	}
+}
+
+// WithMetrics attaches a metrics registry to the job: every run fills
+// it with its instruments (training.* from the executor, health.* and
+// strategy.* from the control plane).
+func WithMetrics(reg *MetricsRegistry) Option {
+	return func(s *JobSpec) error {
+		if reg == nil {
+			return fmt.Errorf("gemini: WithMetrics(nil): omit the option to run unmonitored")
+		}
+		s.Metrics = reg
+		return nil
+	}
+}
+
+// StrategyNames returns the registered checkpoint strategy names,
+// sorted — the valid arguments to WithStrategy.
+func StrategyNames() []string { return strategy.Names() }
+
 // NewJob derives a GEMINI deployment from a job spec, validating GPU and
-// CPU memory budgets and any attached fault schedule.
+// CPU memory budgets, option arguments, the strategy name, and any
+// attached fault schedule.
 func NewJob(spec JobSpec, opts ...Option) (*Job, error) {
 	for _, opt := range opts {
-		opt(&spec)
+		if err := opt(&spec); err != nil {
+			return nil, err
+		}
 	}
 	return core.NewJob(spec)
 }

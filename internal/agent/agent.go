@@ -19,6 +19,7 @@ import (
 	"gemini/internal/placement"
 	"gemini/internal/simclock"
 	"gemini/internal/statemgr"
+	"gemini/internal/strategy"
 	"gemini/internal/trace"
 )
 
@@ -133,6 +134,15 @@ type System struct {
 	iterEv              simclock.EventID
 	data                *statemgr.Manager // optional byte-level data plane
 
+	// strategy owns checkpoint placement/cadence and recovery-source
+	// policy; the system keeps the mechanism (leases, detection,
+	// scheduling, rollback). Defaults to the gemini strategy.
+	strategy strategy.Strategy
+	// retrievedBytes/remoteBytes account recovery and remote-tier
+	// traffic; replication traffic lives in the ckpt engine.
+	retrievedBytes float64
+	remoteBytes    float64
+
 	recoveries int
 	sweepEv    simclock.EventID
 
@@ -185,7 +195,50 @@ func NewSystem(engine *simclock.Engine, cl *cluster.Cluster, ck *ckpt.Engine,
 		return nil, err
 	}
 	s.election = el
+	s.strategy = strategy.NewGemini()
+	s.bindStrategy()
 	return s, nil
+}
+
+// SetStrategy installs a checkpoint strategy (a fresh, unbound instance
+// from the strategy registry). Call before Start; the default is the
+// paper's gemini scheme.
+func (s *System) SetStrategy(st strategy.Strategy) {
+	if st == nil {
+		panic("agent: nil strategy")
+	}
+	if s.data != nil && st.Name() != "gemini" {
+		panic(fmt.Sprintf("agent: the byte-level data plane implements gemini semantics only, not %q", st.Name()))
+	}
+	s.strategy = st
+	s.bindStrategy()
+}
+
+// Strategy returns the installed checkpoint strategy.
+func (s *System) Strategy() strategy.Strategy { return s.strategy }
+
+// bindStrategy attaches the system's control surface to the strategy.
+func (s *System) bindStrategy() {
+	s.strategy.Bind(strategy.Env{
+		Ckpt:          s.ckpt,
+		Placement:     s.placement,
+		IterationTime: s.opts.IterationTime,
+		Now:           s.engine.Now,
+		RemoteEvery:   s.remoteEvery,
+		Emit:          s.emitStrategyEvent,
+	})
+}
+
+// emitStrategyEvent lands a strategy-level event (adaptive switches) in
+// the run log, the trace, and the metrics registry.
+func (s *System) emitStrategyEvent(event, detail string) {
+	s.log.Add("strategy", event, "%s", detail)
+	if s.rootTrack.Enabled() {
+		s.rootTrack.InstantArgs(trace.CatAgent, event, detail)
+	}
+	if h := s.health; h != nil && event == "strategy-switch" {
+		h.stratSwitches.Inc()
+	}
 }
 
 // Log returns the system's event log.
@@ -212,6 +265,9 @@ func (s *System) SetTracer(tr *trace.Tracer) {
 func (s *System) SetDataPlane(mgr *statemgr.Manager) {
 	if mgr.Placement().N != s.placement.N || mgr.Placement().M != s.placement.M {
 		panic("agent: data plane placement does not match the system's")
+	}
+	if s.strategy.Name() != "gemini" {
+		panic(fmt.Sprintf("agent: the byte-level data plane implements gemini semantics only, not %q", s.strategy.Name()))
 	}
 	s.data = mgr
 	// Seed the remote tier with the initial states so a fallback before
@@ -358,6 +414,9 @@ func (s *System) InjectFailure(rank int, kind cluster.MachineState) {
 			s.data.WipeMachine(rank)
 		}
 	}
+	// Physical tier state dies with the machine, whatever the policy:
+	// hardware failures take the GPU-buffer snapshots with them.
+	s.strategy.OnFailure(rank, kind == cluster.HardwareFailed)
 	// A store outage loses the detector's report; beginRecovery falls
 	// back to the cluster's own state to classify the failure.
 	_, _ = s.store.Put(failurePrefix+strconv.Itoa(rank), kind.String(), 0)

@@ -11,6 +11,7 @@ package agent
 import (
 	"gemini/internal/metrics"
 	"gemini/internal/simclock"
+	"gemini/internal/strategy"
 	"gemini/internal/trace"
 )
 
@@ -49,6 +50,11 @@ type healthMonitor struct {
 	wasted      *metrics.Histogram
 	lost        *metrics.Histogram
 	downtime    *metrics.Histogram
+	// Strategy observability: switches counts adaptive policy changes;
+	// active encodes the policy in force as its index in the sorted
+	// registry names.
+	stratSwitches *metrics.CounterVar
+	stratActive   *metrics.Gauge
 }
 
 // SetMetrics attaches a health monitor publishing into reg under the
@@ -68,6 +74,9 @@ func (s *System) SetMetrics(reg *metrics.Registry) {
 		wasted:      reg.Histogram("health.wasted_seconds"),
 		lost:        reg.Histogram("health.lost_seconds"),
 		downtime:    reg.Histogram("health.recovery_seconds"),
+
+		stratSwitches: reg.Counter("strategy.switches"),
+		stratActive:   reg.Gauge("strategy.active"),
 	}
 	s.observeHealth()
 }
@@ -115,6 +124,7 @@ func (s *System) observeHealth() {
 		h.minReplicas.Set(float64(minReplicas))
 		h.staleLocal.Set(float64(staleLocal))
 		h.staleRemote.Set(float64(staleRemote))
+		h.stratActive.Set(float64(strategy.Index(s.strategy.Active())))
 	}
 	if s.rootTrack.Enabled() {
 		s.rootTrack.Sample("replica_coverage", coverage)

@@ -9,6 +9,7 @@ import (
 	"gemini/internal/metrics"
 	"gemini/internal/placement"
 	"gemini/internal/simclock"
+	"gemini/internal/strategy"
 	"gemini/internal/trace"
 )
 
@@ -144,39 +145,63 @@ func TestWastedEventAccounting(t *testing.T) {
 	}
 }
 
-// The monitor is a pure observer: a run with metrics, a sampling
-// recorder, and a tracer attached must replay bit-identically to a bare
-// run. The recorder's ticker adds engine events, but they only read
-// state — no pre-existing event pair's relative order changes.
+// The monitor is a pure observer and every named strategy is a pure
+// policy: for each registered strategy, a run replays bit-identically
+// across repeats, and attaching metrics, a sampling recorder, and a
+// tracer must not move a single event. The failure ladder — two spaced
+// software crashes then a hardware loss — gives the adaptive selector
+// enough observations to switch policies mid-run, so its switching
+// path is under the same determinism contract as the fixed policies.
 func TestMonitoringDoesNotPerturbDeterminism(t *testing.T) {
-	run := func(monitored bool) []trace.Event {
-		f := newFixture(t, 4, 2, cloud.DefaultConfig())
-		f.sys.SetRemoteEvery(10)
-		if monitored {
-			reg := metrics.NewRegistry()
-			f.sys.SetMetrics(reg)
-			f.sys.SetTracer(trace.NewTracer(nil))
-			rec := metrics.NewRecorder(reg, 1024)
-			rec.Watch("health.iteration", "health.replica_coverage",
-				"health.ckpt_staleness_local", "health.recoveries")
-			rec.Start(f.engine, 30*simclock.Second)
-		}
-		f.sys.Start()
-		f.engine.At(simclock.Time(5*iterTime+10), func() {
-			f.sys.InjectFailure(1, cluster.SoftwareFailed)
-			f.sys.InjectFailure(2, cluster.HardwareFailed)
+	for _, name := range strategy.Names() {
+		t.Run(name, func(t *testing.T) {
+			run := func(monitored bool) []trace.Event {
+				f := newFixture(t, 4, 2, cloud.DefaultConfig())
+				f.sys.SetStrategy(strategy.MustNew(name))
+				f.sys.SetRemoteEvery(10)
+				if monitored {
+					reg := metrics.NewRegistry()
+					f.sys.SetMetrics(reg)
+					f.sys.SetTracer(trace.NewTracer(nil))
+					rec := metrics.NewRecorder(reg, 1024)
+					rec.Watch("health.iteration", "health.replica_coverage",
+						"health.ckpt_staleness_local", "health.recoveries")
+					rec.Start(f.engine, 30*simclock.Second)
+				}
+				f.sys.Start()
+				f.engine.At(simclock.Time(5*iterTime+10), func() {
+					f.sys.InjectFailure(1, cluster.SoftwareFailed)
+				})
+				f.engine.At(simclock.Time(15*iterTime+10), func() {
+					f.sys.InjectFailure(2, cluster.SoftwareFailed)
+				})
+				f.engine.At(simclock.Time(28*iterTime+10), func() {
+					f.sys.InjectFailure(3, cluster.HardwareFailed)
+				})
+				f.engine.Run(simclock.Time(55 * iterTime))
+				return f.log.Events()
+			}
+			plain, repeat, monitored := run(false), run(false), run(true)
+			if len(plain) != len(repeat) || len(plain) != len(monitored) {
+				t.Fatalf("event counts differ: %d plain vs %d repeat vs %d monitored",
+					len(plain), len(repeat), len(monitored))
+			}
+			switched := false
+			for i := range plain {
+				if plain[i] != repeat[i] {
+					t.Fatalf("event %d differs across repeats:\n  first:  %+v\n  second: %+v", i, plain[i], repeat[i])
+				}
+				if plain[i] != monitored[i] {
+					t.Fatalf("event %d differs:\n  plain:     %+v\n  monitored: %+v", i, plain[i], monitored[i])
+				}
+				if plain[i].Kind == "strategy-switch" {
+					switched = true
+				}
+			}
+			if name == "adaptive" && !switched {
+				t.Fatal("adaptive never switched: the mid-run switching path went untested")
+			}
 		})
-		f.engine.Run(simclock.Time(30 * iterTime))
-		return f.log.Events()
-	}
-	plain, monitored := run(false), run(true)
-	if len(plain) != len(monitored) {
-		t.Fatalf("event counts differ: %d vs %d", len(plain), len(monitored))
-	}
-	for i := range plain {
-		if plain[i] != monitored[i] {
-			t.Fatalf("event %d differs:\n  plain:     %+v\n  monitored: %+v", i, plain[i], monitored[i])
-		}
 	}
 }
 
@@ -220,3 +245,31 @@ func benchFixture(b *testing.B, engine *simclock.Engine) *System {
 
 func BenchmarkControlPlaneMonitorOff(b *testing.B) { benchmarkControlPlane(b, false) }
 func BenchmarkControlPlaneMonitorOn(b *testing.B)  { benchmarkControlPlane(b, true) }
+
+// Per-strategy overhead benchmark pair for EXPERIMENTS.md: one
+// sub-benchmark per registered strategy over the same failure ladder,
+// so a policy whose planning work regresses (sparse walks every
+// (owner, holder) pair per iteration, adaptive re-evaluates its rule
+// at every boundary) shows up against the gemini baseline.
+func BenchmarkControlPlaneStrategy(b *testing.B) {
+	for _, name := range strategy.Names() {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				engine := simclock.NewEngine()
+				f := benchFixture(b, engine)
+				f.SetStrategy(strategy.MustNew(name))
+				f.Start()
+				engine.At(simclock.Time(5*iterTime+10), func() {
+					f.InjectFailure(1, cluster.SoftwareFailed)
+				})
+				engine.At(simclock.Time(15*iterTime+10), func() {
+					f.InjectFailure(2, cluster.HardwareFailed)
+				})
+				engine.Run(simclock.Time(30 * iterTime))
+				if f.Recoveries() != 2 {
+					b.Fatalf("%d recoveries, want 2", f.Recoveries())
+				}
+			}
+		})
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"gemini/internal/ckpt"
 	"gemini/internal/cluster"
 	"gemini/internal/simclock"
+	"gemini/internal/strategy"
 	"gemini/internal/trace"
 )
 
@@ -34,45 +35,54 @@ func (s *System) scheduleIteration() {
 }
 
 // completeIteration advances training by one iteration and commits the
-// per-iteration CPU-memory checkpoint in the bookkeeping engine. (The
-// traffic side of checkpointing is exercised by the training executor;
-// the control plane tracks versions and placement.)
+// checkpoint work the installed strategy planned for it in the
+// bookkeeping engine. (The traffic side of checkpointing is exercised
+// by the training executor; the control plane tracks versions and
+// placement.)
 func (s *System) completeIteration() {
 	s.iteration++
 	iter := s.iteration
 	healthy := func(rank int) bool { return s.cluster.Machine(rank).Healthy() }
+	var remote bool
 	if s.data != nil {
 		// Byte-level path: move real payloads; statemgr registers the
-		// commits with the version tracker itself.
+		// commits with the version tracker itself (gemini semantics).
 		s.data.Step(iter, healthy)
 		if err := s.data.Checkpoint(s.ckpt, iter, healthy); err != nil {
 			panic(fmt.Sprintf("agent: data-plane checkpoint: %v", err))
 		}
+		remote = iter%s.remoteEvery() == 0
 	} else {
-		for owner := 0; owner < s.placement.N; owner++ {
-			if !healthy(owner) {
-				continue
-			}
-			for _, holder := range s.placement.Replicas(owner) {
-				if !healthy(holder) {
-					continue
-				}
-				s.ckpt.Begin(holder, owner, iter)
-				s.ckpt.Receive(holder, owner, iter, s.ckpt.ShardBytes())
-				s.ckpt.Commit(holder, owner, iter, 0)
+		plan := s.strategy.PlanCommit(iter, healthy)
+		for _, c := range plan.Commits {
+			switch c.Kind {
+			case strategy.CommitFull:
+				s.ckpt.Begin(c.Holder, c.Owner, iter)
+				s.ckpt.Receive(c.Holder, c.Owner, iter, s.ckpt.ShardBytes())
+				s.ckpt.Commit(c.Holder, c.Owner, iter, 0)
+			case strategy.CommitDelta:
+				s.ckpt.BeginDelta(c.Holder, c.Owner, iter, c.Bytes)
+				s.ckpt.Receive(c.Holder, c.Owner, iter, c.Bytes)
+				s.ckpt.Commit(c.Holder, c.Owner, iter, 0)
+			case strategy.CommitRefresh:
+				s.ckpt.Refresh(c.Holder, c.Owner, iter)
+			default:
+				panic(fmt.Sprintf("agent: unknown commit kind %d", c.Kind))
 			}
 		}
+		remote = plan.Remote
 	}
 	// The remote persistent tier commits on its own cadence; the commit is
 	// recorded so recovery reads what was actually written, not what the
 	// current cadence implies (SetRemoteEvery may have changed it since).
-	if iter%s.remoteEvery() == 0 {
+	if remote {
 		if s.data != nil {
 			if err := s.data.CheckpointRemote(iter); err != nil {
 				panic(fmt.Sprintf("agent: remote checkpoint: %v", err))
 			}
 		}
 		s.lastRemoteCommitted = iter
+		s.remoteBytes += float64(s.placement.N) * s.ckpt.ShardBytes()
 		s.rootTrack.Instant(trace.CatAgent, "remote-checkpoint")
 	}
 	// Best-effort: during a store outage the committed-iteration key lags
@@ -105,6 +115,26 @@ func (s *System) lastRemoteIteration() int64 {
 	return s.lastRemoteCommitted
 }
 
+// Traffic is the run's cumulative checkpoint byte movement, split by
+// purpose: Replication is the steady-state commit traffic accepted by
+// the checkpoint engine, Retrieval is recovery-time fetch traffic
+// (peer and remote), Remote is the persistent-tier commit traffic.
+type Traffic struct {
+	Replication float64
+	Retrieval   float64
+	Remote      float64
+}
+
+// Traffic returns the bytes-moved accounting — the cost axis of the
+// strategy comparison table.
+func (s *System) Traffic() Traffic {
+	return Traffic{
+		Replication: s.ckpt.BytesReceived(),
+		Retrieval:   s.retrievedBytes,
+		Remote:      s.remoteBytes,
+	}
+}
+
 // beginRecovery is the root agent's recovery workflow (§6.2):
 //
 //  1. stop training, classify the failed machines;
@@ -135,11 +165,22 @@ func (s *System) beginRecovery(failed []int) {
 			fmt.Sprintf("ranks=%v hardware=%d", failed, len(hardware)))
 	}
 
-	// Step 2: serialize resident checkpoints on all alive machines.
+	// Step 2: serialize resident checkpoints on all alive machines —
+	// unless the strategy's fast tier makes the stall unnecessary (the
+	// tiered strategy's GPU snapshots are already materialized).
+	serialize := simclock.Duration(0)
+	if s.strategy.SerializeNeeded(failed, hardware) {
+		serialize = s.opts.SerializeTime
+	}
 	serStart := s.engine.Now()
-	s.engine.After(s.opts.SerializeTime, func() {
-		s.rootTrack.Span(trace.CatAgent, "serialize", serStart, s.engine.Now())
-		s.log.Add("root-agent", "serialized", "in-memory checkpoints saved in %v", s.opts.SerializeTime)
+	s.engine.After(serialize, func() {
+		if serialize > 0 {
+			s.rootTrack.Span(trace.CatAgent, "serialize", serStart, s.engine.Now())
+			s.log.Add("root-agent", "serialized", "in-memory checkpoints saved in %v", serialize)
+		} else {
+			s.log.Add("root-agent", "serialize-skipped", "fast-tier snapshots already materialized")
+			s.rootTrack.Instant(trace.CatAgent, "serialize-skipped")
+		}
 		// Software-failed machines restart in place regardless of whether
 		// hardware replacements are also in flight (a mixed failure must
 		// not leave them down). Partition suspects are Healthy and Restart
@@ -187,42 +228,53 @@ func (s *System) beginRecovery(failed []int) {
 	})
 }
 
-// attemptRetrieval walks the §3.1 storage hierarchy: it looks for a
-// consistent checkpoint version among machines that still hold their CPU
-// memory AND are reachable (not partitioned away). If none is reachable
-// it retries with exponential backoff — partitions heal — and only after
-// RetryMax attempts falls back to remote persistent storage.
+// attemptRetrieval asks the strategy for a recovery decision and
+// executes it. The default ladder (§3.1) looks for a consistent
+// checkpoint version among machines that still hold their CPU memory
+// AND are reachable (not partitioned away). When the decision is a
+// retryable remote fallback it retries with exponential backoff —
+// partitions heal — and only after RetryMax attempts actually falls
+// back to remote persistent storage.
 func (s *System) attemptRetrieval(failed []int, hardware map[int]bool, attempt int) {
 	// CPU-memory availability: hardware-failed machines were wiped; the
 	// replacements arrive empty. Software-failed machines kept memory.
 	// Partitioned survivors hold memory but cannot serve fetches.
 	avail := func(rank int) bool { return !hardware[rank] && !s.partitioned[rank] }
 
-	version, ok := s.ckpt.ConsistentVersion(avail)
-	if !ok && attempt < s.opts.RetryMax {
+	rec := s.strategy.PlanRecovery(strategy.RecoveryContext{
+		Failed:        failed,
+		Hardware:      hardware,
+		Reachable:     avail,
+		Surviving:     func(rank int) bool { return !hardware[rank] },
+		RemoteVersion: s.lastRemoteIteration(),
+		Attempt:       attempt,
+	})
+	if rec.Tier == strategy.TierRemote && rec.Retryable && attempt < s.opts.RetryMax {
 		// Retry only helps when the blocker is reachability: if the data
 		// survives somewhere beyond the partition, waiting for a heal can
 		// still beat the remote fallback. If the shards are truly gone
 		// (whole replica group wiped), go remote immediately.
-		if _, healable := s.ckpt.ConsistentVersion(func(rank int) bool { return !hardware[rank] }); healable {
-			delay := s.opts.RetryBase * simclock.Duration(int64(1)<<uint(attempt))
-			s.log.Add("root-agent", "retry-backoff",
-				"no reachable consistent version (attempt %d/%d); retrying in %v",
-				attempt+1, s.opts.RetryMax, delay)
-			s.rootTrack.Instant(trace.CatAgent, "retry-backoff")
-			s.engine.After(delay, func() {
-				s.attemptRetrieval(failed, hardware, attempt+1)
-			})
-			return
-		}
+		delay := s.opts.RetryBase * simclock.Duration(int64(1)<<uint(attempt))
+		s.log.Add("root-agent", "retry-backoff",
+			"no reachable consistent version (attempt %d/%d); retrying in %v",
+			attempt+1, s.opts.RetryMax, delay)
+		s.rootTrack.Instant(trace.CatAgent, "retry-backoff")
+		s.engine.After(delay, func() {
+			s.attemptRetrieval(failed, hardware, attempt+1)
+		})
+		return
 	}
+	version := rec.Version
 	var retrieval simclock.Duration
 	var source string
-	if ok {
-		plan, err := s.ckpt.PlanRecovery(version, avail)
-		if err != nil {
-			panic(fmt.Sprintf("agent: consistent version %d but no plan: %v", version, err))
-		}
+	switch rec.Tier {
+	case strategy.TierGPU:
+		// Fast tier: every rank resumes from its own device-resident
+		// snapshot of the current iteration — no bytes move, nothing is
+		// lost, and the CPU-memory checkpoints stay as they are.
+		source = "gpu"
+	case strategy.TierMemory:
+		plan := rec.Plan
 		// Partition suspects keep their own CPU memory: nothing can be
 		// delivered to them now, and nothing needs to be — they rejoin
 		// with their local copy when the partition heals. A machine that
@@ -251,6 +303,7 @@ func (s *System) attemptRetrieval(failed []int, hardware map[int]bool, attempt i
 			if t > retrieval {
 				retrieval = t
 			}
+			s.retrievedBytes += float64(c) * s.ckpt.ShardBytes()
 		}
 		source = "local"
 		if anyPeer {
@@ -277,7 +330,7 @@ func (s *System) attemptRetrieval(failed []int, hardware map[int]bool, attempt i
 				s.ckpt.Commit(r.Rank, r.Rank, version, 0)
 			}
 		}
-	} else {
+	default:
 		// §6.2 case 2: a whole replica group died (or its survivors stayed
 		// unreachable through every retry) — everyone reloads the newest
 		// remote checkpoint through the store's aggregate bandwidth.
@@ -285,12 +338,12 @@ func (s *System) attemptRetrieval(failed []int, hardware map[int]bool, attempt i
 			s.log.Add("root-agent", "fallback-remote",
 				"peer retrieval exhausted after %d attempts; falling back to persistent storage", attempt)
 		}
-		version = s.lastRemoteIteration()
 		if s.data != nil {
 			version = s.data.RemoteIteration()
 		}
 		total := float64(s.placement.N) * s.ckpt.ShardBytes()
 		retrieval = simclock.Duration(total / s.opts.RetrievalRemoteBandwidth)
+		s.retrievedBytes += total
 		source = "remote"
 		// The survivors' CPU-memory checkpoints are inconsistent with the
 		// remote version; drop anything newer and reseed local replicas.
@@ -317,6 +370,9 @@ func (s *System) attemptRetrieval(failed []int, hardware map[int]bool, attempt i
 			}
 		}
 	}
+	// Delta-based strategies pay a replay cost reconstructing full state
+	// from base + deltas, on top of moving the bytes.
+	retrieval += rec.ReplayTime
 	rtvStart := s.engine.Now()
 	s.engine.After(retrieval, func() {
 		if s.rootTrack.Enabled() {
@@ -359,6 +415,16 @@ func (s *System) attemptRetrieval(failed []int, hardware map[int]bool, attempt i
 			s.recovering = false
 			s.recoveries++
 			s.recordRecovery(failed, source, version, lostIters)
+			ev := s.wastedEvents[len(s.wastedEvents)-1]
+			s.strategy.OnRecovered(strategy.Outcome{
+				At:             ev.Resumed,
+				Source:         ev.Source,
+				Version:        ev.Version,
+				LostIterations: ev.LostIterations,
+				TLost:          ev.TLost,
+				TRecovery:      ev.TRecovery,
+				Hardware:       len(hardware) > 0,
+			})
 			s.observeHealth()
 			s.log.Add("root-agent", "recovery-complete", "resumed at iteration %d", version)
 			s.rootTrack.End() // closes the "recovery" span from beginRecovery

@@ -39,6 +39,7 @@ type slot struct {
 	prev       *Shard // previously committed shard, until the next Begin
 	inProgress *Shard
 	received   float64 // bytes of inProgress received so far
+	expect     float64 // bytes inProgress needs before Commit (shard or delta)
 }
 
 // machineStore is the checkpoint area of one machine's CPU memory.
@@ -90,6 +91,7 @@ type Engine struct {
 	placement *placement.Placement
 	machines  []*machineStore
 	shardSize float64
+	traffic   float64 // cumulative bytes accepted by Receive
 }
 
 // NewEngine creates an engine for the given placement; shardBytes is the
@@ -173,7 +175,63 @@ func (e *Engine) Begin(holder, owner int, iteration int64) {
 	sl.prev = nil // its buffer now holds the new in-progress shard
 	sl.inProgress = &Shard{Owner: owner, Iteration: iteration, Bytes: e.shardSize}
 	sl.received = 0
+	sl.expect = e.shardSize
 }
+
+// BeginDelta opens the in-progress buffer for a delta commit: only
+// deltaBytes need arrive, applied on top of the holder's newest
+// committed copy of the immediately previous iteration, and the result
+// is a full logical shard at the new iteration. The base requirement is
+// what makes delta chains recoverable — a delta on a stale base would
+// commit a shard that never existed.
+func (e *Engine) BeginDelta(holder, owner int, iteration int64, deltaBytes float64) {
+	e.checkPlacementPair(holder, owner)
+	sl := e.slotFor(holder, owner)
+	if sl.newest == nil || sl.newest.Iteration != iteration-1 {
+		base := int64(-1)
+		if sl.newest != nil {
+			base = sl.newest.Iteration
+		}
+		panic(fmt.Sprintf("ckpt: machine %d delta to iteration %d for rank %d needs base %d, has %d",
+			holder, iteration, owner, iteration-1, base))
+	}
+	if deltaBytes < 0 || deltaBytes > e.shardSize*(1+1e-9) {
+		panic(fmt.Sprintf("ckpt: delta size %v outside [0, shard %v]", deltaBytes, e.shardSize))
+	}
+	sl.prev = nil
+	sl.inProgress = &Shard{Owner: owner, Iteration: iteration, Bytes: e.shardSize}
+	sl.received = 0
+	sl.expect = deltaBytes
+}
+
+// Refresh re-stamps the holder's newest committed copy at a new, later
+// iteration without moving any bytes — the shard did not change, so the
+// resident buffer IS the new version. The old stamp survives in the
+// previous-generation role, preserving the double-buffer overlap.
+func (e *Engine) Refresh(holder, owner int, iteration int64) {
+	e.checkPlacementPair(holder, owner)
+	sl := e.slotFor(holder, owner)
+	if sl.newest == nil {
+		panic(fmt.Sprintf("ckpt: machine %d refreshing rank %d with no committed shard", holder, owner))
+	}
+	if iteration <= sl.newest.Iteration {
+		panic(fmt.Sprintf("ckpt: machine %d refreshing rank %d to iteration %d but already at %d",
+			holder, owner, iteration, sl.newest.Iteration))
+	}
+	old := *sl.newest
+	fresh := old
+	fresh.Iteration = iteration
+	sl.prev = &old
+	sl.newest = &fresh
+	sl.inProgress = nil
+	sl.received = 0
+	sl.expect = 0
+}
+
+// BytesReceived returns the cumulative replication traffic the engine
+// has accepted through Receive — the bytes-moved side of a strategy's
+// cost, read by the experiments harness.
+func (e *Engine) BytesReceived() float64 { return e.traffic }
 
 // Receive records bytes of the in-progress shard arriving at holder.
 func (e *Engine) Receive(holder, owner int, iteration int64, bytes float64) {
@@ -186,9 +244,10 @@ func (e *Engine) Receive(holder, owner int, iteration int64, bytes float64) {
 		panic(fmt.Sprintf("ckpt: negative receive %v", bytes))
 	}
 	sl.received += bytes
-	if sl.received > e.shardSize*(1+1e-9) {
+	e.traffic += bytes
+	if sl.received > sl.expect*(1+1e-9) {
 		panic(fmt.Sprintf("ckpt: machine %d over-received shard of rank %d: %v of %v bytes",
-			holder, owner, sl.received, e.shardSize))
+			holder, owner, sl.received, sl.expect))
 	}
 }
 
@@ -201,9 +260,9 @@ func (e *Engine) Commit(holder, owner int, iteration int64, fingerprint uint32) 
 		panic(fmt.Sprintf("ckpt: machine %d committing iteration %d for rank %d without matching Begin",
 			holder, iteration, owner))
 	}
-	if sl.received < e.shardSize*(1-1e-9) {
+	if sl.received < sl.expect*(1-1e-9) {
 		panic(fmt.Sprintf("ckpt: machine %d committing incomplete shard of rank %d: %v of %v bytes",
-			holder, owner, sl.received, e.shardSize))
+			holder, owner, sl.received, sl.expect))
 	}
 	sl.inProgress.Fingerprint = fingerprint
 	sl.prev = sl.newest

@@ -24,6 +24,7 @@ import (
 	"gemini/internal/runsim"
 	"gemini/internal/schedule"
 	"gemini/internal/simclock"
+	"gemini/internal/strategy"
 	"gemini/internal/tensor"
 	"gemini/internal/trace"
 	"gemini/internal/training"
@@ -50,6 +51,19 @@ type JobSpec struct {
 	// system: crashes, correlated failures, partitions, stragglers, store
 	// outages. Build one with chaos.NewBuilder.
 	Faults chaos.Schedule
+	// Strategy names the checkpoint strategy the recovery system runs
+	// ("gemini", "tiered", "sparse", "adaptive"; default gemini). The
+	// name is resolved against the strategy registry at job construction
+	// and instantiated fresh per RecoverySystem call.
+	Strategy string
+	// Tracer, when set, is attached to every run the job starts: the
+	// interference executor's tracks and the recovery control plane's
+	// spans both land on it. Nil leaves tracing disabled and free.
+	Tracer *trace.Tracer
+	// Metrics, when set, receives every run's instruments: training.*
+	// from the executor, health.* and strategy.* from the control plane.
+	// Nil leaves monitoring disabled and free.
+	Metrics *metrics.Registry
 }
 
 func (j JobSpec) withDefaults() JobSpec {
@@ -92,6 +106,11 @@ func NewJob(spec JobSpec) (*Job, error) {
 	}
 	if err := spec.Faults.Validate(spec.Machines); err != nil {
 		return nil, err
+	}
+	if spec.Strategy != "" {
+		if _, err := strategy.New(spec.Strategy); err != nil {
+			return nil, err
+		}
 	}
 	if !cfg.FitsInGPUMemory() {
 		return nil, fmt.Errorf("core: %s does not fit in GPU memory on %d× %s (needs %.1f GB/GPU of %.1f GB)",
@@ -172,34 +191,15 @@ func (j *Job) RecoveryProbability(k int) float64 {
 }
 
 // ExecuteScheme runs the interference executor with one of the §7.4
-// schemes. The fluid executor models the ZeRO-3 traffic pattern; for the
-// other parallelisms use the analytic plan (Job.Plan) instead.
+// schemes, attaching the job's observability surface (JobSpec.Tracer,
+// JobSpec.Metrics) when present. The fluid executor models the ZeRO-3
+// traffic pattern; for the other parallelisms use the analytic plan
+// (Job.Plan) instead.
 func (j *Job) ExecuteScheme(s schedule.Scheme) (*training.ExecResult, error) {
-	if j.Spec.Parallelism != training.ZeRO3 {
-		return nil, fmt.Errorf("core: the interference executor supports ZeRO-3 only, job uses %v", j.Spec.Parallelism)
-	}
-	opts := training.DefaultExecOptions(j.Placement, s)
-	return training.Execute(j.Config, opts)
+	return j.executeScheme(s, j.Spec.Tracer, j.Spec.Metrics)
 }
 
-// ExecuteSchemeTraced is ExecuteScheme with a structured tracer attached:
-// the run's iterations, compute steps, collectives, checkpoint chunks,
-// and GPU→CPU copies are recorded on the tracer's tracks for export.
-func (j *Job) ExecuteSchemeTraced(s schedule.Scheme, tr *trace.Tracer) (*training.ExecResult, error) {
-	if j.Spec.Parallelism != training.ZeRO3 {
-		return nil, fmt.Errorf("core: the interference executor supports ZeRO-3 only, job uses %v", j.Spec.Parallelism)
-	}
-	opts := training.DefaultExecOptions(j.Placement, s)
-	opts.Tracer = tr
-	return training.Execute(j.Config, opts)
-}
-
-// ExecuteSchemeObserved is ExecuteScheme with the full observability
-// surface attached: a structured tracer (may be nil) and a metrics
-// registry (may be nil) that receives the run's training.* instruments —
-// per-iteration timing histograms and the Algorithm 2 idle-utilization
-// gauge.
-func (j *Job) ExecuteSchemeObserved(s schedule.Scheme, tr *trace.Tracer, reg *metrics.Registry) (*training.ExecResult, error) {
+func (j *Job) executeScheme(s schedule.Scheme, tr *trace.Tracer, reg *metrics.Registry) (*training.ExecResult, error) {
 	if j.Spec.Parallelism != training.ZeRO3 {
 		return nil, fmt.Errorf("core: the interference executor supports ZeRO-3 only, job uses %v", j.Spec.Parallelism)
 	}
@@ -207,6 +207,23 @@ func (j *Job) ExecuteSchemeObserved(s schedule.Scheme, tr *trace.Tracer, reg *me
 	opts.Tracer = tr
 	opts.Metrics = reg
 	return training.Execute(j.Config, opts)
+}
+
+// ExecuteSchemeTraced is ExecuteScheme with an explicit tracer.
+//
+// Deprecated: set the tracer on the job instead (gemini.WithTracer) and
+// call ExecuteScheme.
+func (j *Job) ExecuteSchemeTraced(s schedule.Scheme, tr *trace.Tracer) (*training.ExecResult, error) {
+	return j.executeScheme(s, tr, j.Spec.Metrics)
+}
+
+// ExecuteSchemeObserved is ExecuteScheme with an explicit tracer and
+// metrics registry.
+//
+// Deprecated: set both on the job instead (gemini.WithTracer,
+// gemini.WithMetrics) and call ExecuteScheme.
+func (j *Job) ExecuteSchemeObserved(s schedule.Scheme, tr *trace.Tracer, reg *metrics.Registry) (*training.ExecResult, error) {
+	return j.executeScheme(s, tr, reg)
 }
 
 // ExecuteSchemeWithBuffers runs the executor with an explicit reserved
@@ -250,8 +267,10 @@ func (j *Job) SimulateRunScaled(spec baselines.Spec, machines int, fs failure.Sc
 }
 
 // RecoverySystem assembles the live agent-based control plane for the
-// job on a fresh simulation engine. If the spec carries a fault
-// schedule, it is armed against the system before the engine runs.
+// job on a fresh simulation engine. The spec's checkpoint strategy is
+// instantiated fresh and installed, its tracer and metrics registry are
+// attached, and if the spec carries a fault schedule it is armed
+// against the system before the engine runs.
 func (j *Job) RecoverySystem(cloudCfg cloud.Config) (*simclock.Engine, *agent.System, error) {
 	engine := simclock.NewEngine()
 	clus, err := cluster.New(j.Spec.Machines, j.Config.Instance, engine.Now)
@@ -274,6 +293,19 @@ func (j *Job) RecoverySystem(cloudCfg cloud.Config) (*simclock.Engine, *agent.Sy
 	sys, err := agent.NewSystem(engine, clus, ck, op, opts, log)
 	if err != nil {
 		return nil, nil, err
+	}
+	if name := j.Spec.Strategy; name != "" {
+		st, err := strategy.New(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		sys.SetStrategy(st)
+	}
+	if j.Spec.Tracer != nil {
+		sys.SetTracer(j.Spec.Tracer)
+	}
+	if j.Spec.Metrics != nil {
+		sys.SetMetrics(j.Spec.Metrics)
 	}
 	if len(j.Spec.Faults) > 0 {
 		chaos.Arm(engine, sys, j.Spec.Faults)

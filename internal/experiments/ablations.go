@@ -19,6 +19,7 @@ func Ablations() []Experiment {
 		{"ablation-standby", "Ablation: standby machines vs on-demand replacement", AblationStandby},
 		{"ablation-parallelism", "Extension: checkpoint scheduling under other parallelisms (§9)", AblationParallelism},
 		{"ablation-correlated", "Ablation: independent vs correlated rack failures, group vs rack-aware placement", Correlated},
+		{"strategy-race", "Comparison: checkpoint strategies under one mixed-failure schedule", StrategyRace},
 	}
 }
 

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"gemini/internal/agent"
+	"gemini/internal/chaos"
+	"gemini/internal/cloud"
+	"gemini/internal/cluster"
+	"gemini/internal/core"
+	"gemini/internal/metrics"
+	"gemini/internal/simclock"
+	"gemini/internal/strategy"
+)
+
+// raceRow is one strategy's outcome under the shared failure schedule.
+type raceRow struct {
+	name       string
+	recoveries int
+	wasted     simclock.Duration
+	lost       simclock.Duration
+	recovery   simclock.Duration
+	traffic    agent.Traffic
+	switches   float64
+	final      string
+}
+
+// strategyRaceSchedule builds the three-phase mixed-failure scenario
+// every strategy runs against. A hardware wave (machines die, their
+// GPU buffers with them, and replacements arrive) punishes the tiered
+// policy's coarse CPU cadence and rewards GEMINI's per-iteration
+// replication; a software-crash burst (process faults — machines and
+// their device memory survive) rewards the tiered GPU fast path, which
+// skips both the serialize stall and any iteration loss; a closing
+// quiet stretch (sporadic crashes, observed MTBF above the adaptive
+// rule's threshold) is where sparse's cheap delta replication is the
+// right trade. No fixed policy wins all three phases. Failures hit one
+// rank at a time, never rank 0 (the root) and never two ranks of the
+// same replica group at once, so every recovery stays on the in-memory
+// tier and the comparison isolates strategy effects from
+// remote-fallback noise.
+func strategyRaceSchedule(iter simclock.Duration) (chaos.Schedule, simclock.Time, error) {
+	b := chaos.NewBuilder()
+	hard := []int{14, 2, 12, 4, 8, 15, 5, 9, 13, 3}
+	soft := []int{5, 9, 13, 3, 7, 11, 15, 1, 6, 10}
+	quiet := []int{2, 11, 6, 14, 7}
+	at := 20*iter + iter/2
+	const spacing = 100 // iterations between burst-phase failures
+	for _, rank := range hard {
+		b.Crash(simclock.Time(at), rank, cluster.HardwareFailed)
+		at += spacing * iter
+	}
+	for _, rank := range soft {
+		b.Crash(simclock.Time(at), rank, cluster.SoftwareFailed)
+		at += spacing * iter
+	}
+	for _, rank := range quiet {
+		at += 300 * iter // 4× the burst spacing: MTBF climbs past quiet
+		b.Crash(simclock.Time(at), rank, cluster.SoftwareFailed)
+		at += spacing * iter
+	}
+	sched, err := b.Build(testbedMachines)
+	if err != nil {
+		return nil, 0, err
+	}
+	return sched, simclock.Time(at + 150*iter), nil
+}
+
+// strategyRaceRows runs every registered strategy against the shared
+// schedule and returns one row per strategy, in registry order.
+func strategyRaceRows() ([]raceRow, error) {
+	base, err := jobFor("GPT-2 40B", "p3dn.24xlarge")
+	if err != nil {
+		return nil, err
+	}
+	sched, horizon, err := strategyRaceSchedule(base.Timeline.Iteration)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]raceRow, 0, len(strategy.Names()))
+	for _, name := range strategy.Names() {
+		reg := metrics.NewRegistry()
+		job, err := core.NewJob(core.JobSpec{
+			Model: "GPT-2 40B", Instance: "p3dn.24xlarge", Machines: testbedMachines,
+			Strategy: name, Faults: sched, Metrics: reg,
+		})
+		if err != nil {
+			return nil, err
+		}
+		engine, sys, err := job.RecoverySystem(cloud.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		sys.Start()
+		engine.Run(horizon)
+		row := raceRow{name: name, recoveries: sys.Recoveries(), traffic: sys.Traffic(), final: sys.Strategy().Active()}
+		for _, ev := range sys.WastedEvents() {
+			row.wasted += ev.Wasted()
+			row.lost += ev.TLost
+			row.recovery += ev.TRecovery
+		}
+		if v, ok := reg.Snapshot().Get("strategy.switches"); ok {
+			row.switches = v
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// StrategyRace races the registered checkpoint strategies — gemini,
+// tiered, sparse, and the adaptive selector — through one identical
+// seeded mixed-failure schedule (GPT-2 40B on 16 p3dn machines: a
+// hardware wave, a software-crash burst, then a quiet stretch) and
+// tabulates the §7 axes: total wasted time (Eq. 1), its
+// T_lost/T_recovery split, and the bytes each policy moved for
+// replication, recovery retrieval, and remote persistence. The
+// adaptive row should match or beat the best fixed policy on wasted
+// time by switching phases mid-run; its switch count and final policy
+// make the trajectory visible.
+func StrategyRace() (string, error) {
+	rows, err := strategyRaceRows()
+	if err != nil {
+		return "", err
+	}
+	t := newTable("Strategy", "Recoveries", "Wasted", "T_lost", "T_recovery",
+		"Replication", "Retrieval", "Remote", "Switches", "Final policy")
+	for _, r := range rows {
+		t.addf("%s|%d|%.0f s|%.0f s|%.0f s|%s|%s|%s|%.0f|%s",
+			r.name, r.recoveries, r.wasted.Seconds(), r.lost.Seconds(), r.recovery.Seconds(),
+			gb(r.traffic.Replication), gb(r.traffic.Retrieval), gb(r.traffic.Remote),
+			r.switches, r.final)
+	}
+	return t.String(), nil
+}

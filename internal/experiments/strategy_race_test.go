@@ -1,0 +1,52 @@
+package experiments
+
+import "testing"
+
+// The adaptive selector's reason to exist: on a schedule whose phases
+// favor different fixed policies, switching must cost less than being
+// wrong for a whole phase. Every strategy must survive all 25 injected
+// failures, and adaptive's total wasted time must be no worse than the
+// best fixed strategy's.
+func TestStrategyRaceAdaptiveMatchesBestFixed(t *testing.T) {
+	rows, err := strategyRaceRows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows, want 4 strategies", len(rows))
+	}
+	byName := map[string]raceRow{}
+	for _, r := range rows {
+		if r.recoveries != 25 {
+			t.Errorf("%s: %d recoveries, want all 25 failures recovered", r.name, r.recoveries)
+		}
+		if r.wasted <= 0 {
+			t.Errorf("%s: non-positive wasted time %v", r.name, r.wasted)
+		}
+		byName[r.name] = r
+	}
+	adaptive := byName["adaptive"]
+	for _, fixed := range []string{"gemini", "sparse", "tiered"} {
+		if f := byName[fixed]; adaptive.wasted > f.wasted {
+			t.Errorf("adaptive wasted %.0f s > fixed %s %.0f s", adaptive.wasted.Seconds(),
+				fixed, f.wasted.Seconds())
+		}
+	}
+	// The schedule's three phases argue for different policies, so the
+	// selector must actually have moved: gemini through the hardware
+	// wave (its starting policy — no switch), to tiered once the
+	// software burst dominates the window, to sparse once the quiet
+	// stretch lifts the observed MTBF past the threshold.
+	if adaptive.switches < 2 {
+		t.Errorf("adaptive switched %v times, want ≥ 2 (burst → tiered, quiet → sparse)", adaptive.switches)
+	}
+	if adaptive.final != "sparse" {
+		t.Errorf("adaptive ended on %q, want sparse after the quiet stretch", adaptive.final)
+	}
+	// Sparse's delta scheme must show up on the cost axis: strictly less
+	// replication traffic than gemini's full-shard-per-iteration.
+	if byName["sparse"].traffic.Replication >= byName["gemini"].traffic.Replication {
+		t.Errorf("sparse replication %v B not below gemini %v B",
+			byName["sparse"].traffic.Replication, byName["gemini"].traffic.Replication)
+	}
+}

@@ -1,0 +1,315 @@
+package strategy
+
+import (
+	"reflect"
+	"testing"
+
+	"gemini/internal/ckpt"
+	"gemini/internal/placement"
+	"gemini/internal/simclock"
+)
+
+// testEnv builds a bound Env over a fresh n-machine engine with m
+// replicas and unit-free shard size.
+func testEnv(t *testing.T, n, m int, remoteEvery int64) (Env, *ckpt.Engine) {
+	t.Helper()
+	p := placement.MustMixed(n, m)
+	ck := ckpt.MustNewEngine(p, 100)
+	var now simclock.Time
+	return Env{
+		Ckpt:          ck,
+		Placement:     p,
+		IterationTime: 60 * simclock.Second,
+		Now:           func() simclock.Time { return now },
+		RemoteEvery:   func() int64 { return remoteEvery },
+		Emit:          func(event, detail string) {},
+	}, ck
+}
+
+// applyPlan executes a commit plan against the engine the way the agent
+// does.
+func applyPlan(ck *ckpt.Engine, plan CommitPlan, iter int64) {
+	for _, c := range plan.Commits {
+		switch c.Kind {
+		case CommitFull:
+			ck.Begin(c.Holder, c.Owner, iter)
+			ck.Receive(c.Holder, c.Owner, iter, ck.ShardBytes())
+			ck.Commit(c.Holder, c.Owner, iter, 0)
+		case CommitDelta:
+			ck.BeginDelta(c.Holder, c.Owner, iter, c.Bytes)
+			ck.Receive(c.Holder, c.Owner, iter, c.Bytes)
+			ck.Commit(c.Holder, c.Owner, iter, 0)
+		case CommitRefresh:
+			ck.Refresh(c.Holder, c.Owner, iter)
+		}
+	}
+}
+
+func allHealthy(int) bool { return true }
+
+func TestRegistryNamesAndLookup(t *testing.T) {
+	want := []string{"adaptive", "gemini", "sparse", "tiered"}
+	if got := Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i, name := range want {
+		s, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if s.Name() != name {
+			t.Errorf("New(%q).Name() = %q", name, s.Name())
+		}
+		if Index(name) != i {
+			t.Errorf("Index(%q) = %d, want %d", name, Index(name), i)
+		}
+	}
+	if _, err := New("nope"); err == nil {
+		t.Fatal("New(nope) succeeded; want error listing registered names")
+	}
+	if Index("nope") != -1 {
+		t.Errorf("Index(nope) = %d, want -1", Index("nope"))
+	}
+	// Fresh instances each time: strategies are stateful and single-run.
+	a, b := MustNew("tiered"), MustNew("tiered")
+	if a == b {
+		t.Fatal("New returned the same instance twice")
+	}
+}
+
+func TestGeminiPlanCommitMatchesPlacementOrder(t *testing.T) {
+	env, _ := testEnv(t, 4, 2, 10)
+	g := NewGemini()
+	g.Bind(env)
+
+	plan := g.PlanCommit(1, allHealthy)
+	var want []Commit
+	for owner := 0; owner < 4; owner++ {
+		for _, holder := range env.Placement.Replicas(owner) {
+			want = append(want, Commit{Holder: holder, Owner: owner, Kind: CommitFull})
+		}
+	}
+	if !reflect.DeepEqual(plan.Commits, want) {
+		t.Fatalf("commit order diverged from placement order:\n got %v\nwant %v", plan.Commits, want)
+	}
+	if plan.Remote {
+		t.Error("iteration 1 committed remote; cadence is 10")
+	}
+	if p := g.PlanCommit(10, allHealthy); !p.Remote {
+		t.Error("iteration 10 skipped the remote cadence")
+	}
+	// Unhealthy ranks drop out both as owners and as holders.
+	plan = g.PlanCommit(2, func(rank int) bool { return rank != 0 })
+	for _, c := range plan.Commits {
+		if c.Holder == 0 || c.Owner == 0 {
+			t.Fatalf("commit %v involves the unhealthy rank", c)
+		}
+	}
+}
+
+func TestGeminiRecoveryLadder(t *testing.T) {
+	env, ck := testEnv(t, 4, 2, 10)
+	g := NewGemini()
+	g.Bind(env)
+	applyPlan(ck, g.PlanCommit(1, allHealthy), 1)
+
+	rec := g.PlanRecovery(RecoveryContext{Reachable: allHealthy, Surviving: allHealthy})
+	if rec.Tier != TierMemory || rec.Version != 1 || len(rec.Plan) != 4 {
+		t.Fatalf("want memory-tier recovery of version 1 for all 4 ranks, got %+v", rec)
+	}
+	// Nothing reachable but data survives → retryable remote fallback.
+	none := func(int) bool { return false }
+	rec = g.PlanRecovery(RecoveryContext{Reachable: none, Surviving: allHealthy, RemoteVersion: 0})
+	if rec.Tier != TierRemote || !rec.Retryable {
+		t.Fatalf("partitioned survivors should yield a retryable remote fallback, got %+v", rec)
+	}
+	// Data truly gone → remote, not retryable.
+	rec = g.PlanRecovery(RecoveryContext{Reachable: none, Surviving: none, RemoteVersion: 0})
+	if rec.Tier != TierRemote || rec.Retryable {
+		t.Fatalf("wiped cluster should yield a non-retryable remote fallback, got %+v", rec)
+	}
+}
+
+func TestTieredGPUFastPath(t *testing.T) {
+	env, ck := testEnv(t, 4, 2, 100)
+	tr := NewTiered()
+	tr.Bind(env)
+
+	// Iterations 1..7: GPU snapshots only, no CPU traffic.
+	for iter := int64(1); iter < 8; iter++ {
+		plan := tr.PlanCommit(iter, allHealthy)
+		if len(plan.Commits) != 0 {
+			t.Fatalf("iteration %d: tiered committed to CPU off the cadence: %v", iter, plan.Commits)
+		}
+		applyPlan(ck, plan, iter)
+	}
+	// A software failure now: GPU tier serves, serialize is skipped.
+	if tr.SerializeNeeded([]int{2}, map[int]bool{}) {
+		t.Error("software failure with resident GPU snapshots still wants the serialize stall")
+	}
+	rec := tr.PlanRecovery(RecoveryContext{Failed: []int{2}, Hardware: map[int]bool{}, Reachable: allHealthy, Surviving: allHealthy})
+	if rec.Tier != TierGPU || rec.Version != 7 {
+		t.Fatalf("want GPU-tier recovery at iteration 7, got %+v", rec)
+	}
+	// Iteration 8 is on the CPU cadence.
+	plan := tr.PlanCommit(8, allHealthy)
+	if len(plan.Commits) == 0 {
+		t.Fatal("iteration 8: tiered skipped its CPU cadence")
+	}
+	applyPlan(ck, plan, 8)
+
+	// A hardware failure wipes rank 1's GPU buffers: serialize returns,
+	// recovery falls to the CPU tier.
+	tr.OnFailure(1, true)
+	hw := map[int]bool{1: true}
+	if !tr.SerializeNeeded([]int{1}, hw) {
+		t.Error("hardware failure skipped the serialize stall")
+	}
+	surviving := func(rank int) bool { return rank != 1 }
+	rec = tr.PlanRecovery(RecoveryContext{Failed: []int{1}, Hardware: hw, Reachable: surviving, Surviving: surviving})
+	if rec.Tier != TierMemory || rec.Version != 8 {
+		t.Fatalf("want CPU-tier recovery at iteration 8, got %+v", rec)
+	}
+
+	// After a rollback, newer GPU snapshots must be dropped.
+	tr.OnRecovered(Outcome{Version: 8})
+	if _, ok := tr.gpuVersion(); ok {
+		t.Error("GPU snapshots newer than the resumed version survived OnRecovered")
+	}
+	// OnActivate resets the tier outright (adaptive switched in).
+	tr.PlanCommit(9, allHealthy)
+	tr.OnActivate(9)
+	if tr.SerializeNeeded(nil, map[int]bool{}) == false {
+		t.Error("freshly activated tiered trusted stale GPU buffers")
+	}
+}
+
+func TestSparseDeltaRefreshAndResync(t *testing.T) {
+	env, ck := testEnv(t, 4, 2, 100)
+	sp := NewSparse()
+	sp.Bind(env)
+
+	// First iteration: no committed copies anywhere → all full.
+	plan := sp.PlanCommit(1, allHealthy)
+	for _, c := range plan.Commits {
+		if c.Kind != CommitFull {
+			t.Fatalf("iteration 1 commit %v should be full (no base)", c)
+		}
+	}
+	applyPlan(ck, plan, 1)
+
+	// Steady state: touched owners delta, the rest refresh.
+	plan = sp.PlanCommit(2, allHealthy)
+	kinds := map[CommitKind]int{}
+	for _, c := range plan.Commits {
+		kinds[c.Kind]++
+		wantTouched := (2+int64(c.Owner))%sp.TouchPeriod == 0
+		if wantTouched && c.Kind != CommitDelta {
+			t.Fatalf("touched owner %d got %v, want delta", c.Owner, c.Kind)
+		}
+		if !wantTouched && c.Kind != CommitRefresh {
+			t.Fatalf("untouched owner %d got %v, want refresh", c.Owner, c.Kind)
+		}
+		if c.Kind == CommitDelta && c.Bytes != sp.DeltaFraction*ck.ShardBytes() {
+			t.Fatalf("delta bytes %v, want %v", c.Bytes, sp.DeltaFraction*ck.ShardBytes())
+		}
+	}
+	if kinds[CommitFull] != 0 || kinds[CommitDelta] == 0 || kinds[CommitRefresh] == 0 {
+		t.Fatalf("iteration 2 kind mix %v, want deltas and refreshes only", kinds)
+	}
+	applyPlan(ck, plan, 2)
+	if v, ok := ck.ConsistentVersion(nil); !ok || v != 2 {
+		t.Fatalf("after delta+refresh round, consistent version = %d (%v), want 2", v, ok)
+	}
+
+	// A holder that missed a round (gap) takes a full resync.
+	ck.Wipe(0)
+	plan = sp.PlanCommit(3, allHealthy)
+	for _, c := range plan.Commits {
+		if c.Holder == 0 && c.Kind != CommitFull {
+			t.Fatalf("wiped holder 0 got %v for owner %d, want full resync", c.Kind, c.Owner)
+		}
+	}
+
+	// Recovery charges the delta-replay cost on every tier.
+	rec := sp.PlanRecovery(RecoveryContext{Reachable: allHealthy, Surviving: allHealthy})
+	if rec.ReplayTime != sp.Replay {
+		t.Errorf("memory-tier replay %v, want %v", rec.ReplayTime, sp.Replay)
+	}
+	none := func(int) bool { return false }
+	rec = sp.PlanRecovery(RecoveryContext{Reachable: none, Surviving: none})
+	if rec.ReplayTime != sp.Replay {
+		t.Errorf("remote-tier replay %v, want %v", rec.ReplayTime, sp.Replay)
+	}
+}
+
+func TestAdaptiveDecisionRule(t *testing.T) {
+	env, _ := testEnv(t, 4, 2, 100)
+	var switches []string
+	env.Emit = func(event, detail string) {
+		if event == "strategy-switch" {
+			switches = append(switches, detail)
+		}
+	}
+	a := NewAdaptive()
+	a.Bind(env)
+	if a.Active() != "gemini" {
+		t.Fatalf("adaptive starts on %q, want gemini", a.Active())
+	}
+
+	// A burst of software failures 2 minutes apart → tiered.
+	at := simclock.Time(0)
+	for i := 0; i < 4; i++ {
+		at = at.Add(2 * simclock.Minute)
+		a.OnRecovered(Outcome{At: at, Source: "local", Hardware: false})
+	}
+	a.PlanCommit(10, allHealthy)
+	if a.Active() != "tiered" {
+		t.Fatalf("software-dominated burst selected %q, want tiered", a.Active())
+	}
+	if len(switches) != 1 {
+		t.Fatalf("switch events = %v, want exactly one", switches)
+	}
+
+	// Hardware takes over the window → gemini.
+	for i := 0; i < 8; i++ {
+		at = at.Add(2 * simclock.Minute)
+		a.OnRecovered(Outcome{At: at, Source: "peer", Hardware: true})
+	}
+	a.PlanCommit(20, allHealthy)
+	if a.Active() != "gemini" {
+		t.Fatalf("hardware-heavy burst selected %q, want gemini", a.Active())
+	}
+
+	// Failures spread out far beyond QuietMTBF → sparse.
+	for i := 0; i < 8; i++ {
+		at = at.Add(10 * simclock.Hour)
+		a.OnRecovered(Outcome{At: at, Source: "local", Hardware: false})
+	}
+	a.PlanCommit(30, allHealthy)
+	if a.Active() != "sparse" {
+		t.Fatalf("quiet stretch selected %q, want sparse", a.Active())
+	}
+	if len(switches) != 3 {
+		t.Fatalf("switch events = %d (%v), want 3", len(switches), switches)
+	}
+}
+
+func TestAdaptiveDelegatesToActive(t *testing.T) {
+	env, ck := testEnv(t, 4, 2, 100)
+	a := NewAdaptive()
+	a.Bind(env)
+	// On gemini: full commits every iteration.
+	plan := a.PlanCommit(1, allHealthy)
+	if len(plan.Commits) == 0 || plan.Commits[0].Kind != CommitFull {
+		t.Fatalf("adaptive-on-gemini plan %v, want full commits", plan.Commits)
+	}
+	applyPlan(ck, plan, 1)
+	if !a.SerializeNeeded([]int{0}, map[int]bool{}) {
+		t.Error("adaptive-on-gemini skipped the serialize stall")
+	}
+	rec := a.PlanRecovery(RecoveryContext{Reachable: allHealthy, Surviving: allHealthy})
+	if rec.Tier != TierMemory || rec.Version != 1 {
+		t.Fatalf("adaptive-on-gemini recovery %+v, want memory tier at 1", rec)
+	}
+}
