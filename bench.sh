@@ -3,9 +3,12 @@
 # allocation stats and records the raw `go test -json` event stream in
 # BENCH_<date>.json, so runs on different machines/dates can be diffed
 # (e.g. with benchstat fed from the "Output" fields). This includes the
-# observability pair (BenchmarkControlPlaneMonitor{Off,On}) and the
-# per-strategy overhead set (BenchmarkControlPlaneStrategy/<name>)
-# whose numbers back the EXPERIMENTS.md overhead tables.
+# observability pair (BenchmarkControlPlaneMonitor{Off,On}), the
+# per-strategy overhead set (BenchmarkControlPlaneStrategy/<name>), and
+# the availability-kernel set (BenchmarkMonteCarloN10000/N50000,
+# BenchmarkSurvivesFailed, BenchmarkBuildTimeline,
+# BenchmarkProfileWithJitter) whose numbers back the EXPERIMENTS.md
+# overhead and kernel tables.
 #
 # Usage:
 #   ./bench.sh                # full suite, -count=3

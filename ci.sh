@@ -15,6 +15,15 @@ go test -run='^$' -bench=. -benchtime=1x -benchmem ./...
 go test -run='^TestSteadyStateFabricEventsDoNotAllocate$' -count=1 ./internal/netsim
 go test -run='^$' -bench='^BenchmarkFabricRing' -benchtime=1x -benchmem ./internal/netsim
 
+# Availability-kernel perf gates (outside the race detector): the
+# steady-state Monte-Carlo shard must allocate exactly 0 bytes per trial
+# and the kernel probe itself must stay allocation-free, the 10k-machine
+# placement benchmark must still run, and the profiling loop must stay
+# allocation-flat (comm ops hoisted, labels interned).
+go test -run='^TestMonteCarloShardSteadyStateAllocsZero$|^TestSurvivesFailedAllocsZero$' -count=1 ./internal/placement
+go test -run='^$' -bench='^BenchmarkMonteCarloN10000$|^BenchmarkSurvivesFailed$' -benchtime=1x -benchmem ./internal/placement
+go test -run='^TestProfileWithJitterAllocationFlat$|^TestBuildTimelineSteadyStateAllocs$' -count=1 ./internal/training
+
 # Observability gates. Disabled tracing and metrics must stay
 # allocation-free (also outside the race detector), and the geminisim
 # -trace export must parse as Chrome trace JSON with events from at

@@ -207,6 +207,16 @@ const (
 // Checkpoint placement (Algorithm 1 and its analysis).
 type Placement = placement.Placement
 
+// FailSet is the bitset failure-set representation of the availability
+// kernel: callers that evaluate many failure scenarios (stress
+// campaigns, custom estimators) keep one FailSet plus a failed-rank
+// list and call Placement.SurvivesFailed — O(k·m) per check instead of
+// the map-accepting Survives wrapper's conversion. See DESIGN.md §11.
+type FailSet = placement.FailSet
+
+// NewFailSet returns an empty failure bitset for ranks 0..n-1.
+func NewFailSet(n int) FailSet { return placement.NewFailSet(n) }
+
 // NewPlacement is Algorithm 1: group placement when m | N, otherwise
 // group + trailing ring.
 func NewPlacement(n, m int) (*Placement, error) { return placement.Mixed(n, m) }

@@ -191,3 +191,26 @@ func TestFailureHelpersExposed(t *testing.T) {
 		t.Fatal("cloud config wrong")
 	}
 }
+
+func TestFailSetKernelExposed(t *testing.T) {
+	p, err := NewPlacement(16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := NewFailSet(16)
+	// Ranks 0 and 1 form a group under Algorithm 1 at N=16, m=2: losing
+	// both erases their shards; losing 0 and 2 does not.
+	set.Set(0)
+	set.Set(2)
+	if !p.SurvivesFailed([]int{0, 2}, set) {
+		t.Fatal("cross-group pair should survive")
+	}
+	set.Clear(2)
+	set.Set(1)
+	if p.SurvivesFailed([]int{0, 1}, set) {
+		t.Fatal("whole-group failure should not survive")
+	}
+	if !p.Survives(map[int]bool{0: true, 2: true}) {
+		t.Fatal("map wrapper should agree")
+	}
+}

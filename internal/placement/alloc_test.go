@@ -1,0 +1,45 @@
+// The steady-state allocation gate runs without the race detector: -race
+// instruments allocations and would skew AllocsPerRun.
+//go:build !race
+
+package placement
+
+import "testing"
+
+// TestMonteCarloShardSteadyStateAllocsZero pins the pooled-scratch
+// guarantee: once the shard scratch pool is warm, a full Monte-Carlo
+// shard — partial Fisher–Yates draws, bitset marking, O(k·m) survival
+// probes, bitset clearing — allocates nothing. 0 allocs per trial is the
+// contract ci.sh gates, mirroring the fabric engine's steady-state gate.
+func TestMonteCarloShardSteadyStateAllocsZero(t *testing.T) {
+	p := MustMixed(10000, 4)
+	// Warm the pool (the first shard allocates the perm + bitset scratch).
+	_ = mcShard(p, 8, mcShardTrials, 1)
+	allocs := testing.AllocsPerRun(10, func() {
+		_ = mcShard(p, 8, mcShardTrials, 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Monte-Carlo shard allocates %v times/run (%v per trial), want 0",
+			allocs, allocs/float64(mcShardTrials))
+	}
+}
+
+// TestSurvivesFailedAllocsZero: the kernel itself must never allocate.
+func TestSurvivesFailedAllocsZero(t *testing.T) {
+	p := MustMixed(10000, 4)
+	set := NewFailSet(p.N)
+	failed := make([]int, 0, 8)
+	for i := 0; i < 8; i++ {
+		rank := i * 1237
+		set.Set(rank)
+		failed = append(failed, rank)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if !p.SurvivesFailed(failed, set) {
+			t.Fatal("spread-out failures should survive")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("SurvivesFailed allocates %v times/op, want 0", allocs)
+	}
+}

@@ -48,6 +48,49 @@ func BenchmarkMonteCarloWorkers(b *testing.B) {
 	}
 }
 
+// BenchmarkMonteCarloN10000 is the acceptance benchmark for the bitset
+// kernel at the ROADMAP's next scale target: N=10000, m=4, k=8, 10k
+// trials on one worker. The seed's map-based O(N)-per-trial kernel ran
+// this at ≈1.09 s/op; the O(k·m) SurvivesFailed kernel must be ≥20×
+// faster with bit-identical estimates (TestMonteCarloPinnedLargeN).
+func BenchmarkMonteCarloN10000(b *testing.B) {
+	p := MustMixed(10000, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MonteCarloWorkers(p, 8, 10_000, 1, 1)
+	}
+}
+
+// BenchmarkMonteCarloN50000 stretches the kernel to 50k machines (seed:
+// ≈4.28 s/op for the same trial budget).
+func BenchmarkMonteCarloN50000(b *testing.B) {
+	p := MustMixed(50000, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MonteCarloWorkers(p, 8, 10_000, 1, 1)
+	}
+}
+
+// BenchmarkSurvivesFailed isolates one kernel probe: k=8 failed ranks on
+// a 10k-machine group placement, O(k·m) replica reads and bitset tests.
+func BenchmarkSurvivesFailed(b *testing.B) {
+	p := MustMixed(10000, 4)
+	set := NewFailSet(p.N)
+	failed := make([]int, 0, 8)
+	for i := 0; i < 8; i++ {
+		rank := i * 1237
+		set.Set(rank)
+		failed = append(failed, rank)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.SurvivesFailed(failed, set)
+	}
+}
+
 func BenchmarkCorollary1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := Corollary1(1024, 2, 4); err != nil {

@@ -53,7 +53,7 @@ func RackAware(n, m, rackSize int) (*Placement, error) {
 	if numRacks%m != 0 {
 		return nil, fmt.Errorf("placement: rack-aware strategy needs m | racks, got racks=%d m=%d", numRacks, m)
 	}
-	p := &Placement{N: n, M: m, Kind: KindRackAware, replicas: make([][]int, n)}
+	p := newPlacement(n, m, KindRackAware)
 	for b := 0; b < numRacks/m; b++ {
 		for s := 0; s < rackSize; s++ {
 			group := make([]int, m)
@@ -62,7 +62,7 @@ func RackAware(n, m, rackSize int) (*Placement, error) {
 			}
 			p.Groups = append(p.Groups, group)
 			for _, rank := range group {
-				p.replicas[rank] = append([]int(nil), group...)
+				copy(p.replicaSet(rank), group)
 			}
 		}
 	}
@@ -109,7 +109,7 @@ func CorrelatedProbability(p *Placement, racks [][]int, k int) (float64, error) 
 	}
 	failureSets := kSubsets(len(racks), k)
 	// Shard the enumeration into fixed-size chunks of the subset list and
-	// count survivals per chunk on private scratch maps. The chunking
+	// count survivals per chunk on private bitset scratch. The chunking
 	// depends only on len(failureSets), and summing exact integer counts
 	// is order-independent, so the probability is identical for any
 	// worker count — same discipline as MonteCarloWorkers.
@@ -120,19 +120,24 @@ func CorrelatedProbability(p *Placement, racks [][]int, k int) (float64, error) 
 		if hi > len(failureSets) {
 			hi = len(failureSets)
 		}
-		failed := make(map[int]bool, p.N)
+		failSet := NewFailSet(p.N)
+		failed := make([]int, 0, p.N)
 		var n int64
 		for _, set := range failureSets[lo:hi] {
-			clear(failed)
+			for _, rank := range failed {
+				failSet.Clear(rank)
+			}
+			failed = failed[:0]
 			rem := set
 			for rem != 0 {
 				rack := bits.TrailingZeros32(rem)
 				rem &= rem - 1
 				for _, rank := range racks[rack] {
-					failed[rank] = true
+					failSet.Set(rank)
+					failed = append(failed, rank)
 				}
 			}
-			if p.Survives(failed) {
+			if p.SurvivesFailed(failed, failSet) {
 				n++
 			}
 		}

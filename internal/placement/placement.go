@@ -14,7 +14,9 @@ package placement
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
+	"sync"
 
 	"gemini/internal/parallel"
 )
@@ -38,20 +40,38 @@ const (
 // set of ranks that hold a copy of its checkpoint. Every replica set
 // includes the owner itself (the local replica, one tier of GEMINI's
 // hierarchical storage).
+//
+// All N replica sets (each exactly M ranks, sorted) live in one
+// contiguous backing array: rank i's set is flat[i*M : (i+1)*M]. The flat
+// layout is a single allocation per placement and keeps the survival
+// kernel's probes on sequential cache lines.
 type Placement struct {
-	N, M     int
-	Kind     Kind
-	Groups   [][]int // diagnostic grouping, as Algorithm 1 reports it
-	replicas [][]int // replicas[i] = sorted ranks holding rank i's checkpoint
+	N, M   int
+	Kind   Kind
+	Groups [][]int // diagnostic grouping, as Algorithm 1 reports it
+	flat   []int   // flat[i*M:(i+1)*M] = sorted ranks holding rank i's checkpoint
+}
+
+// newPlacement allocates a placement's flat replica storage in one shot.
+func newPlacement(n, m int, kind Kind) *Placement {
+	return &Placement{N: n, M: m, Kind: kind, flat: make([]int, n*m)}
+}
+
+// replicaSet returns rank's replica set without bounds checking — the
+// kernel-internal accessor.
+func (p *Placement) replicaSet(rank int) []int {
+	return p.flat[rank*p.M : (rank+1)*p.M]
 }
 
 // Replicas returns the ranks storing machine rank's checkpoint, in
-// ascending order, always including rank itself.
+// ascending order, always including rank itself. The returned slice
+// aliases the placement's backing array with capacity clamped to its
+// length; callers must not modify it.
 func (p *Placement) Replicas(rank int) []int {
 	if rank < 0 || rank >= p.N {
 		panic(fmt.Sprintf("placement: rank %d out of range [0,%d)", rank, p.N))
 	}
-	return p.replicas[rank]
+	return p.flat[rank*p.M : (rank+1)*p.M : (rank+1)*p.M]
 }
 
 // Stores returns the ranks whose checkpoints machine rank holds (the
@@ -61,8 +81,8 @@ func (p *Placement) Stores(rank int) []int {
 		panic(fmt.Sprintf("placement: rank %d out of range [0,%d)", rank, p.N))
 	}
 	var out []int
-	for owner, set := range p.replicas {
-		for _, r := range set {
+	for owner := 0; owner < p.N; owner++ {
+		for _, r := range p.replicaSet(owner) {
 			if r == rank {
 				out = append(out, owner)
 				break
@@ -94,13 +114,11 @@ func (p *Placement) Validate() error {
 	if p.M < 1 || p.M > p.N {
 		return fmt.Errorf("placement: m=%d out of range [1,%d]", p.M, p.N)
 	}
-	if len(p.replicas) != p.N {
-		return fmt.Errorf("placement: %d replica sets for %d machines", len(p.replicas), p.N)
+	if len(p.flat) != p.N*p.M {
+		return fmt.Errorf("placement: %d replica entries for %d machines × %d replicas", len(p.flat), p.N, p.M)
 	}
-	for i, set := range p.replicas {
-		if len(set) != p.M {
-			return fmt.Errorf("placement: rank %d has %d replicas, want %d", i, len(set), p.M)
-		}
+	for i := 0; i < p.N; i++ {
+		set := p.replicaSet(i)
 		hasSelf := false
 		seen := make(map[int]bool, len(set))
 		for _, r := range set {
@@ -127,20 +145,60 @@ func (p *Placement) Validate() error {
 // must retain at least one healthy member (for failed machines, so a
 // replacement can fetch their shard; healthy machines keep their local
 // copy trivially).
+//
+// Survives is the map-accepting compatibility wrapper; it converts the
+// map once and delegates to SurvivesFailed. Hot paths (Monte Carlo,
+// exact enumeration, correlated enumeration) keep a FailSet and a
+// failed-rank list directly and never touch a map.
 func (p *Placement) Survives(failed map[int]bool) bool {
-	for rank := 0; rank < p.N; rank++ {
-		if !failed[rank] {
-			continue // its own local replica survives
-		}
+	list, set := failSetOf(p.N, failed)
+	return p.SurvivesFailed(list, set)
+}
+
+// SurvivesFailed is the availability kernel: given the failed ranks both
+// as an explicit list and as a bitset over [0,N), it reports whether
+// every failed rank's replica set retains a healthy member. Only the k
+// failed ranks' sets are probed — O(k·m) work regardless of N, versus
+// the O(N) scan of the map-based kernel it replaces. Both views must
+// describe the same set; healthy ranks survive via their local replica
+// and are never inspected.
+func (p *Placement) SurvivesFailed(failed []int, set FailSet) bool {
+	m := p.M
+	for _, rank := range failed {
 		alive := false
-		for _, r := range p.replicas[rank] {
-			if !failed[r] {
+		for _, r := range p.flat[rank*m : (rank+1)*m] {
+			if !set.Has(r) {
 				alive = true
 				break
 			}
 		}
 		if !alive {
 			return false
+		}
+	}
+	return true
+}
+
+// SurvivesSet is SurvivesFailed for callers who hold only the bitset: it
+// walks the set's words to recover the failed ranks, costing an extra
+// O(N/64) sweep on top of the O(k·m) probes.
+func (p *Placement) SurvivesSet(set FailSet) bool {
+	m := p.M
+	for wi, w := range set {
+		base := wi << 6
+		for w != 0 {
+			rank := base + bits.TrailingZeros64(w)
+			w &= w - 1
+			alive := false
+			for _, r := range p.flat[rank*m : (rank+1)*m] {
+				if !set.Has(r) {
+					alive = true
+					break
+				}
+			}
+			if !alive {
+				return false
+			}
 		}
 	}
 	return true
@@ -164,7 +222,7 @@ func Group(n, m int) (*Placement, error) {
 	if n%m != 0 {
 		return nil, fmt.Errorf("placement: group strategy needs m | N, got N=%d m=%d", n, m)
 	}
-	p := &Placement{N: n, M: m, Kind: KindGroup, replicas: make([][]int, n)}
+	p := newPlacement(n, m, KindGroup)
 	for g := 0; g < n/m; g++ {
 		group := make([]int, m)
 		for j := 0; j < m; j++ {
@@ -172,7 +230,7 @@ func Group(n, m int) (*Placement, error) {
 		}
 		p.Groups = append(p.Groups, group)
 		for _, rank := range group {
-			p.replicas[rank] = append([]int(nil), group...)
+			copy(p.replicaSet(rank), group)
 		}
 	}
 	return p, nil
@@ -184,19 +242,18 @@ func Ring(n, m int) (*Placement, error) {
 	if err := checkArgs(n, m); err != nil {
 		return nil, err
 	}
-	p := &Placement{N: n, M: m, Kind: KindRing, replicas: make([][]int, n)}
+	p := newPlacement(n, m, KindRing)
 	ring := make([]int, n)
 	for i := range ring {
 		ring[i] = i
 	}
 	p.Groups = [][]int{ring}
 	for i := 0; i < n; i++ {
-		set := make([]int, m)
+		set := p.replicaSet(i)
 		for j := 0; j < m; j++ {
 			set[j] = (i + j) % n
 		}
 		sort.Ints(set)
-		p.replicas[i] = set
 	}
 	return p, nil
 }
@@ -211,7 +268,7 @@ func Mixed(n, m int) (*Placement, error) {
 	if n%m == 0 {
 		return Group(n, m)
 	}
-	p := &Placement{N: n, M: m, Kind: KindMixed, replicas: make([][]int, n)}
+	p := newPlacement(n, m, KindMixed)
 	fullGroups := n/m - 1
 	for g := 0; g < fullGroups; g++ {
 		group := make([]int, m)
@@ -220,7 +277,7 @@ func Mixed(n, m int) (*Placement, error) {
 		}
 		p.Groups = append(p.Groups, group)
 		for _, rank := range group {
-			p.replicas[rank] = append([]int(nil), group...)
+			copy(p.replicaSet(rank), group)
 		}
 	}
 	// The trailing ring has between m+1 and 2m−1 members.
@@ -232,12 +289,11 @@ func Mixed(n, m int) (*Placement, error) {
 	p.Groups = append(p.Groups, ring)
 	s := len(ring)
 	for idx, rank := range ring {
-		set := make([]int, m)
+		set := p.replicaSet(rank)
 		for j := 0; j < m; j++ {
 			set[j] = ring[(idx+j)%s]
 		}
 		sort.Ints(set)
-		p.replicas[rank] = set
 	}
 	return p, nil
 }
@@ -256,10 +312,8 @@ func MustMixed(n, m int) *Placement {
 // stores exactly m everywhere; the mixed ring tail also stores m.
 func (p *Placement) CPUMemoryPerMachine() (minShards, maxShards int) {
 	counts := make([]int, p.N)
-	for _, set := range p.replicas {
-		for _, r := range set {
-			counts[r]++
-		}
+	for _, r := range p.flat {
+		counts[r]++
 	}
 	minShards, maxShards = counts[0], counts[0]
 	for _, c := range counts[1:] {
@@ -460,21 +514,24 @@ func ExactProbability(p *Placement, k int) float64 {
 	if k == 0 {
 		return 1
 	}
-	failed := make(map[int]bool, k)
+	set := NewFailSet(p.N)
+	failed := make([]int, 0, k)
 	var survived, total float64
 	var walk func(start, left int)
 	walk = func(start, left int) {
 		if left == 0 {
 			total++
-			if p.Survives(failed) {
+			if p.SurvivesFailed(failed, set) {
 				survived++
 			}
 			return
 		}
 		for i := start; i <= p.N-left; i++ {
-			failed[i] = true
+			set.Set(i)
+			failed = append(failed, i)
 			walk(i+1, left-1)
-			delete(failed, i)
+			failed = failed[:len(failed)-1]
+			set.Clear(i)
 		}
 	}
 	walk(0, k)
@@ -519,30 +576,62 @@ func MonteCarloWorkers(p *Placement, k, trials int, seed int64, workers int) flo
 	return float64(survived) / float64(trials)
 }
 
-// mcShard runs one shard's trials on a private PRNG stream and scratch
-// state, returning the number of survived failure sets.
+// mcScratch is one shard's reusable trial state: the partial-Fisher–Yates
+// permutation and the failure bitset. Shards check scratch out of a pool
+// so steady-state Monte-Carlo trials allocate exactly 0 bytes (gated by
+// TestMonteCarloShardSteadyStateAllocsZero, same discipline as the
+// fabric engine's event scratch).
+type mcScratch struct {
+	perm []int
+	set  FailSet
+}
+
+var mcScratchPool = sync.Pool{New: func() any { return new(mcScratch) }}
+
+// reset sizes the scratch for n ranks and restores the state a freshly
+// allocated shard would start from: an identity permutation and an empty
+// failure set. Reinitializing the permutation keeps the RNG draw sequence
+// — and therefore every estimate — bit-identical to the pre-pool kernel.
+func (s *mcScratch) reset(n int) {
+	if cap(s.perm) < n {
+		s.perm = make([]int, n)
+		s.set = NewFailSet(n)
+	}
+	s.perm = s.perm[:n]
+	for i := range s.perm {
+		s.perm[i] = i
+	}
+	s.set = s.set[:(n+63)>>6]
+	s.set.Reset()
+}
+
+// mcShard runs one shard's trials on a private PRNG stream and pooled
+// scratch state, returning the number of survived failure sets. Each
+// trial draws k ranks by partial Fisher–Yates (the identical draw
+// sequence the map-based kernel used), marks them in the bitset, and
+// probes only those k ranks' replica sets — O(k·m) per trial instead of
+// the old O(N) full-cluster scan.
 func mcShard(p *Placement, k, trials int, seed int64) int64 {
 	rng := newSplitMix(uint64(seed))
-	perm := make([]int, p.N)
-	for i := range perm {
-		perm[i] = i
-	}
-	failed := make(map[int]bool, k)
+	scratch := mcScratchPool.Get().(*mcScratch)
+	scratch.reset(p.N)
+	perm, set := scratch.perm, scratch.set
 	var survived int64
 	for t := 0; t < trials; t++ {
 		// Partial Fisher–Yates: draw the first k elements.
 		for i := 0; i < k; i++ {
 			j := i + int(rng.next()%uint64(p.N-i))
 			perm[i], perm[j] = perm[j], perm[i]
-			failed[perm[i]] = true
+			set.Set(perm[i])
 		}
-		if p.Survives(failed) {
+		if p.SurvivesFailed(perm[:k], set) {
 			survived++
 		}
 		for i := 0; i < k; i++ {
-			delete(failed, perm[i])
+			set.Clear(perm[i])
 		}
 	}
+	mcScratchPool.Put(scratch)
 	return survived
 }
 

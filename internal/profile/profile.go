@@ -137,7 +137,7 @@ func NewRecorder(window int) (*Recorder, error) {
 	if window <= 0 {
 		return nil, fmt.Errorf("profile: window must be positive, got %d", window)
 	}
-	return &Recorder{window: window}, nil
+	return &Recorder{window: window, traces: make([]IterationTrace, 0, window)}, nil
 }
 
 // MustNewRecorder is NewRecorder for known-good windows.
@@ -204,10 +204,16 @@ func (r *Recorder) Build() (*Profile, error) {
 	if len(r.traces) == 0 {
 		return nil, fmt.Errorf("profile: no complete iterations recorded")
 	}
+	// Derive each trace's idle spans once (IdleSpans sorts and merges per
+	// call — computing it three times per trace dominated Build).
+	spans := make([][]Span, len(r.traces))
+	for i := range r.traces {
+		spans[i] = r.traces[i].IdleSpans()
+	}
 	// Find the modal span count.
 	counts := make(map[int]int)
-	for i := range r.traces {
-		counts[len(r.traces[i].IdleSpans())]++
+	for i := range spans {
+		counts[len(spans[i])]++
 	}
 	modal, best := 0, 0
 	for c, n := range counts {
@@ -215,34 +221,39 @@ func (r *Recorder) Build() (*Profile, error) {
 			modal, best = c, n
 		}
 	}
-	var used []IterationTrace
-	for _, tr := range r.traces {
-		if len(tr.IdleSpans()) == modal {
-			used = append(used, tr)
+	used := 0
+	for i := range spans {
+		if len(spans[i]) == modal {
+			used++
 		}
 	}
-	prof := &Profile{Iterations: len(used), Discarded: len(r.traces) - len(used)}
+	prof := &Profile{Iterations: used, Discarded: len(r.traces) - used}
 	if modal == 0 {
 		var iterSum simclock.Duration
-		for _, tr := range used {
-			iterSum += tr.Duration
+		for i, tr := range r.traces {
+			if len(spans[i]) == modal {
+				iterSum += tr.Duration
+			}
 		}
-		prof.IterationTime = iterSum / simclock.Duration(len(used))
+		prof.IterationTime = iterSum / simclock.Duration(used)
 		return prof, nil
 	}
 	offsets := make([]float64, modal)
 	lengths := make([]float64, modal)
 	sq := make([]float64, modal)
 	var iterSum simclock.Duration
-	for _, tr := range used {
+	for ti, tr := range r.traces {
+		if len(spans[ti]) != modal {
+			continue
+		}
 		iterSum += tr.Duration
-		for i, s := range tr.IdleSpans() {
+		for i, s := range spans[ti] {
 			offsets[i] += s.Offset.Seconds()
 			lengths[i] += s.Length.Seconds()
 			sq[i] += s.Length.Seconds() * s.Length.Seconds()
 		}
 	}
-	n := float64(len(used))
+	n := float64(used)
 	prof.IterationTime = iterSum / simclock.Duration(n)
 	for i := 0; i < modal; i++ {
 		mean := lengths[i] / n

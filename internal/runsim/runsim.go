@@ -127,6 +127,13 @@ func Run(cfg Config) (*Result, error) {
 
 	events := cfg.Failures
 	i := 0
+	// Failure-window scratch for the bitset survival kernel, reused
+	// across windows: a rank list plus a FailSet sized to the cluster.
+	var hwSet placement.FailSet
+	var hwRanks []int
+	if cfg.Placement != nil {
+		hwSet = placement.NewFailSet(cfg.Placement.N)
+	}
 	for i < len(events) {
 		if events[i].At >= horizon {
 			break
@@ -137,12 +144,18 @@ func Run(cfg Config) (*Result, error) {
 			window = s.RecoveryDowntime(baselines.FromPeer, cfg.ReplacementDelay)
 		}
 		j := i
-		hwRanks := map[int]bool{}
+		for _, r := range hwRanks {
+			hwSet.Clear(r)
+		}
+		hwRanks = hwRanks[:0]
 		hardware := false
 		for j < len(events) && events[j].At.Sub(events[i].At) <= window {
 			if events[j].Kind == cluster.HardwareFailed {
-				hwRanks[events[j].Rank] = true
 				hardware = true
+				if hwSet != nil && !hwSet.Has(events[j].Rank) {
+					hwSet.Set(events[j].Rank)
+					hwRanks = append(hwRanks, events[j].Rank)
+				}
 			}
 			res.Failures++
 			j++
@@ -159,7 +172,7 @@ func Run(cfg Config) (*Result, error) {
 			switch {
 			case !hardware:
 				src = baselines.FromLocal
-			case cfg.Placement.Survives(hwRanks):
+			case cfg.Placement.SurvivesFailed(hwRanks, hwSet):
 				src = baselines.FromPeer
 			default:
 				src = baselines.FromRemote

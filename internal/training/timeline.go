@@ -2,6 +2,8 @@ package training
 
 import (
 	"fmt"
+	"strconv"
+	"sync"
 
 	"gemini/internal/netsim"
 	"gemini/internal/profile"
@@ -63,6 +65,37 @@ type Timeline struct {
 // past compute — ZeRO-3's parameter prefetch window.
 const prefetchDepth = 2
 
+// layerLabels holds the interned label strings for one layer's timeline
+// ops. Labels depend only on the layer index, never on the config, so
+// they are built once per distinct layer depth and shared by every
+// timeline — repeated BuildTimeline calls (config sweeps, placement
+// tables, stress campaigns) allocate no label strings.
+type layerLabels struct {
+	fwd, agFwd          string
+	bwd, agBwd, rsLabel string
+}
+
+var (
+	labelMu    sync.Mutex
+	labelCache []layerLabels
+)
+
+// labelsFor returns interned labels for layers 0..layers-1. The returned
+// slice is a read-only snapshot; strings are immutable and safe to share
+// across goroutines.
+func labelsFor(layers int) []layerLabels {
+	labelMu.Lock()
+	defer labelMu.Unlock()
+	for l := len(labelCache); l < layers; l++ {
+		n := strconv.Itoa(l)
+		labelCache = append(labelCache, layerLabels{
+			fwd: "fwd" + n, agFwd: "ag-fwd" + n,
+			bwd: "bwd" + n, agBwd: "ag-bwd" + n, rsLabel: "rs-bwd" + n,
+		})
+	}
+	return labelCache[:layers:layers]
+}
+
 // BuildTimeline derives the iteration timeline: L forward steps (param
 // all-gather then compute), L backward steps (all-gather for activation
 // recomputation, 3× compute, then gradient reduce-scatter), and the
@@ -90,47 +123,54 @@ func BuildTimeline(cfg Config) (*Timeline, error) {
 
 	updTime := simclock.Duration(cfg.ShardBytesPerMachine() / 1e9 * cfg.Calib.UpdatePhaseSecondsPerGB)
 
-	tl := &Timeline{Config: cfg}
+	// 2L all-gathers + 2L computes + L reduce-scatters + 1 update.
+	tl := &Timeline{Config: cfg, Ops: make([]TimedOp, 0, 5*layers+1)}
 	var commFree, compFree simclock.Duration
 	compStarts := make([]simclock.Duration, 0, 2*layers)
 
+	labels := labelsFor(layers)
 	type step struct {
-		label   string
+		label   string // interned compute label
+		agLabel string // interned all-gather label
+		rsLabel string // interned reduce-scatter label (backward only)
 		comm    simclock.Duration // pre-compute all-gather
 		compute simclock.Duration
 		post    simclock.Duration // post-compute reduce-scatter (backward only)
 	}
 	steps := make([]step, 0, 2*layers)
 	for l := 0; l < layers; l++ {
-		steps = append(steps, step{label: fmt.Sprintf("fwd%d", l), comm: agTime, compute: fwdCompute})
+		steps = append(steps, step{label: labels[l].fwd, agLabel: labels[l].agFwd, comm: agTime, compute: fwdCompute})
 	}
 	for l := layers - 1; l >= 0; l-- {
-		steps = append(steps, step{label: fmt.Sprintf("bwd%d", l), comm: agTime, compute: bwdCompute, post: rsTime})
+		steps = append(steps, step{label: labels[l].bwd, agLabel: labels[l].agBwd, rsLabel: labels[l].rsLabel, comm: agTime, compute: bwdCompute, post: rsTime})
 	}
 
 	// Reduce-scatters become ready as their layer's backward compute
 	// finishes; they are queued on the comm stream in order, interleaved
 	// with all-gathers. We model one in-order comm stream: an op starts at
-	// max(commFree, ready time).
+	// max(commFree, ready time). The queue is drained via an index head —
+	// the backing array (capacity L, allocated once) is never re-sliced
+	// per op.
 	type pendingRS struct {
 		ready simclock.Duration
 		label string
 	}
-	var rsQueue []pendingRS
+	rsQueue := make([]pendingRS, 0, layers)
+	rsHead := 0
 
 	flushRS := func(before simclock.Duration) {
 		// Issue queued reduce-scatters that are ready before the given
 		// horizon (the next all-gather's earliest start).
-		for len(rsQueue) > 0 {
-			rs := rsQueue[0]
+		for rsHead < len(rsQueue) {
+			rs := rsQueue[rsHead]
 			start := maxDur(commFree, rs.ready)
 			if before >= 0 && start >= before {
 				return
 			}
 			end := start + rsTime
-			tl.Ops = append(tl.Ops, TimedOp{Kind: OpReduceScatter, Start: start, End: end, Label: "rs-" + rs.label, Bytes: layerBytes})
+			tl.Ops = append(tl.Ops, TimedOp{Kind: OpReduceScatter, Start: start, End: end, Label: rs.label, Bytes: layerBytes})
 			commFree = end
-			rsQueue = rsQueue[1:]
+			rsHead++
 		}
 	}
 
@@ -144,7 +184,7 @@ func BuildTimeline(cfg Config) (*Timeline, error) {
 		flushRS(maxDur(commFree, gate))
 		agStart := maxDur(commFree, gate)
 		agEnd := agStart + st.comm
-		tl.Ops = append(tl.Ops, TimedOp{Kind: OpAllGather, Start: agStart, End: agEnd, Label: "ag-" + st.label, Bytes: layerBytes})
+		tl.Ops = append(tl.Ops, TimedOp{Kind: OpAllGather, Start: agStart, End: agEnd, Label: st.agLabel, Bytes: layerBytes})
 		commFree = agEnd
 
 		compStart := maxDur(compFree, agEnd)
@@ -154,7 +194,7 @@ func BuildTimeline(cfg Config) (*Timeline, error) {
 		compFree = compEnd
 
 		if st.post > 0 {
-			rsQueue = append(rsQueue, pendingRS{ready: compEnd, label: st.label})
+			rsQueue = append(rsQueue, pendingRS{ready: compEnd, label: st.rsLabel})
 		}
 	}
 	flushRS(-1)
@@ -185,8 +225,16 @@ func maxDur(a, b simclock.Duration) simclock.Duration {
 }
 
 // CommOps returns the network operations of the timeline, in start order.
+// It builds a fresh slice per call; loops over many iterations should
+// call it once and reuse the result (ProfileWithJitter does).
 func (tl *Timeline) CommOps() []TimedOp {
-	var out []TimedOp
+	n := 0
+	for _, op := range tl.Ops {
+		if op.Kind == OpAllGather || op.Kind == OpReduceScatter {
+			n++
+		}
+	}
+	out := make([]TimedOp, 0, n)
 	for _, op := range tl.Ops {
 		if op.Kind == OpAllGather || op.Kind == OpReduceScatter {
 			out = append(out, op)
@@ -230,6 +278,9 @@ func (tl *Timeline) ProfileWithJitter(window int, frac float64, seed int64) (*pr
 		return nil, err
 	}
 	rng := newJitterSource(seed)
+	// The timeline's op list is immutable: derive the comm ops once for
+	// the whole window instead of rebuilding the slice every iteration.
+	comm := tl.CommOps()
 	var t simclock.Time
 	for i := 0; i < window; i++ {
 		// One stretch factor per iteration: the timeline's shape is
@@ -240,7 +291,7 @@ func (tl *Timeline) ProfileWithJitter(window int, frac float64, seed int64) (*pr
 		}
 		rec.BeginIteration(t)
 		var end simclock.Duration
-		for _, op := range tl.CommOps() {
+		for _, op := range comm {
 			s := simclock.Duration(float64(op.Start) * stretch)
 			e := simclock.Duration(float64(op.End) * stretch)
 			rec.RecordOp(t.Add(s), t.Add(e), op.Label)

@@ -1,0 +1,47 @@
+package training
+
+import (
+	"testing"
+
+	"gemini/internal/cluster"
+	"gemini/internal/model"
+)
+
+func benchConfig(b *testing.B, machines int) Config {
+	b.Helper()
+	cfg, err := NewConfig(model.MustByName("GPT-2 100B"), cluster.MustInstance("p4d.24xlarge"), machines)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cfg
+}
+
+// BenchmarkBuildTimeline measures one timeline derivation — the per-config
+// cost every profile, executor run, and placement table pays. Step labels
+// are cached across builds, so steady-state builds allocate a small
+// constant independent of prior calls.
+func BenchmarkBuildTimeline(b *testing.B) {
+	cfg := benchConfig(b, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildTimeline(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProfileWithJitter measures the §5.4 profiling loop over a
+// large window — the second ROADMAP-named breakage point at 10k-machine
+// scale. The comm-op list is derived once per profile, not once per
+// window iteration.
+func BenchmarkProfileWithJitter(b *testing.B) {
+	tl := MustBuildTimeline(benchConfig(b, 16))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tl.ProfileWithJitter(200, 0.05, 7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
