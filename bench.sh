@@ -13,9 +13,20 @@
 # Usage:
 #   ./bench.sh                # full suite, -count=3
 #   ./bench.sh -benchtime=1x  # extra args are passed to `go test`
+#
+# Snapshots are never overwritten: a second run on the same date writes
+# BENCH_<date>.1.json, then .2.json, and so on. Compare any two with
+#   go run ./cmd/benchdiff -threshold 10 OLD.json NEW.json
+# (threshold gates ns/op regressions and exits 1; use -threshold -1 for
+# report-only when the snapshots come from different machines).
 set -eu
 
 out="BENCH_$(date +%Y-%m-%d).json"
+n=0
+while [ -e "$out" ]; do
+	n=$((n + 1))
+	out="BENCH_$(date +%Y-%m-%d).$n.json"
+done
 echo "writing $out" >&2
 go test -json -run='^$' -bench=. -benchmem -count=3 "$@" ./... >"$out"
 grep -c '"Action":"output"' "$out" >/dev/null || {

@@ -12,6 +12,7 @@ import (
 
 	"gemini/internal/baselines"
 	"gemini/internal/experiments"
+	"gemini/internal/failure"
 	"gemini/internal/parallel"
 	"gemini/internal/placement"
 	"gemini/internal/schedule"
@@ -214,6 +215,67 @@ func BenchmarkFig16Interleaving(b *testing.B) {
 		blocking = res.Overhead()
 	}
 	b.ReportMetric(blocking*100, "blocking-overhead-%")
+}
+
+// BenchmarkCampaign1000 is the campaign-engine headline (DESIGN.md §12):
+// 1000 seeded long-horizon runs spread over 4 job specs, the shape of a
+// scenario-campaign sweep where runs differ only in their failure
+// schedule. The warm sub-benchmark resolves every job through the
+// derivation cache (4 derivations total, 996 hits) and recycles the
+// runsim arenas; cold bypasses the cache (JobSpec.NoCache) and pays the
+// full derivation per run. warm/cold runs-per-second is the cache's
+// campaign speedup; results are bit-identical either way (asserted by
+// the determinism suite, and by the checksum metric matching across the
+// two sub-benchmarks).
+func BenchmarkCampaign1000(b *testing.B) {
+	specs := []JobSpec{
+		{Model: "GPT-2 100B", Instance: "p4d.24xlarge", Machines: 16},
+		{Model: "RoBERTa 100B", Instance: "p4d.24xlarge", Machines: 16},
+		{Model: "BERT 100B", Instance: "p4d.24xlarge", Machines: 16},
+		{Model: "GPT-2 40B", Instance: "p3dn.24xlarge", Machines: 16},
+	}
+	const runs = 1000
+	horizon := 10 * Day
+	schedules := make([]FailureSchedule, runs)
+	model := failure.OPTModel()
+	for r := range schedules {
+		fs, err := model.Generate(16, horizon, int64(r+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		schedules[r] = fs
+	}
+	campaign := func(b *testing.B, noCache bool) {
+		var sum float64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sum = 0
+			for r := 0; r < runs; r++ {
+				spec := specs[r%len(specs)]
+				spec.NoCache = noCache
+				job, err := NewJob(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := job.SimulateRun(job.GeminiSpec(), schedules[r], horizon, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sum += res.EffectiveRatio
+				res.Release()
+			}
+		}
+		b.ReportMetric(float64(runs)*float64(b.N)/b.Elapsed().Seconds(), "runs/s")
+		b.ReportMetric(sum/runs, "mean-ratio")
+	}
+	b.Run("cold", func(b *testing.B) { campaign(b, true) })
+	b.Run("warm", func(b *testing.B) {
+		// Prime the cache so every timed NewJob is a hit.
+		for _, s := range specs {
+			MustNewJob(s)
+		}
+		campaign(b, false)
+	})
 }
 
 // --- Ablations beyond the paper's figures (DESIGN.md §5) ---

@@ -58,6 +58,18 @@ if go run ./cmd/geminisim -days 1 -strategy no-such-strategy > /dev/null 2>&1; t
 	exit 1
 fi
 
+# Campaign-engine gates (outside the race detector): a warm-key NewJob
+# must stay fully cache-resident (≤ 2 allocs — any accidental
+# re-derivation blows through by three orders of magnitude), the
+# cold/warm campaign benchmark must still run, and benchdiff must parse
+# a checked-in snapshot and agree a snapshot equals itself at
+# threshold 0 (the derivation-cache race hammer already ran above,
+# inside `go test -race ./...`).
+go test -run='^TestNewJobWarmKeyAllocs$' -count=1 ./internal/core
+go test -run='^$' -bench='^BenchmarkCampaign1000$' -benchtime=1x -benchmem .
+BENCH_BASE="$(ls BENCH_*.json | sort | tail -1)"
+go run ./cmd/benchdiff -threshold 0 "$BENCH_BASE" "$BENCH_BASE" > /dev/null
+
 # Facade gates: the examples are the documented surface of the options
 # API (WithStrategy/WithTracer/WithMetrics) and must keep running, and
 # the deprecated observability shims must stay until their removal is

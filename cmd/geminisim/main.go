@@ -128,6 +128,13 @@ func main() {
 			os.Exit(1)
 		}
 	}
+
+	// Every NewJob above (the sized job, the monitored run, the traced
+	// run) resolved through the shared derivation cache; one spec means
+	// one miss and the rest hits.
+	cs := gemini.DerivationCacheStats()
+	fmt.Printf("\nderivation cache: %d hits, %d misses, %d evictions, %d entries (hit rate %.2f)\n",
+		cs.Hits, cs.Misses, cs.Evictions, cs.Entries, cs.HitRate())
 }
 
 // runHealth runs a small deterministic monitored control-plane
@@ -179,6 +186,7 @@ func runHealth(job *gemini.Job, reg *gemini.MetricsRegistry, promPath, csvPath s
 	}
 
 	if promPath != "" {
+		gemini.ExportDerivationCacheMetrics(reg)
 		var buf bytes.Buffer
 		if err := gemini.WriteMetricsProm(&buf, reg); err != nil {
 			return err

@@ -48,6 +48,7 @@ import (
 	"gemini/internal/cloud"
 	"gemini/internal/cluster"
 	"gemini/internal/core"
+	"gemini/internal/derive"
 	"gemini/internal/failure"
 	"gemini/internal/metrics"
 	"gemini/internal/model"
@@ -158,6 +159,18 @@ func WithMetrics(reg *MetricsRegistry) Option {
 			return fmt.Errorf("gemini: WithMetrics(nil): omit the option to run unmonitored")
 		}
 		s.Metrics = reg
+		return nil
+	}
+}
+
+// WithoutDerivationCache makes this job derive its artifacts privately
+// instead of resolving them through the shared derivation cache. The
+// cached and uncached paths produce bit-identical jobs; opt out only to
+// isolate a job's artifacts (e.g. when deliberately mutating them in an
+// experiment) or to benchmark cold derivation itself.
+func WithoutDerivationCache() Option {
+	return func(s *JobSpec) error {
+		s.NoCache = true
 		return nil
 	}
 }
@@ -469,3 +482,17 @@ func WriteMetricsProm(w io.Writer, reg *MetricsRegistry) error { return metrics.
 // WriteTimelineCSV renders the recorder's sampled series as a CSV
 // timeline: a time column plus one column per watched instrument.
 func WriteTimelineCSV(w io.Writer, rec *MetricsRecorder) error { return metrics.WriteCSV(w, rec) }
+
+// CacheStats is a point-in-time snapshot of the shared derivation
+// cache's counters (hits, misses, evictions, resident entries).
+type CacheStats = derive.Stats
+
+// DerivationCacheStats snapshots the shared derivation cache that
+// NewJob resolves artifacts through. A campaign over few distinct specs
+// should show a hit rate near 1; see DESIGN.md §12.
+func DerivationCacheStats() CacheStats { return derive.Shared().Stats() }
+
+// ExportDerivationCacheMetrics writes the shared derivation cache's
+// counters into reg as derive.cache.* instruments (a snapshot copy —
+// the registry stays single-threaded). Call it again to refresh.
+func ExportDerivationCacheMetrics(reg *MetricsRegistry) { derive.Shared().Export(reg) }

@@ -1,0 +1,28 @@
+//go:build !race
+
+package core
+
+import "testing"
+
+// TestNewJobWarmKeyAllocs is the campaign-engine gate: once a key is
+// warm in the derivation cache, NewJob must do zero derivation work —
+// just the spec validation, one cache lookup, and the Job struct itself.
+// The ceiling is deliberately tight; cold derivation costs thousands of
+// allocations, so any accidental re-derivation on the warm path blows
+// straight through it.
+func TestNewJobWarmKeyAllocs(t *testing.T) {
+	spec := JobSpec{Model: "GPT-2 100B", Instance: "p4d.24xlarge", Machines: 16}
+	if _, err := NewJob(spec); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := NewJob(spec); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// One allocation for the Job value; one of headroom for the runtime.
+	if allocs > 2 {
+		t.Errorf("warm-key NewJob allocates %.0f times per call, want ≤ 2 "+
+			"(the derivation pipeline must be fully cache-resident)", allocs)
+	}
+}

@@ -16,9 +16,9 @@ import (
 	"gemini/internal/ckpt"
 	"gemini/internal/cloud"
 	"gemini/internal/cluster"
+	"gemini/internal/derive"
 	"gemini/internal/failure"
 	"gemini/internal/metrics"
-	"gemini/internal/model"
 	"gemini/internal/placement"
 	"gemini/internal/profile"
 	"gemini/internal/runsim"
@@ -64,6 +64,12 @@ type JobSpec struct {
 	// from the executor, health.* and strategy.* from the control plane.
 	// Nil leaves monitoring disabled and free.
 	Metrics *metrics.Registry
+	// NoCache opts this job out of the shared derivation cache: every
+	// artifact (placement, timeline, profile, plan, baselines) is built
+	// fresh and privately owned. The escape hatch for callers that want
+	// isolation from cross-job sharing; results are bit-identical either
+	// way.
+	NoCache bool
 }
 
 func (j JobSpec) withDefaults() JobSpec {
@@ -89,21 +95,30 @@ type Job struct {
 	specGemini, specStrawman, specHighFreq baselines.Spec
 }
 
-// NewJob derives everything from a job spec.
+// CacheKey returns the derivation-cache key for a spec: exactly the
+// fields the derivation pipeline reads. Faults, strategy, observability
+// sinks, and NoCache configure runs, not derivations, so they do not
+// appear.
+func (j JobSpec) CacheKey() derive.Key {
+	j = j.withDefaults()
+	return derive.Key{
+		Model:           j.Model,
+		Instance:        j.Instance,
+		Machines:        j.Machines,
+		Replicas:        j.Replicas,
+		RemoteBandwidth: j.RemoteBandwidth,
+		Parallelism:     j.Parallelism,
+	}
+}
+
+// NewJob derives everything from a job spec. The derivation pipeline
+// (placement, timeline, profile, plan, cost model, baseline specs) is a
+// pure function of the spec's CacheKey fields and is resolved through
+// the shared content-keyed cache: a warm key does zero derivation work
+// and the resulting artifacts are shared read-only across jobs. Set
+// JobSpec.NoCache to build privately instead.
 func NewJob(spec JobSpec) (*Job, error) {
 	spec = spec.withDefaults()
-	m, err := model.ByName(spec.Model)
-	if err != nil {
-		return nil, err
-	}
-	it, err := cluster.InstanceByName(spec.Instance)
-	if err != nil {
-		return nil, err
-	}
-	cfg, err := training.NewConfig(m, it, spec.Machines)
-	if err != nil {
-		return nil, err
-	}
 	if err := spec.Faults.Validate(spec.Machines); err != nil {
 		return nil, err
 	}
@@ -112,54 +127,28 @@ func NewJob(spec JobSpec) (*Job, error) {
 			return nil, err
 		}
 	}
-	if !cfg.FitsInGPUMemory() {
-		return nil, fmt.Errorf("core: %s does not fit in GPU memory on %d× %s (needs %.1f GB/GPU of %.1f GB)",
-			spec.Model, spec.Machines, spec.Instance,
-			cfg.GPUMemoryDemandBytes()/1e9, float64(it.GPUMemBytes)/1e9)
+	var art *derive.Artifacts
+	var err error
+	if spec.NoCache {
+		art, err = derive.Build(spec.CacheKey())
+	} else {
+		art, err = derive.Shared().Get(spec.CacheKey())
 	}
-	plc, err := placement.Mixed(spec.Machines, spec.Replicas)
 	if err != nil {
 		return nil, err
 	}
-	// The checkpoint double buffers must fit in host memory.
-	needed := 2 * float64(spec.Replicas) * cfg.ShardBytesPerMachine()
-	if needed > float64(it.CPUMemBytes) {
-		return nil, fmt.Errorf("core: m=%d needs %.0f GB of CPU memory per machine, %s has %.0f GB",
-			spec.Replicas, needed/1e9, spec.Instance, float64(it.CPUMemBytes)/1e9)
-	}
-	tl, err := training.BuildTimelineFor(cfg, spec.Parallelism)
-	if err != nil {
-		return nil, err
-	}
-	prof, err := tl.Profile(20)
-	if err != nil {
-		return nil, err
-	}
-	plan, err := schedule.Partition(schedule.Params{
-		Spans:                prof.Spans,
-		CheckpointBytes:      cfg.ShardBytesPerMachine(),
-		Replicas:             spec.Replicas,
-		BufferBytes:          8 * 128e6,
-		BufferParts:          4,
-		BandwidthBytesPerSec: it.NetworkBytesPerSec,
-		Alpha:                cfg.Calib.CollectiveAlpha,
-		Gamma:                0.9,
-	})
-	if err != nil {
-		return nil, err
-	}
-	costs := tensor.DefaultCostModel()
-	j := &Job{Spec: spec, Config: cfg, Placement: plc, Timeline: tl, Profile: prof, Plan: plan, Costs: costs}
-	if j.specGemini, err = baselines.Gemini(cfg, spec.Replicas, spec.RemoteBandwidth, costs); err != nil {
-		return nil, err
-	}
-	if j.specStrawman, err = baselines.Strawman(cfg, spec.RemoteBandwidth, costs); err != nil {
-		return nil, err
-	}
-	if j.specHighFreq, err = baselines.HighFreq(cfg, spec.RemoteBandwidth, costs); err != nil {
-		return nil, err
-	}
-	return j, nil
+	return &Job{
+		Spec:         spec,
+		Config:       art.Config,
+		Placement:    art.Placement,
+		Timeline:     art.Timeline,
+		Profile:      art.Profile,
+		Plan:         art.Plan,
+		Costs:        art.Costs,
+		specGemini:   art.Gemini,
+		specStrawman: art.Strawman,
+		specHighFreq: art.HighFreq,
+	}, nil
 }
 
 // MustNewJob is NewJob for known-good specs.
@@ -204,6 +193,8 @@ func (j *Job) executeScheme(s schedule.Scheme, tr *trace.Tracer, reg *metrics.Re
 		return nil, fmt.Errorf("core: the interference executor supports ZeRO-3 only, job uses %v", j.Spec.Parallelism)
 	}
 	opts := training.DefaultExecOptions(j.Placement, s)
+	opts.Timeline = j.Timeline
+	opts.Profile = j.Profile
 	opts.Tracer = tr
 	opts.Metrics = reg
 	return training.Execute(j.Config, opts)
@@ -230,6 +221,8 @@ func (j *Job) ExecuteSchemeObserved(s schedule.Scheme, tr *trace.Tracer, reg *me
 // GPU buffer size R and sub-buffer count p — the pipeline-depth ablation.
 func (j *Job) ExecuteSchemeWithBuffers(s schedule.Scheme, bufferBytes float64, parts int) (*training.ExecResult, error) {
 	opts := training.DefaultExecOptions(j.Placement, s)
+	opts.Timeline = j.Timeline
+	opts.Profile = j.Profile
 	opts.BufferBytes = bufferBytes
 	opts.BufferParts = parts
 	return training.Execute(j.Config, opts)

@@ -88,7 +88,14 @@ type table struct {
 	rows   [][]string
 }
 
-func newTable(header ...string) *table { return &table{header: header} }
+// tableRowHint pre-sizes the row buffer: every experiment table in the
+// repo lands under 16 rows (the largest is the instance catalog), so the
+// builder never regrows mid-experiment.
+const tableRowHint = 16
+
+func newTable(header ...string) *table {
+	return &table{header: header, rows: make([][]string, 0, tableRowHint)}
+}
 
 func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
 
@@ -109,6 +116,13 @@ func (t *table) String() string {
 		}
 	}
 	var b strings.Builder
+	// One row is the padded cell widths plus separators; pre-size for
+	// header + rule + rows so String renders with a single grow.
+	lineWidth := 1
+	for _, w := range widths {
+		lineWidth += w + 2
+	}
+	b.Grow(lineWidth * (len(t.rows) + 2))
 	writeRow := func(cells []string) {
 		for i, c := range cells {
 			if i > 0 {

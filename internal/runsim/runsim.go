@@ -8,6 +8,7 @@ package runsim
 
 import (
 	"fmt"
+	"sync"
 
 	"gemini/internal/baselines"
 	"gemini/internal/cluster"
@@ -16,6 +17,21 @@ import (
 	"gemini/internal/placement"
 	"gemini/internal/simclock"
 )
+
+// runScratch is the pooled per-run arena for the failure-window walk: a
+// FailSet sized to the largest cluster seen plus its rank list. Run
+// returns it to the pool with every bit cleared, so a warm campaign run
+// allocates nothing for window state.
+type runScratch struct {
+	hwSet   placement.FailSet
+	hwRanks []int
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(runScratch) }}
+
+// samplesPool recycles WastedSamples backing arrays handed back through
+// Result.Release.
+var samplesPool = sync.Pool{New: func() any { return new([]float64) }}
 
 // Config describes one simulated run.
 type Config struct {
@@ -79,6 +95,20 @@ type Result struct {
 	WastedSamples []float64
 }
 
+// Release recycles the WastedSamples backing array into the run pool.
+// Optional: call it when the caller is done with the result (campaign
+// loops that only read the scalar fields), never while WastedSamples is
+// still referenced. The result remains valid except for WastedSamples,
+// which becomes nil.
+func (r *Result) Release() {
+	if r.WastedSamples == nil {
+		return
+	}
+	s := r.WastedSamples[:0]
+	r.WastedSamples = nil
+	samplesPool.Put(&s)
+}
+
 // WastedSummary returns order statistics over the per-recovery wasted
 // times. It panics when no recoveries happened.
 func (r *Result) WastedSummary() metrics.Summary {
@@ -97,6 +127,13 @@ func Run(cfg Config) (*Result, error) {
 	phi := float64(s.Interval / period)
 
 	res := &Result{}
+	// Wasted-sample backing from the pool, pre-sized to the worst case
+	// (one recovery per failure event).
+	sp := samplesPool.Get().(*[]float64)
+	res.WastedSamples = (*sp)[:0]
+	if cap(res.WastedSamples) < len(cfg.Failures) {
+		res.WastedSamples = make([]float64, 0, len(cfg.Failures))
+	}
 	var progress float64 // seconds of productive training achieved
 	var resume simclock.Time
 	// lastRemote tracks the newest remote-tier checkpoint: the progress
@@ -128,11 +165,18 @@ func Run(cfg Config) (*Result, error) {
 	events := cfg.Failures
 	i := 0
 	// Failure-window scratch for the bitset survival kernel, reused
-	// across windows: a rank list plus a FailSet sized to the cluster.
+	// across windows and pooled across runs: a rank list plus a FailSet
+	// sized to the cluster. The pool invariant is all-bits-clear, so a
+	// recycled set behaves like a fresh one.
+	sc := scratchPool.Get().(*runScratch)
+	hwRanks := sc.hwRanks[:0]
 	var hwSet placement.FailSet
-	var hwRanks []int
 	if cfg.Placement != nil {
-		hwSet = placement.NewFailSet(cfg.Placement.N)
+		words := (cfg.Placement.N + 63) >> 6
+		if cap(sc.hwSet) < words {
+			sc.hwSet = make(placement.FailSet, words)
+		}
+		hwSet = sc.hwSet[:words]
 	}
 	for i < len(events) {
 		if events[i].At >= horizon {
@@ -220,6 +264,13 @@ func Run(cfg Config) (*Result, error) {
 		recoveries++
 		i = j
 	}
+	// Restore the pool invariant (clear exactly the bits the last window
+	// set) and hand the scratch back.
+	for _, r := range hwRanks {
+		hwSet.Clear(r)
+	}
+	sc.hwRanks = hwRanks[:0]
+	scratchPool.Put(sc)
 	if resume < horizon {
 		advanceUptime(horizon)
 	}

@@ -2,10 +2,13 @@ package training
 
 import (
 	"fmt"
+	"strconv"
+	"sync"
 
 	"gemini/internal/metrics"
 	"gemini/internal/netsim"
 	"gemini/internal/placement"
+	"gemini/internal/profile"
 	"gemini/internal/schedule"
 	"gemini/internal/simclock"
 	"gemini/internal/trace"
@@ -40,6 +43,15 @@ type ExecOptions struct {
 	// the training.* namespace (iteration/checkpoint/idle histograms and
 	// the Algorithm 2 idle-utilization gauge). Nil disables them free.
 	Metrics *metrics.Registry
+	// Timeline, when non-nil, is used instead of rebuilding the iteration
+	// timeline from cfg. It must have been built from the same cfg (the
+	// derivation cache passes its shared, read-only copy). The executor
+	// never mutates it.
+	Timeline *Timeline
+	// Profile, when non-nil, is used instead of re-profiling Timeline.
+	// It must match Timeline and ProfileWindow; the executor never
+	// mutates it.
+	Profile *profile.Profile
 }
 
 // DefaultExecOptions returns the paper's implementation parameters.
@@ -120,13 +132,18 @@ func Execute(cfg Config, opts ExecOptions) (*ExecResult, error) {
 		return nil, fmt.Errorf("training: need a positive profile window")
 	}
 
-	tl, err := BuildTimeline(cfg)
-	if err != nil {
-		return nil, err
+	tl, prof := opts.Timeline, opts.Profile
+	if tl == nil {
+		var err error
+		if tl, err = BuildTimeline(cfg); err != nil {
+			return nil, err
+		}
 	}
-	prof, err := tl.Profile(opts.ProfileWindow)
-	if err != nil {
-		return nil, err
+	if prof == nil {
+		var err error
+		if prof, err = tl.Profile(opts.ProfileWindow); err != nil {
+			return nil, err
+		}
 	}
 
 	shard := cfg.ShardBytesPerMachine()
@@ -326,6 +343,50 @@ func lastOffset(params schedule.Params) simclock.Duration {
 	return last.Offset + last.Length
 }
 
+// execScratch is the pooled per-run arena: every slice the executor
+// needs per run or per iteration, recycled across Execute calls so a
+// warm campaign run reuses the backings instead of reallocating them.
+// The engine, fabric, and copiers themselves are per-run (they are bound
+// to one simclock engine), but their container slices recycle.
+type execScratch struct {
+	computeDur                    []simclock.Duration
+	agDone, compStarted, compDone []bool
+	copiers                       []*netsim.Copier
+	iterTimes, ckptTimes, idleTimes []simclock.Duration
+}
+
+var execScratchPool = sync.Pool{New: func() any { return new(execScratch) }}
+
+// resetBools returns b resized to n with every element false, growing
+// the backing only when needed.
+func resetBools(b []bool, n int) []bool {
+	if cap(b) < n {
+		return make([]bool, n)
+	}
+	b = b[:n]
+	for i := range b {
+		b[i] = false
+	}
+	return b
+}
+
+// agStepCache interns the executor's "ag<step>" collective labels, the
+// same way labelsFor interns the timeline's per-layer labels: they
+// depend only on the step index, so one slice serves every run.
+var (
+	agStepMu    sync.Mutex
+	agStepCache []string
+)
+
+func agStepLabels(n int) []string {
+	agStepMu.Lock()
+	defer agStepMu.Unlock()
+	for i := len(agStepCache); i < n; i++ {
+		agStepCache = append(agStepCache, "ag"+strconv.Itoa(i))
+	}
+	return agStepCache[:n:n]
+}
+
 // executor carries per-run simulation state.
 type executor struct {
 	cfg       Config
@@ -340,6 +401,7 @@ type executor struct {
 	engine  *simclock.Engine
 	fabric  *netsim.Fabric
 	copiers []*netsim.Copier
+	scratch *execScratch
 
 	iterTrack *trace.Track // nil = untraced
 	compTrack *trace.Track
@@ -360,7 +422,22 @@ func (ex *executor) run(res *ExecResult) {
 		EgressBytesPerSec: ex.cfg.Instance.NetworkBytesPerSec,
 		Alpha:             ex.cfg.Calib.CollectiveAlpha,
 	})
-	ex.copiers = make([]*netsim.Copier, n)
+	sc := execScratchPool.Get().(*execScratch)
+	ex.scratch = sc
+	defer func() {
+		// Drop the copier pointers (they hold the dead engine alive) but
+		// keep every backing array for the next run.
+		for i := range sc.copiers {
+			sc.copiers[i] = nil
+		}
+		execScratchPool.Put(sc)
+	}()
+	if cap(sc.copiers) >= n {
+		ex.copiers = sc.copiers[:n]
+	} else {
+		ex.copiers = make([]*netsim.Copier, n)
+	}
+	sc.copiers = ex.copiers
 	for i := range ex.copiers {
 		ex.copiers[i] = netsim.MustNewCopier(ex.engine, ex.cfg.Instance.GPUToCPUBytesPerSec)
 	}
@@ -380,7 +457,9 @@ func (ex *executor) run(res *ExecResult) {
 	idleHist := ex.opts.Metrics.Histogram("training.network_idle_seconds")
 	iterCount := ex.opts.Metrics.Counter("training.iterations")
 
-	var iterTimes, ckptTimes, idleTimes []simclock.Duration
+	iterTimes := sc.iterTimes[:0]
+	ckptTimes := sc.ckptTimes[:0]
+	idleTimes := sc.idleTimes[:0]
 	total := ex.opts.Iterations + 1 // one warmup
 	for iter := 0; iter < total; iter++ {
 		ex.iterStart = ex.engine.Now()
@@ -416,6 +495,7 @@ func (ex *executor) run(res *ExecResult) {
 	}
 	res.NetworkIdle = meanDur(idleTimes)
 	res.FabricCounters = ex.fabric.Stats().Counters()
+	sc.iterTimes, sc.ckptTimes, sc.idleTimes = iterTimes, ckptTimes, idleTimes
 }
 
 func meanDur(ds []simclock.Duration) simclock.Duration {
@@ -458,7 +538,8 @@ func (ex *executor) startIteration() {
 	// the prefetch window) and reduce-scatters (ready when their layer's
 	// backward compute finishes). Ready reduce-scatters take priority,
 	// matching BuildTimeline's stream semantics.
-	computeDur := make([]simclock.Duration, 0, 2*L)
+	sc := ex.scratch
+	computeDur := sc.computeDur[:0]
 	tokens := float64(cfg.Model.SeqLen * cfg.Model.MicroBatch)
 	fwd := simclock.Duration(2 * float64(cfg.Model.NominalParams) / float64(L) * tokens /
 		(cfg.Instance.PeakFLOPsPerGPU * cfg.Calib.MFU))
@@ -468,15 +549,19 @@ func (ex *executor) startIteration() {
 	for l := 0; l < L; l++ {
 		computeDur = append(computeDur, 3*fwd)
 	}
+	sc.computeDur = computeDur
 	steps := 2 * L // compute/all-gather step count
 	agNext, rsNext := 0, 0
-	agDone := make([]bool, steps)
+	agDone := resetBools(sc.agDone, steps)
 	commInFlight := false
 	compNext := 0
 	compBusy := false
-	compStarted := make([]bool, steps)
-	compDone := make([]bool, steps)
+	compStarted := resetBools(sc.compStarted, steps)
+	compDone := resetBools(sc.compDone, steps)
+	sc.agDone, sc.compStarted, sc.compDone = agDone, compStarted, compDone
 	updateStarted := false
+	layerLbls := labelsFor(L)
+	agLbls := agStepLabels(steps)
 
 	ex.gateClosed = ex.gated
 
@@ -515,7 +600,7 @@ func (ex *executor) startIteration() {
 				l := rsNext
 				rsNext++
 				commInFlight = true
-				startCollective(fmt.Sprintf("rs-bwd%d", l), rsBytes, func() {
+				startCollective(layerLbls[l].rsLabel, rsBytes, func() {
 					commInFlight = false
 					pump()
 				})
@@ -523,7 +608,7 @@ func (ex *executor) startIteration() {
 				c := agNext
 				agNext++
 				commInFlight = true
-				startCollective(fmt.Sprintf("ag%d", c), agBytes, func() {
+				startCollective(agLbls[c], agBytes, func() {
 					agDone[c] = true
 					commInFlight = false
 					pump()

@@ -36,6 +36,8 @@ func ProfileFromExecution(cfg Config, window int) (*profile.Profile, error) {
 		copiers[i] = netsim.MustNewCopier(engine, cfg.Instance.GPUToCPUBytesPerSec)
 	}
 	obs := &flowObserver{engine: engine, rec: rec}
+	sc := execScratchPool.Get().(*execScratch)
+	defer execScratchPool.Put(sc)
 	ex := &executor{
 		cfg:      cfg,
 		opts:     ExecOptions{Placement: nil},
@@ -45,6 +47,7 @@ func ProfileFromExecution(cfg Config, window int) (*profile.Profile, error) {
 		fabric:   fabric,
 		copiers:  copiers,
 		observer: obs,
+		scratch:  sc,
 	}
 	for iter := 0; iter < window; iter++ {
 		start := engine.Now()

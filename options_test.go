@@ -73,6 +73,47 @@ func TestWithStrategyReachesRecoverySystem(t *testing.T) {
 	}
 }
 
+// WithoutDerivationCache must opt the job out of the shared cache (its
+// artifacts are private pointers) while staying bit-identical to the
+// cached derivation, and the facade stats/export surface must reflect
+// cache traffic.
+func TestWithoutDerivationCacheAndStatsSurface(t *testing.T) {
+	spec := JobSpec{Model: "GPT-2 40B", Instance: "p3dn.24xlarge", Machines: 16}
+	cached, err := NewJob(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := DerivationCacheStats()
+	private, err := NewJob(spec, WithoutDerivationCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := DerivationCacheStats()
+	if after.Hits != before.Hits || after.Misses != before.Misses {
+		t.Fatalf("WithoutDerivationCache touched the shared cache: %+v → %+v", before, after)
+	}
+	if private.Timeline == cached.Timeline {
+		t.Fatal("WithoutDerivationCache returned the shared Timeline pointer")
+	}
+	if !reflect.DeepEqual(private.Timeline, cached.Timeline) ||
+		!reflect.DeepEqual(private.Plan, cached.Plan) {
+		t.Fatal("uncached derivation diverged from the cached artifacts")
+	}
+
+	reg := NewMetricsRegistry()
+	ExportDerivationCacheMetrics(reg)
+	found := false
+	for _, kv := range reg.Snapshot() {
+		if strings.HasPrefix(kv.Name, "derive.cache.") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("ExportDerivationCacheMetrics left no derive.cache.* instruments")
+	}
+}
+
 // WithTracer/WithMetrics attach through the spec: RecoverySystem wires
 // them in and ExecuteScheme picks them up, replacing the deprecated
 // ExecuteSchemeObserved entry point and the loose setters.
