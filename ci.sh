@@ -70,6 +70,24 @@ go test -run='^$' -bench='^BenchmarkCampaign1000$' -benchtime=1x -benchmem .
 BENCH_BASE="$(ls BENCH_*.json | sort | tail -1)"
 go run ./cmd/benchdiff -threshold 0 "$BENCH_BASE" "$BENCH_BASE" > /dev/null
 
+# Scenario-engine gates: both checked-in scenarios must parse and
+# compile, the 1k smoke must reproduce its pinned aggregate hash for
+# seed 7 (any drift in the simulator, the report shape, or the scenario
+# compiler fails here), and the 10k campaign's JSON and HTML reports
+# must be byte-identical at workers=1 vs workers=8. geminisim's
+# -scenario path must run the same campaign.
+go run ./cmd/campaign -validate examples/scenarios/smoke-1k.yaml
+go run ./cmd/campaign -validate examples/scenarios/chaos-10k.yaml
+CAMP_DIR="$(mktemp -d -t geminicamp.XXXXXX)"
+go run ./cmd/campaign -quiet -json "$CAMP_DIR/smoke.json" -html "$CAMP_DIR/smoke.html" examples/scenarios/smoke-1k.yaml
+grep -q '"hash": "352980d25448928c30d66858cac44f4644e059fff2148565f8e6b55ca9739727"' "$CAMP_DIR/smoke.json"
+go run ./cmd/campaign -quiet -workers 1 -json "$CAMP_DIR/w1.json" -html "$CAMP_DIR/w1.html" examples/scenarios/chaos-10k.yaml
+go run ./cmd/campaign -quiet -workers 8 -json "$CAMP_DIR/w8.json" -html "$CAMP_DIR/w8.html" examples/scenarios/chaos-10k.yaml
+cmp "$CAMP_DIR/w1.json" "$CAMP_DIR/w8.json"
+cmp "$CAMP_DIR/w1.html" "$CAMP_DIR/w8.html"
+rm -rf "$CAMP_DIR"
+go run ./cmd/geminisim -scenario examples/scenarios/smoke-1k.yaml > /dev/null
+
 # Facade gates: the examples are the documented surface of the options
 # API (WithStrategy/WithTracer/WithMetrics) and must keep running, and
 # the deprecated observability shims must stay until their removal is

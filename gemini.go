@@ -39,6 +39,7 @@
 package gemini
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -54,6 +55,7 @@ import (
 	"gemini/internal/model"
 	"gemini/internal/placement"
 	"gemini/internal/runsim"
+	"gemini/internal/scenario"
 	"gemini/internal/schedule"
 	"gemini/internal/simclock"
 	"gemini/internal/strategy"
@@ -496,3 +498,35 @@ func DerivationCacheStats() CacheStats { return derive.Shared().Stats() }
 // counters into reg as derive.cache.* instruments (a snapshot copy —
 // the registry stays single-threaded). Call it again to refresh.
 func ExportDerivationCacheMetrics(reg *MetricsRegistry) { derive.Shared().Export(reg) }
+
+// Scenario aliases expose the declarative front door: a YAML/JSON file
+// describing a job, fleet, failure model, chaos schedule and solutions,
+// compiled onto the simulator and expanded into a seeded campaign. See
+// examples/scenarios and DESIGN.md §13.
+type (
+	// Scenario is one parsed scenario file.
+	Scenario = scenario.Scenario
+	// CompiledScenario is a scenario lowered onto the simulator.
+	CompiledScenario = scenario.Compiled
+	// CampaignOptions tunes a campaign run (workers, variation override).
+	CampaignOptions = scenario.CampaignOptions
+	// CampaignReport is a campaign's deterministic aggregate result.
+	CampaignReport = scenario.Report
+)
+
+// LoadScenario reads and validates a scenario file (YAML or JSON,
+// sniffed by content).
+func LoadScenario(path string) (*Scenario, error) { return scenario.Load(path) }
+
+// ParseScenario decodes and validates scenario bytes.
+func ParseScenario(data []byte) (*Scenario, error) { return scenario.Parse(data) }
+
+// RunCampaign expands a compiled scenario (Scenario.Compile) into its
+// seeded variations and aggregates them; the report is byte-identical
+// for a fixed seed at any worker count.
+func RunCampaign(ctx context.Context, c *CompiledScenario, opts CampaignOptions) (*CampaignReport, error) {
+	return scenario.RunCampaign(ctx, c, opts)
+}
+
+// WriteCampaignHTML renders the report as a self-contained HTML page.
+func WriteCampaignHTML(w io.Writer, r *CampaignReport) error { return scenario.WriteHTML(w, r) }

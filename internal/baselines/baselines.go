@@ -118,14 +118,15 @@ func Strawman(cfg training.Config, remoteBW float64, costs tensor.CostModel) (Sp
 }
 
 // HighFreq builds the saturate-the-remote-store baseline: checkpoint
-// every ⌈t_ckpt/T_iter⌉ iterations (§7.1).
-func HighFreq(cfg training.Config, remoteBW float64, costs tensor.CostModel) (Spec, error) {
+// every ⌈t_ckpt/T_iter⌉ iterations (§7.1). The timeline must be the
+// job's actual iteration timeline — under an alternative parallelism
+// the cadence follows that parallelism's iteration, not ZeRO-3's.
+func HighFreq(cfg training.Config, tl *training.Timeline, remoteBW float64, costs tensor.CostModel) (Spec, error) {
 	if remoteBW <= 0 {
 		return Spec{}, fmt.Errorf("baselines: remote bandwidth must be positive, got %v", remoteBW)
 	}
-	tl, err := training.BuildTimeline(cfg)
-	if err != nil {
-		return Spec{}, err
+	if tl == nil {
+		return Spec{}, fmt.Errorf("baselines: HighFreq needs the job's iteration timeline")
 	}
 	tCkpt := remoteCheckpointTime(cfg, remoteBW)
 	iters := math.Ceil(float64(tCkpt / tl.Iteration))
@@ -149,16 +150,15 @@ func HighFreq(cfg training.Config, remoteBW float64, costs tensor.CostModel) (Sp
 // Gemini builds GEMINI's spec: per-iteration CPU-memory checkpoints with
 // m replicas, peer retrieval in seconds, and a three-hourly remote
 // checkpoint as the last-resort tier.
-func Gemini(cfg training.Config, replicas int, remoteBW float64, costs tensor.CostModel) (Spec, error) {
+func Gemini(cfg training.Config, tl *training.Timeline, replicas int, remoteBW float64, costs tensor.CostModel) (Spec, error) {
 	if replicas < 1 {
 		return Spec{}, fmt.Errorf("baselines: GEMINI needs at least one replica, got %d", replicas)
 	}
 	if remoteBW <= 0 {
 		return Spec{}, fmt.Errorf("baselines: remote bandwidth must be positive, got %v", remoteBW)
 	}
-	tl, err := training.BuildTimeline(cfg)
-	if err != nil {
-		return Spec{}, err
+	if tl == nil {
+		return Spec{}, fmt.Errorf("baselines: GEMINI needs the job's iteration timeline")
 	}
 	shard := cfg.ShardBytesPerMachine()
 	s := Spec{

@@ -19,15 +19,20 @@ func job(t *testing.T) training.Config {
 func allSpecs(t *testing.T) (Spec, Spec, Spec) {
 	t.Helper()
 	costs := tensor.DefaultCostModel()
-	straw, err := Strawman(job(t), DefaultRemoteBandwidth, costs)
+	cfg := job(t)
+	tl, err := training.BuildTimeline(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	high, err := HighFreq(job(t), DefaultRemoteBandwidth, costs)
+	straw, err := Strawman(cfg, DefaultRemoteBandwidth, costs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	gem, err := Gemini(job(t), 2, DefaultRemoteBandwidth, costs)
+	high, err := HighFreq(cfg, tl, DefaultRemoteBandwidth, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gem, err := Gemini(cfg, tl, 2, DefaultRemoteBandwidth, costs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,14 +161,24 @@ func TestSpecValidation(t *testing.T) {
 	if _, err := Strawman(job(t), 0, costs); err == nil {
 		t.Error("zero remote bandwidth accepted")
 	}
-	if _, err := HighFreq(job(t), -1, costs); err == nil {
+	tl, err := training.BuildTimeline(job(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := HighFreq(job(t), tl, -1, costs); err == nil {
 		t.Error("negative remote bandwidth accepted")
 	}
-	if _, err := Gemini(job(t), 0, DefaultRemoteBandwidth, costs); err == nil {
+	if _, err := HighFreq(job(t), nil, DefaultRemoteBandwidth, costs); err == nil {
+		t.Error("nil timeline accepted for HighFreq")
+	}
+	if _, err := Gemini(job(t), tl, 0, DefaultRemoteBandwidth, costs); err == nil {
 		t.Error("zero replicas accepted")
 	}
-	if _, err := Gemini(job(t), 2, 0, costs); err == nil {
+	if _, err := Gemini(job(t), tl, 2, 0, costs); err == nil {
 		t.Error("zero remote bandwidth accepted for GEMINI")
+	}
+	if _, err := Gemini(job(t), nil, 2, DefaultRemoteBandwidth, costs); err == nil {
+		t.Error("nil timeline accepted for GEMINI")
 	}
 	bad := Spec{}
 	if err := bad.Validate(); err == nil {

@@ -14,6 +14,7 @@ import (
 
 	"gemini/internal/agent"
 	"gemini/internal/cluster"
+	"gemini/internal/failure"
 	"gemini/internal/netsim"
 	"gemini/internal/simclock"
 )
@@ -123,6 +124,7 @@ func firstRank(ev Event) int {
 func (s Schedule) Validate(n int) error {
 	partitionOpen := false
 	kvDown := false
+	degraded := map[int]bool{}
 	for i, ev := range s {
 		if ev.At < 0 {
 			return fmt.Errorf("chaos: event %d at negative time %v", i, ev.At)
@@ -166,9 +168,24 @@ func (s Schedule) Validate(n int) error {
 			if ev.Factor <= 0 || ev.Factor > 1 {
 				return fmt.Errorf("chaos: event %d straggler factor %v out of (0,1]", i, ev.Factor)
 			}
+			for _, r := range ev.Ranks {
+				if degraded[r] {
+					return fmt.Errorf("chaos: event %d degrades rank %d inside another straggler window", i, r)
+				}
+				degraded[r] = true
+			}
 		case KindStragglerEnd:
 			if len(ev.Ranks) == 0 {
 				return fmt.Errorf("chaos: event %d straggler end has no ranks", i)
+			}
+			// Ends sort before starts at the same instant, so a
+			// zero-duration straggler fails here instead of leaving its
+			// rank degraded forever.
+			for _, r := range ev.Ranks {
+				if !degraded[r] {
+					return fmt.Errorf("chaos: event %d ends a straggler on rank %d that is not degraded", i, r)
+				}
+				delete(degraded, r)
 			}
 		case KindKVOutage:
 			if kvDown {
@@ -189,6 +206,29 @@ func (s Schedule) Validate(n int) error {
 		}
 	}
 	return nil
+}
+
+// Failures lowers the machine-killing subset of the schedule — crashes
+// and correlated crashes — into a failure.Schedule for the long-run
+// simulator. Partitions, stragglers, KV outages, and lease jitter have
+// no analogue in runsim's §7.3 accounting and are dropped. The result
+// is ordered and deduplicated through failure.Merge, so a rank hit by a
+// software and a hardware crash at the same instant collapses to one
+// hardware failure.
+func (s Schedule) Failures() failure.Schedule {
+	var out failure.Schedule
+	for _, ev := range s {
+		switch ev.Kind {
+		case KindCrash, KindCorrelatedCrash:
+			for _, r := range ev.Ranks {
+				out = append(out, failure.Event{At: ev.At, Rank: r, Kind: ev.Machine})
+			}
+		}
+	}
+	if out == nil {
+		return nil
+	}
+	return failure.Merge(out)
 }
 
 // Arm schedules every event in the schedule against the agent control

@@ -217,3 +217,71 @@ func TestKindString(t *testing.T) {
 		t.Error("unknown kind not reported as such")
 	}
 }
+
+// TestBuildValidationEdges pins the Build(n) edges the scenario
+// compiler leans on: rank bounds on both sides, overlapping windows,
+// and the zero-duration degenerate — a window whose closer lands at the
+// same instant as its opener sorts closer-first (Kind order is the
+// same-timestamp precedence), so the opener finds its window already
+// shut and validation rejects the schedule rather than arming a
+// zero-length fault.
+func TestBuildValidationEdges(t *testing.T) {
+	cases := []struct {
+		name string
+		b    *Builder
+	}{
+		{"negative rank crash", NewBuilder().Crash(0, -1, cluster.SoftwareFailed)},
+		{"negative rank partition", NewBuilder().Partition(0, 10, -3)},
+		{"rank == n", NewBuilder().Crash(0, 8, cluster.SoftwareFailed)},
+		{"rank beyond n", NewBuilder().CrashGroup(0, cluster.HardwareFailed, 1, 100)},
+		{"overlapping partitions", NewBuilder().Partition(0, 100, 1).Partition(50, 100, 2)},
+		{"partition inside partition", NewBuilder().Partition(0, 100, 1).Partition(10, 20, 2)},
+		{"zero-duration partition", NewBuilder().Partition(5, 0, 1)},
+		{"zero-duration kv outage", NewBuilder().KVOutage(5, 0)},
+		{"zero-duration straggler", NewBuilder().Straggler(5, 0, 1, 0.5)},
+	}
+	for _, tc := range cases {
+		if _, err := tc.b.Build(8); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	// Back-to-back windows share an instant (heal at t=10, next start at
+	// t=10); closers sorting before openers makes that legal.
+	if _, err := NewBuilder().Partition(0, 10, 1).Partition(10, 10, 2).Build(8); err != nil {
+		t.Errorf("back-to-back windows rejected: %v", err)
+	}
+}
+
+// TestFailuresLoweringHardwareWins drives the chaos→failure lowering
+// with the shapes the scenario compiler emits: a software crash and a
+// correlated hardware crash sharing an instant and a rank must collapse
+// to one hardware failure, and non-crash kinds must vanish.
+func TestFailuresLoweringHardwareWins(t *testing.T) {
+	sched := NewBuilder().
+		Crash(100, 2, cluster.SoftwareFailed).
+		CrashGroup(100, cluster.HardwareFailed, 2, 3).
+		Crash(200, 1, cluster.SoftwareFailed).
+		Partition(50, 25, 4).
+		KVOutage(300, 10).
+		LeaseJitter(0, 3*simclock.Second).
+		MustBuild(8)
+	fs := sched.Failures()
+	if len(fs) != 3 {
+		t.Fatalf("lowered %d events, want 3 (dedup + crash kinds only): %+v", len(fs), fs)
+	}
+	if fs[0].At != 100 || fs[0].Rank != 2 || fs[0].Kind != cluster.HardwareFailed {
+		t.Errorf("rank 2 double-hit lowered to %+v, want hardware at t=100", fs[0])
+	}
+	if fs[1].At != 100 || fs[1].Rank != 3 || fs[1].Kind != cluster.HardwareFailed {
+		t.Errorf("event 1 = %+v, want rank 3 hardware at t=100", fs[1])
+	}
+	if fs[2].At != 200 || fs[2].Rank != 1 || fs[2].Kind != cluster.SoftwareFailed {
+		t.Errorf("event 2 = %+v, want rank 1 software at t=200", fs[2])
+	}
+	if err := fs.Validate(8); err != nil {
+		t.Fatalf("lowered schedule invalid: %v", err)
+	}
+	if got := Schedule(nil).Failures(); got != nil {
+		t.Fatalf("empty schedule lowered to %+v, want nil", got)
+	}
+}

@@ -235,6 +235,7 @@ func (j *Job) SimulateRun(spec baselines.Spec, fs failure.Schedule, horizon simc
 	return runsim.Run(runsim.Config{
 		Spec:             spec,
 		Placement:        j.Placement,
+		Machines:         j.Spec.Machines,
 		Failures:         fs,
 		Horizon:          horizon,
 		ReplacementDelay: replacementDelay,
@@ -253,6 +254,7 @@ func (j *Job) SimulateRunScaled(spec baselines.Spec, machines int, fs failure.Sc
 	return runsim.Run(runsim.Config{
 		Spec:             spec,
 		Placement:        plc,
+		Machines:         machines,
 		Failures:         fs,
 		Horizon:          horizon,
 		ReplacementDelay: replacementDelay,

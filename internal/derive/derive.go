@@ -110,13 +110,16 @@ func Build(k Key) (*Artifacts, error) {
 		return nil, err
 	}
 	a := &Artifacts{Key: k, Config: cfg, Placement: plc, Timeline: tl, Profile: prof, Plan: plan, Costs: tensor.DefaultCostModel()}
-	if a.Gemini, err = baselines.Gemini(cfg, k.Replicas, k.RemoteBandwidth, a.Costs); err != nil {
+	// The specs take the parallelism-aware timeline built above: the
+	// checkpoint cadence and completion lag follow the job's actual
+	// iteration, not an assumed ZeRO-3 one.
+	if a.Gemini, err = baselines.Gemini(cfg, tl, k.Replicas, k.RemoteBandwidth, a.Costs); err != nil {
 		return nil, err
 	}
 	if a.Strawman, err = baselines.Strawman(cfg, k.RemoteBandwidth, a.Costs); err != nil {
 		return nil, err
 	}
-	if a.HighFreq, err = baselines.HighFreq(cfg, k.RemoteBandwidth, a.Costs); err != nil {
+	if a.HighFreq, err = baselines.HighFreq(cfg, tl, k.RemoteBandwidth, a.Costs); err != nil {
 		return nil, err
 	}
 	return a, nil

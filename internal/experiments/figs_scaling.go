@@ -76,7 +76,7 @@ func simulateRatio(spec baselines.Spec, n int, failuresPerDay float64, horizon s
 		if err != nil {
 			return 0, err
 		}
-		res, err := runsim.Run(runsim.Config{Spec: spec, Placement: plc, Failures: fs, Horizon: horizon})
+		res, err := runsim.Run(runsim.Config{Spec: spec, Placement: plc, Machines: n, Failures: fs, Horizon: horizon})
 		if err != nil {
 			return 0, err
 		}

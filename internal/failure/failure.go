@@ -126,6 +126,15 @@ func (m Model) Generate(n int, horizon simclock.Duration, seed int64) (Schedule,
 // failures per day, evenly spaced, round-robin over machines and
 // alternating kinds per the hardware fraction. Used by the §7.3
 // failure-rate sweep so every solution sees identical failures.
+//
+// Accounting is exact in event-index space: event i lands at
+// (i+0.5)/failuresPerDay days, the event count is decided once from the
+// half-open horizon (an event landing exactly at the horizon is
+// excluded, and no accumulated float interval can drift one across that
+// boundary), and the i-th event is hardware exactly when
+// ⌊(i+1)·hwFraction⌋ > ⌊i·hwFraction⌋ — so the first c events always
+// contain ⌊c·hwFraction⌋ hardware failures, with no running-debt drift
+// over long horizons.
 func FixedRate(n int, failuresPerDay float64, hwFraction float64, horizon simclock.Duration) (Schedule, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("failure: need at least one machine, got %d", n)
@@ -133,21 +142,28 @@ func FixedRate(n int, failuresPerDay float64, hwFraction float64, horizon simclo
 	if failuresPerDay < 0 || hwFraction < 0 || hwFraction > 1 {
 		return nil, fmt.Errorf("failure: bad rate %v / fraction %v", failuresPerDay, hwFraction)
 	}
-	if failuresPerDay == 0 {
+	if failuresPerDay == 0 || horizon <= 0 {
 		return nil, nil
 	}
-	interval := simclock.Duration(simclock.Day.Seconds() / failuresPerDay)
-	var out Schedule
-	hwDebt := 0.0
-	for i := 0; ; i++ {
-		at := simclock.Time(0).Add(interval/2 + interval*simclock.Duration(i))
+	// Event i is inside [0, horizon) iff i + 0.5 < failuresPerDay·days,
+	// i.e. i < X with X = failuresPerDay·days − 0.5; the count is ⌈X⌉
+	// for both integer and fractional X.
+	days := horizon.Seconds() / simclock.Day.Seconds()
+	count := int(math.Ceil(failuresPerDay*days - 0.5))
+	if count <= 0 {
+		return nil, nil
+	}
+	out := make(Schedule, 0, count)
+	for i := 0; i < count; i++ {
+		at := simclock.Time((float64(i) + 0.5) / failuresPerDay * simclock.Day.Seconds())
 		if at >= simclock.Time(horizon) {
-			break
+			// The index-space decision is authoritative; if the time
+			// computation rounded the last event onto the boundary, snap
+			// it just inside instead of dropping or leaking it.
+			at = simclock.Time(math.Nextafter(horizon.Seconds(), 0))
 		}
 		kind := cluster.SoftwareFailed
-		hwDebt += hwFraction
-		if hwDebt >= 1 {
-			hwDebt -= 1
+		if math.Floor(float64(i+1)*hwFraction) > math.Floor(float64(i)*hwFraction) {
 			kind = cluster.HardwareFailed
 		}
 		out = append(out, Event{At: at, Rank: i % n, Kind: kind})
@@ -155,21 +171,64 @@ func FixedRate(n int, failuresPerDay float64, hwFraction float64, horizon simclo
 	return out, nil
 }
 
+// GroupEnd returns the exclusive end of the simultaneity group anchored
+// at s[i] under window w: the first index j > i with s[j].At − s[i].At
+// beyond w. This is the one grouping definition shared by the schedule
+// analyzers (SimultaneousGroups, SimultaneousHardwareGroups) and the
+// long-run simulator (runsim): windows are anchored at the group's
+// first event and never chain — an event more than w after the anchor
+// starts a new group even when it lands within w of the group's last
+// member. The schedule must be time-ordered (Validate checks this).
+func (s Schedule) GroupEnd(i int, w simclock.Duration) int {
+	j := i + 1
+	for j < len(s) && s[j].At.Sub(s[i].At) <= w {
+		j++
+	}
+	return j
+}
+
 // SimultaneousGroups extracts, for a window w, the maximal sets of
 // distinct machines failing within w of each other — the k of
-// Corollary 1. Used to study correlated failures.
+// Corollary 1. Used to study correlated failures. Windows follow the
+// GroupEnd anchoring semantics, identical to the simulator's walk.
 func (s Schedule) SimultaneousGroups(w simclock.Duration) []int {
 	if len(s) == 0 {
 		return nil
 	}
 	var sizes []int
-	i := 0
-	for i < len(s) {
-		j := i
-		ranks := map[int]bool{}
-		for j < len(s) && s[j].At.Sub(s[i].At) <= w {
-			ranks[s[j].Rank] = true
-			j++
+	ranks := map[int]bool{}
+	for i := 0; i < len(s); {
+		j := s.GroupEnd(i, w)
+		clear(ranks)
+		for _, ev := range s[i:j] {
+			ranks[ev.Rank] = true
+		}
+		sizes = append(sizes, len(ranks))
+		i = j
+	}
+	return sizes
+}
+
+// SimultaneousHardwareGroups is SimultaneousGroups restricted to
+// hardware failures: the same GroupEnd windows, but each count is the
+// number of distinct machines that lost their CPU memory inside the
+// window — exactly the k the simulator's survival check feeds to the
+// Corollary 1 placement kernel. Software failures still open and
+// populate windows (they trigger recoveries) but do not count toward k;
+// a window of pure software failures reports 0.
+func (s Schedule) SimultaneousHardwareGroups(w simclock.Duration) []int {
+	if len(s) == 0 {
+		return nil
+	}
+	var sizes []int
+	ranks := map[int]bool{}
+	for i := 0; i < len(s); {
+		j := s.GroupEnd(i, w)
+		clear(ranks)
+		for _, ev := range s[i:j] {
+			if ev.Kind == cluster.HardwareFailed {
+				ranks[ev.Rank] = true
+			}
 		}
 		sizes = append(sizes, len(ranks))
 		i = j

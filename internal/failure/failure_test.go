@@ -262,3 +262,166 @@ func TestPropertyGeneratedSchedulesValid(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestFixedRateBoundaryExclusion(t *testing.T) {
+	// One failure per day over half a day: the single candidate event
+	// lands exactly at the horizon and must be excluded — the schedule
+	// covers [0, horizon).
+	s, err := FixedRate(16, 1, 0, simclock.Day/2)
+	if err != nil || len(s) != 0 {
+		t.Fatalf("event at the horizon leaked in: %d events, err %v", len(s), err)
+	}
+	// Nudge the horizon past the event and it appears.
+	s, err = FixedRate(16, 1, 0, simclock.Day/2+simclock.Second)
+	if err != nil || len(s) != 1 {
+		t.Fatalf("event just inside the horizon missing: %d events, err %v", len(s), err)
+	}
+	// Negative and zero horizons are empty, not errors (nothing can land
+	// inside an empty interval).
+	for _, h := range []simclock.Duration{0, -simclock.Day} {
+		if s, err := FixedRate(16, 4, 0.5, h); err != nil || len(s) != 0 {
+			t.Fatalf("horizon %v: %d events, err %v", h, len(s), err)
+		}
+	}
+}
+
+func TestFixedRateHighRateExactAccounting(t *testing.T) {
+	// One failure per second for a day: 86400 candidate half-interval
+	// slots, all strictly inside the horizon, no float drift across the
+	// boundary at either end.
+	const perDay = 86400
+	horizon := simclock.Day
+	s, err := FixedRate(16, perDay, 0.5, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != perDay {
+		t.Fatalf("%d events, want %d", len(s), perDay)
+	}
+	if err := s.Validate(16); err != nil {
+		t.Fatal(err)
+	}
+	for i, ev := range s {
+		if ev.At < 0 || ev.At >= simclock.Time(horizon) {
+			t.Fatalf("event %d at %v outside [0, %v)", i, ev.At, horizon)
+		}
+		if ev.Rank != i%16 {
+			t.Fatalf("event %d rank %d, want round-robin %d", i, ev.Rank, i%16)
+		}
+	}
+}
+
+func TestFixedRatePropertyCountAndHardwareExact(t *testing.T) {
+	// Property: for any rate, fraction, and horizon, the event count is
+	// ⌈rate·days − 0.5⌉, every event is strictly inside the horizon, and
+	// the hardware count is exactly ⌊count·fraction⌋ — no accumulated
+	// drift at any horizon length.
+	check := func(perDay, frac, days float64) {
+		t.Helper()
+		horizon := simclock.Duration(days) * simclock.Day
+		s, err := FixedRate(8, perDay, frac, horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int(math.Ceil(perDay*days - 0.5))
+		if want < 0 {
+			want = 0
+		}
+		if len(s) != want {
+			t.Fatalf("rate %v frac %v days %v: %d events, want %d", perDay, frac, days, len(s), want)
+		}
+		hw := 0
+		for _, ev := range s {
+			if ev.At >= simclock.Time(horizon) {
+				t.Fatalf("rate %v days %v: event at %v beyond horizon", perDay, days, ev.At)
+			}
+			if ev.Kind == cluster.HardwareFailed {
+				hw++
+			}
+		}
+		if wantHW := int(math.Floor(float64(len(s)) * frac)); hw != wantHW {
+			t.Fatalf("rate %v frac %v days %v: %d hardware of %d, want %d", perDay, frac, days, hw, len(s), wantHW)
+		}
+	}
+	for _, perDay := range []float64{0.5, 1, 3, 7.3, 100, 12345} {
+		for _, frac := range []float64{0, 0.25, 1.0 / 3, 0.5, 0.9, 1} {
+			for _, days := range []float64{0.1, 1, 10, 365} {
+				check(perDay, frac, days)
+			}
+		}
+	}
+}
+
+func TestGenerateEdgeHorizons(t *testing.T) {
+	m := OPTModel()
+	// A zero horizon is a valid empty interval, not an error.
+	s, err := m.Generate(16, 0, 1)
+	if err != nil || len(s) != 0 {
+		t.Fatalf("zero horizon: %d events, err %v", len(s), err)
+	}
+	// A vanishing rate over a long horizon terminates promptly with an
+	// empty (or nearly empty) schedule instead of spinning.
+	tiny := Model{PerInstancePerDay: 1e-12, HardwareFraction: 0.5}
+	s, err = tiny.Generate(16, 365*simclock.Day, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) > 1 {
+		t.Fatalf("tiny rate produced %d events over a year", len(s))
+	}
+	if err := s.Validate(16); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimultaneousHardwareGroupsCountsOnlyHardware(t *testing.T) {
+	s := Schedule{
+		{At: 0, Rank: 0, Kind: cluster.SoftwareFailed},
+		{At: 1, Rank: 1, Kind: cluster.HardwareFailed},
+		{At: 2, Rank: 1, Kind: cluster.HardwareFailed}, // same machine, not counted twice
+		{At: 100, Rank: 2, Kind: cluster.SoftwareFailed},
+		{At: 105, Rank: 3, Kind: cluster.SoftwareFailed},
+	}
+	if err := s.Validate(8); err != nil {
+		t.Fatal(err)
+	}
+	groups := s.SimultaneousGroups(10)
+	hw := s.SimultaneousHardwareGroups(10)
+	if len(groups) != len(hw) {
+		t.Fatalf("window partitions disagree: %d vs %d groups", len(groups), len(hw))
+	}
+	if groups[0] != 2 || groups[1] != 2 {
+		t.Fatalf("distinct-machine counts %v, want [2 2]", groups)
+	}
+	if hw[0] != 1 || hw[1] != 0 {
+		t.Fatalf("hardware k-counts %v, want [1 0]", hw)
+	}
+}
+
+func TestGroupEndAnchorsAtFirstEventAndNeverChains(t *testing.T) {
+	// Events at 0, 6, 12 with window 10: 6 joins the group anchored at
+	// 0, but 12 — within 10 of 6, beyond 10 of the anchor — starts a new
+	// group. Chaining would collapse all three into one window.
+	s := Schedule{
+		{At: 0, Rank: 0, Kind: cluster.SoftwareFailed},
+		{At: 6, Rank: 1, Kind: cluster.SoftwareFailed},
+		{At: 12, Rank: 2, Kind: cluster.SoftwareFailed},
+	}
+	if end := s.GroupEnd(0, 10); end != 2 {
+		t.Fatalf("group anchored at t=0 ends at %d, want 2 (no chaining)", end)
+	}
+	if end := s.GroupEnd(2, 10); end != 3 {
+		t.Fatalf("group anchored at t=12 ends at %d, want 3", end)
+	}
+	// The window boundary is inclusive.
+	s2 := Schedule{
+		{At: 0, Rank: 0, Kind: cluster.HardwareFailed},
+		{At: 10, Rank: 1, Kind: cluster.HardwareFailed},
+	}
+	if end := s2.GroupEnd(0, 10); end != 2 {
+		t.Fatalf("event exactly at the window edge excluded: end %d, want 2", end)
+	}
+	if got := s.SimultaneousGroups(10); len(got) != 2 || got[0] != 2 || got[1] != 1 {
+		t.Fatalf("groups %v, want [2 1]", got)
+	}
+}

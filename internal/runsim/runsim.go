@@ -40,6 +40,12 @@ type Config struct {
 	// Placement decides CPU-memory survival for GEMINI-style specs; it
 	// may be nil for remote-storage solutions.
 	Placement *placement.Placement
+	// Machines is the real cluster size N the failure schedule is
+	// validated against. Zero defaults to Placement.N when a placement
+	// is present; remote-storage specs (nil Placement) must state it
+	// explicitly so schedules with out-of-range ranks are rejected
+	// instead of silently accepted. When both are set they must agree.
+	Machines int
 	// Failures is the injected failure schedule.
 	Failures failure.Schedule
 	// Horizon is the simulated wall-clock length.
@@ -66,9 +72,19 @@ func (c Config) validate() error {
 	if c.Spec.UsesCPUMemory && c.Placement == nil {
 		return fmt.Errorf("runsim: CPU-memory solution needs a placement")
 	}
-	n := 1 << 30
+	if c.Machines < 0 {
+		return fmt.Errorf("runsim: negative machine count %d", c.Machines)
+	}
+	n := c.Machines
 	if c.Placement != nil {
-		n = c.Placement.N
+		if n == 0 {
+			n = c.Placement.N
+		} else if n != c.Placement.N {
+			return fmt.Errorf("runsim: Machines %d disagrees with placement over %d machines", n, c.Placement.N)
+		}
+	}
+	if n == 0 {
+		return fmt.Errorf("runsim: remote-storage config needs Machines set to validate failure ranks")
 	}
 	return c.Failures.Validate(n)
 }
@@ -182,27 +198,29 @@ func Run(cfg Config) (*Result, error) {
 		if events[i].At >= horizon {
 			break
 		}
-		// Group simultaneous failures.
+		// Group simultaneous failures. The window is anchored at the
+		// group's first event and never chains — failure.GroupEnd is the
+		// shared definition, so the analyzer's SimultaneousGroups counts
+		// and this walk always agree on the Corollary 1 k.
 		window := cfg.SimultaneityWindow
 		if window == 0 {
 			window = s.RecoveryDowntime(baselines.FromPeer, cfg.ReplacementDelay)
 		}
-		j := i
+		j := events.GroupEnd(i, window)
 		for _, r := range hwRanks {
 			hwSet.Clear(r)
 		}
 		hwRanks = hwRanks[:0]
 		hardware := false
-		for j < len(events) && events[j].At.Sub(events[i].At) <= window {
-			if events[j].Kind == cluster.HardwareFailed {
+		for _, ev := range events[i:j] {
+			if ev.Kind == cluster.HardwareFailed {
 				hardware = true
-				if hwSet != nil && !hwSet.Has(events[j].Rank) {
-					hwSet.Set(events[j].Rank)
-					hwRanks = append(hwRanks, events[j].Rank)
+				if hwSet != nil && !hwSet.Has(ev.Rank) {
+					hwSet.Set(ev.Rank)
+					hwRanks = append(hwRanks, ev.Rank)
 				}
 			}
 			res.Failures++
-			j++
 		}
 		at := events[i].At
 		if at < resume {

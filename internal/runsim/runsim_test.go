@@ -17,16 +17,19 @@ func specs(t *testing.T, machines int) (straw, high, gem baselines.Spec) {
 	t.Helper()
 	cfg := training.MustNewConfig(model.MustByName("GPT-2 100B"), cluster.MustInstance("p4d.24xlarge"), machines)
 	costs := tensor.DefaultCostModel()
-	var err error
+	tl, err := training.BuildTimeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	straw, err = baselines.Strawman(cfg, baselines.DefaultRemoteBandwidth, costs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	high, err = baselines.HighFreq(cfg, baselines.DefaultRemoteBandwidth, costs)
+	high, err = baselines.HighFreq(cfg, tl, baselines.DefaultRemoteBandwidth, costs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	gem, err = baselines.Gemini(cfg, 2, baselines.DefaultRemoteBandwidth, costs)
+	gem, err = baselines.Gemini(cfg, tl, 2, baselines.DefaultRemoteBandwidth, costs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,6 +49,7 @@ func run(t *testing.T, spec baselines.Spec, machines int, fs failure.Schedule, h
 	t.Helper()
 	cfg := Config{
 		Spec:     spec,
+		Machines: machines,
 		Failures: fs,
 		Horizon:  horizon,
 	}
@@ -316,5 +320,158 @@ func TestWastedBreakdownSumsToTotal(t *testing.T) {
 	if clean.TotalLost != 0 || clean.TotalDowntime != 0 || clean.TotalWasted != 0 {
 		t.Fatalf("clean run wasted %v/%v/%v, want zeros",
 			clean.TotalLost, clean.TotalDowntime, clean.TotalWasted)
+	}
+}
+
+// TestSimultaneityTableSharedWithAnalyzer pins the one grouping
+// definition (failure.GroupEnd: windows anchored at the group's first
+// event, inclusive edge, no chaining) for both consumers: the schedule
+// analyzer's Corollary-1 k-counts and the simulator's recovery walk must
+// read every table row identically. Placement is Mixed(16, 2), so ranks
+// {0,1} share a replica group (losing both ⇒ remote) while {0,2} span
+// groups (⇒ peer).
+func TestSimultaneityTableSharedWithAnalyzer(t *testing.T) {
+	_, _, gem := specs(t, 16)
+	const w = 10 * simclock.Second
+	cases := []struct {
+		name     string
+		fs       failure.Schedule
+		groups   []int // distinct machines per window (SimultaneousGroups)
+		hwGroups []int // distinct hardware machines per window (the k)
+		local    int
+		peer     int
+		remote   int
+	}{
+		{
+			name: "no-chaining",
+			fs: failure.Schedule{
+				{At: 0, Rank: 0, Kind: cluster.SoftwareFailed},
+				{At: simclock.Time(6 * simclock.Second), Rank: 1, Kind: cluster.SoftwareFailed},
+				{At: simclock.Time(12 * simclock.Second), Rank: 2, Kind: cluster.SoftwareFailed},
+			},
+			groups: []int{2, 1}, hwGroups: []int{0, 0}, local: 2,
+		},
+		{
+			name: "same-replica-group-loss",
+			fs: failure.Schedule{
+				{At: 0, Rank: 0, Kind: cluster.HardwareFailed},
+				{At: simclock.Time(simclock.Second), Rank: 1, Kind: cluster.HardwareFailed},
+			},
+			groups: []int{2}, hwGroups: []int{2}, remote: 1,
+		},
+		{
+			name: "cross-group-survival",
+			fs: failure.Schedule{
+				{At: 0, Rank: 0, Kind: cluster.HardwareFailed},
+				{At: simclock.Time(simclock.Second), Rank: 2, Kind: cluster.HardwareFailed},
+			},
+			groups: []int{2}, hwGroups: []int{2}, peer: 1,
+		},
+		{
+			name: "software-does-not-raise-k",
+			fs: failure.Schedule{
+				{At: 0, Rank: 0, Kind: cluster.SoftwareFailed},
+				{At: simclock.Time(simclock.Second), Rank: 1, Kind: cluster.HardwareFailed},
+			},
+			groups: []int{2}, hwGroups: []int{1}, peer: 1,
+		},
+		{
+			name: "same-machine-twice-is-k1",
+			fs: failure.Schedule{
+				{At: 0, Rank: 0, Kind: cluster.HardwareFailed},
+				{At: simclock.Time(simclock.Second), Rank: 0, Kind: cluster.HardwareFailed},
+			},
+			groups: []int{1}, hwGroups: []int{1}, peer: 1,
+		},
+		{
+			name: "inclusive-window-edge",
+			fs: failure.Schedule{
+				{At: 0, Rank: 0, Kind: cluster.HardwareFailed},
+				{At: simclock.Time(w), Rank: 1, Kind: cluster.HardwareFailed},
+			},
+			groups: []int{1, 1}[:1], hwGroups: []int{2}, remote: 1,
+		},
+	}
+	cases[len(cases)-1].groups = []int{2}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.fs.Validate(16); err != nil {
+				t.Fatal(err)
+			}
+			// Analyzer side.
+			if got := tc.fs.SimultaneousGroups(w); !equalInts(got, tc.groups) {
+				t.Errorf("SimultaneousGroups = %v, want %v", got, tc.groups)
+			}
+			if got := tc.fs.SimultaneousHardwareGroups(w); !equalInts(got, tc.hwGroups) {
+				t.Errorf("SimultaneousHardwareGroups = %v, want %v", got, tc.hwGroups)
+			}
+			// Simulator side: same windows, same k, so the recovery
+			// sources follow.
+			res, err := Run(Config{
+				Spec:               gem,
+				Placement:          placement.MustMixed(16, 2),
+				Failures:           tc.fs,
+				Horizon:            simclock.Day,
+				SimultaneityWindow: w,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.FromLocal != tc.local || res.FromPeer != tc.peer || res.FromRemote != tc.remote {
+				t.Errorf("recoveries %d/%d/%d (local/peer/remote), want %d/%d/%d",
+					res.FromLocal, res.FromPeer, res.FromRemote, tc.local, tc.peer, tc.remote)
+			}
+			if want := len(tc.groups); len(res.WastedSamples) != want {
+				t.Errorf("%d recovery windows, analyzer sees %d groups", len(res.WastedSamples), want)
+			}
+			if res.Failures != len(tc.fs) {
+				t.Errorf("processed %d events, schedule has %d", res.Failures, len(tc.fs))
+			}
+		})
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMachinesValidation pins the satellite fix: remote-storage specs
+// (nil placement) must state the cluster size, and out-of-range ranks
+// are rejected for every spec kind instead of being waved through by a
+// 2^30 placeholder.
+func TestMachinesValidation(t *testing.T) {
+	straw, _, gem := specs(t, 16)
+	badRank := failure.Schedule{{At: 1, Rank: 999, Kind: cluster.SoftwareFailed}}
+
+	// Remote-storage spec without Machines: rejected outright.
+	if _, err := Run(Config{Spec: straw, Horizon: simclock.Day}); err == nil {
+		t.Error("remote-storage config without Machines accepted")
+	}
+	// Remote-storage spec with Machines: out-of-range ranks now caught.
+	if _, err := Run(Config{Spec: straw, Machines: 16, Horizon: simclock.Day, Failures: badRank}); err == nil {
+		t.Error("rank 999 accepted against a 16-machine remote-storage run")
+	}
+	// In-range schedule passes.
+	ok := failure.Schedule{{At: 1, Rank: 15, Kind: cluster.SoftwareFailed}}
+	if _, err := Run(Config{Spec: straw, Machines: 16, Horizon: simclock.Day, Failures: ok}); err != nil {
+		t.Errorf("in-range remote-storage run rejected: %v", err)
+	}
+	// Machines and Placement must agree when both are given.
+	if _, err := Run(Config{Spec: gem, Machines: 8, Placement: placement.MustMixed(16, 2), Horizon: simclock.Day}); err == nil {
+		t.Error("Machines=8 with a 16-machine placement accepted")
+	}
+	if _, err := Run(Config{Spec: gem, Machines: -1, Placement: placement.MustMixed(16, 2), Horizon: simclock.Day}); err == nil {
+		t.Error("negative Machines accepted")
+	}
+	if _, err := Run(Config{Spec: gem, Machines: 16, Placement: placement.MustMixed(16, 2), Horizon: simclock.Day}); err != nil {
+		t.Errorf("agreeing Machines and placement rejected: %v", err)
 	}
 }

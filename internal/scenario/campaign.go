@@ -1,0 +1,213 @@
+package scenario
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"gemini/internal/metrics"
+	"gemini/internal/parallel"
+	"gemini/internal/runsim"
+	"gemini/internal/simclock"
+)
+
+// CampaignOptions tune a campaign run without touching the scenario.
+type CampaignOptions struct {
+	// Workers bounds fan-out concurrency (0 = GOMAXPROCS). Never
+	// affects results: variations land in pre-sized slots and aggregate
+	// in variation order.
+	Workers int
+	// Variations overrides the scenario's width when positive.
+	Variations int
+}
+
+// Report is a campaign's aggregate result. It contains no wall-clock or
+// host-dependent data, so for a fixed scenario and seed the marshalled
+// report is byte-identical at any worker count; Hash seals it.
+type Report struct {
+	Scenario    string `json:"scenario"`
+	Description string `json:"description,omitempty"`
+	Seed        int64  `json:"seed"`
+	Variations  int    `json:"variations"`
+	Model       string `json:"model"`
+	Instance    string `json:"instance"`
+	Machines    int    `json:"machines"`
+	Replicas    int    `json:"replicas"`
+	HorizonDays float64 `json:"horizon_days"`
+	// FailuresPerDay is the expected (Poisson) or exact (fixed)
+	// cluster-wide background failure rate.
+	FailuresPerDay float64 `json:"failures_per_day"`
+	// ChaosEvents counts compiled chaos schedule entries.
+	ChaosEvents int          `json:"chaos_events"`
+	Specs       []SpecReport `json:"specs"`
+	// Hash is the SHA-256 of this report marshalled with Hash empty —
+	// the campaign's deterministic fingerprint.
+	Hash string `json:"hash"`
+}
+
+// SpecReport aggregates one solution across all variations.
+type SpecReport struct {
+	Name string `json:"name"`
+	// EffectiveRatio summarizes the per-variation §7.3 effective
+	// training time ratio.
+	EffectiveRatio Stats `json:"effective_ratio"`
+	// WastedHours summarizes per-variation total wasted time.
+	WastedHours Stats `json:"wasted_hours"`
+	// Failures is the total failures processed across variations.
+	Failures int `json:"failures"`
+	// FromLocal/FromPeer/FromRemote total the recovery sources.
+	FromLocal  int `json:"from_local"`
+	FromPeer   int `json:"from_peer"`
+	FromRemote int `json:"from_remote"`
+	// InMemoryFraction is (local+peer)/total recoveries — the paper's
+	// headline probability of recovering from CPU memory.
+	InMemoryFraction float64 `json:"in_memory_fraction"`
+}
+
+// Stats is a JSON-friendly metrics.Summary.
+type Stats struct {
+	Mean   float64 `json:"mean"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	P50    float64 `json:"p50"`
+	P90    float64 `json:"p90"`
+	P99    float64 `json:"p99"`
+	StdDev float64 `json:"stddev"`
+}
+
+func toStats(s metrics.Summary) Stats {
+	return Stats{Mean: s.Mean, Min: s.Min, Max: s.Max, P50: s.P50, P90: s.P90, P99: s.P99, StdDev: s.StdDev}
+}
+
+// variationResult is one variation's per-spec outcomes, in spec order.
+type variationResult struct {
+	ratio  []float64
+	wasted []simclock.Duration
+	fails  []int
+	local  []int
+	peer   []int
+	remote []int
+}
+
+// RunCampaign expands the compiled scenario into its seeded variations,
+// fans them across workers, and aggregates. Variation v uses failure
+// seed Seed+v; results are collected into slot v and reduced in
+// variation order, so the report does not depend on the worker count.
+func RunCampaign(ctx context.Context, c *Compiled, opts CampaignOptions) (*Report, error) {
+	s := c.Scenario
+	variations := s.Variations
+	if opts.Variations > 0 {
+		variations = opts.Variations
+	}
+	nspecs := len(c.Specs)
+	if nspecs == 0 {
+		return nil, fmt.Errorf("scenario: no specs to run")
+	}
+
+	slots := make([]variationResult, variations)
+	err := parallel.ForEachErr(ctx, opts.Workers, variations, func(v int) error {
+		fs, err := c.FailureSchedule(v)
+		if err != nil {
+			return err
+		}
+		vr := variationResult{
+			ratio:  make([]float64, nspecs),
+			wasted: make([]simclock.Duration, nspecs),
+			fails:  make([]int, nspecs),
+			local:  make([]int, nspecs),
+			peer:   make([]int, nspecs),
+			remote: make([]int, nspecs),
+		}
+		for si, spec := range c.Specs {
+			cfg := runsim.Config{
+				Spec:               spec,
+				Machines:           s.Job.Machines,
+				Failures:           fs,
+				Horizon:            s.Horizon,
+				ReplacementDelay:   s.Run.ReplacementDelay,
+				SimultaneityWindow: s.Run.SimultaneityWindow,
+			}
+			if spec.UsesCPUMemory {
+				cfg.Placement = c.Job.Placement
+			}
+			res, err := runsim.Run(cfg)
+			if err != nil {
+				return fmt.Errorf("scenario: variation %d spec %s: %w", v, spec.Name, err)
+			}
+			vr.ratio[si] = res.EffectiveRatio
+			vr.wasted[si] = res.TotalWasted
+			vr.fails[si] = res.Failures
+			vr.local[si] = res.FromLocal
+			vr.peer[si] = res.FromPeer
+			vr.remote[si] = res.FromRemote
+			res.Release()
+		}
+		slots[v] = vr
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		Scenario:    s.Name,
+		Description: s.Description,
+		Seed:        s.Seed,
+		Variations:  variations,
+		Model:       s.Job.Model,
+		Instance:    c.Job.Spec.Instance,
+		Machines:    s.Job.Machines,
+		Replicas:    c.Job.Spec.Replicas,
+		HorizonDays: s.Horizon.Seconds() / simclock.Day.Seconds(),
+		ChaosEvents: len(c.Chaos),
+	}
+	switch s.Failures.Kind {
+	case "poisson":
+		rep.FailuresPerDay = c.Model.ClusterFailuresPerDay(s.Job.Machines)
+	case "fixed":
+		rep.FailuresPerDay = s.Failures.PerDay
+	}
+
+	ratios := make([]float64, variations)
+	wastedH := make([]float64, variations)
+	for si, spec := range c.Specs {
+		sr := SpecReport{Name: spec.Name}
+		for v := range slots {
+			ratios[v] = slots[v].ratio[si]
+			wastedH[v] = slots[v].wasted[si].Seconds() / 3600
+			sr.Failures += slots[v].fails[si]
+			sr.FromLocal += slots[v].local[si]
+			sr.FromPeer += slots[v].peer[si]
+			sr.FromRemote += slots[v].remote[si]
+		}
+		sr.EffectiveRatio = toStats(metrics.Summarize(ratios))
+		sr.WastedHours = toStats(metrics.Summarize(wastedH))
+		if total := sr.FromLocal + sr.FromPeer + sr.FromRemote; total > 0 {
+			sr.InMemoryFraction = float64(sr.FromLocal+sr.FromPeer) / float64(total)
+		}
+		rep.Specs = append(rep.Specs, sr)
+	}
+	rep.Hash = rep.ComputeHash()
+	return rep, nil
+}
+
+// ComputeHash returns the SHA-256 hex digest of the report marshalled
+// with the Hash field empty. Verification: recompute and compare.
+func (r *Report) ComputeHash() string {
+	clone := *r
+	clone.Hash = ""
+	data, err := json.Marshal(&clone)
+	if err != nil {
+		// Report marshalling cannot fail: all fields are plain data.
+		panic(fmt.Sprintf("scenario: report marshal: %v", err))
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// JSON marshals the report indented, ready to write to disk.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

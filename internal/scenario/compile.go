@@ -1,0 +1,302 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"gemini/internal/baselines"
+	"gemini/internal/chaos"
+	"gemini/internal/cluster"
+	"gemini/internal/core"
+	"gemini/internal/failure"
+	"gemini/internal/simclock"
+	"gemini/internal/training"
+)
+
+// Compiled is a scenario lowered onto the simulator's native types: the
+// derived job (resolved through the shared derivation cache), the specs
+// to compare, the seeded fleet assignment, the chaos schedule validated
+// against the cluster size, and the chaos events' failure-schedule
+// shadow for the long-run accounting.
+type Compiled struct {
+	Scenario *Scenario
+	Job      *core.Job
+	// Specs are the solutions under comparison, in scenario order.
+	Specs []baselines.Spec
+	// Fleet is the per-rank instance/region/provider assignment; nil
+	// when the scenario has no fleet section.
+	Fleet *FleetAssignment
+	// Chaos is the compiled fault schedule (sorted, validated).
+	Chaos chaos.Schedule
+	// ChaosFailures is Chaos lowered to the machine-killing subset.
+	ChaosFailures failure.Schedule
+	// Model is the Poisson background model; zero when Kind is fixed or
+	// background failures are off.
+	Model failure.Model
+}
+
+// FleetAssignment maps each rank to its fleet attributes. Slices are
+// empty when the corresponding dimension is not declared. The
+// assignment depends only on the scenario seed — not the variation — so
+// one fleet underlies the whole campaign.
+type FleetAssignment struct {
+	Instances []string
+	Regions   []string
+	Providers []string
+}
+
+// RegionRanks returns the ascending ranks assigned to a region.
+func (fa *FleetAssignment) RegionRanks(name string) []int { return ranksOf(fa.Regions, name) }
+
+// ProviderRanks returns the ascending ranks assigned to a provider.
+func (fa *FleetAssignment) ProviderRanks(name string) []int { return ranksOf(fa.Providers, name) }
+
+func ranksOf(assigned []string, name string) []int {
+	var out []int
+	for r, a := range assigned {
+		if a == name {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Compile lowers the scenario: derive the job, resolve specs, assign
+// the fleet, and compile + validate the chaos schedule. The scenario
+// must already be valid (Parse validates; call Validate after manual
+// construction).
+func (s *Scenario) Compile() (*Compiled, error) {
+	instance := s.Job.Instance
+	if instance == "" {
+		instance = heaviestTemplate(s.Fleet.Templates)
+	}
+	job, err := core.NewJob(core.JobSpec{
+		Model:           s.Job.Model,
+		Instance:        instance,
+		Machines:        s.Job.Machines,
+		Replicas:        s.Job.Replicas,
+		RemoteBandwidth: s.Job.RemoteGbps,
+		Strategy:        s.Job.Strategy,
+		Parallelism:     parallelismByName(s.Job.Parallelism),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+
+	c := &Compiled{Scenario: s, Job: job}
+	for _, name := range s.Run.Specs {
+		switch name {
+		case "gemini":
+			c.Specs = append(c.Specs, job.GeminiSpec())
+		case "highfreq":
+			c.Specs = append(c.Specs, job.HighFreqSpec())
+		case "strawman":
+			c.Specs = append(c.Specs, job.StrawmanSpec())
+		}
+	}
+
+	if s.Fleet != nil {
+		c.Fleet = assignFleet(s.Job.Machines, s.Fleet, s.Seed)
+	}
+
+	sched, err := compileChaos(s, c.Fleet)
+	if err != nil {
+		return nil, err
+	}
+	if len(sched) > 0 {
+		sched.Sort()
+		if err := sched.Validate(s.Job.Machines); err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		c.Chaos = sched
+		c.ChaosFailures = sched.Failures()
+	}
+
+	if s.Failures.Kind == "poisson" {
+		c.Model = failure.Model{
+			PerInstancePerDay: s.Failures.PerInstancePerDay,
+			HardwareFraction:  s.Failures.HardwareFraction,
+		}
+	}
+	return c, nil
+}
+
+// FailureSchedule builds variation v's full failure schedule: the
+// background distribution (seeded with Seed+v for Poisson; FixedRate is
+// seed-free) merged with the chaos schedule's crash events. Merge
+// collapses a rank hit by both at the same instant to one failure with
+// HardwareFailed winning.
+func (c *Compiled) FailureSchedule(v int) (failure.Schedule, error) {
+	s := c.Scenario
+	var base failure.Schedule
+	var err error
+	switch s.Failures.Kind {
+	case "poisson":
+		base, err = c.Model.Generate(s.Job.Machines, s.Horizon, s.Seed+int64(v))
+	case "fixed":
+		base, err = failure.FixedRate(s.Job.Machines, s.Failures.PerDay, s.Failures.HardwareFraction, s.Horizon)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("scenario: variation %d: %w", v, err)
+	}
+	if len(c.ChaosFailures) == 0 {
+		return base, nil
+	}
+	return failure.Merge(base, c.ChaosFailures), nil
+}
+
+// heaviestTemplate picks the job-sizing instance from a fleet: the
+// highest weight, ties broken by lexicographically smallest name, so
+// the choice is independent of declaration order.
+func heaviestTemplate(ts []Template) string {
+	best := ts[0]
+	for _, t := range ts[1:] {
+		if t.Weight > best.Weight || (t.Weight == best.Weight && t.Instance < best.Instance) {
+			best = t
+		}
+	}
+	return best.Instance
+}
+
+// assignFleet distributes n ranks across each declared dimension by
+// largest-remainder quota, then shuffles each assignment with a PRNG
+// seeded only by the scenario seed — region membership is scattered
+// across ranks (as in a real heterogeneous fleet) but fixed for the
+// whole campaign.
+func assignFleet(n int, f *FleetConfig, seed int64) *FleetAssignment {
+	rng := rand.New(rand.NewSource(seed))
+	fa := &FleetAssignment{}
+	if len(f.Templates) > 0 {
+		ws := make([]Weight, len(f.Templates))
+		for i, t := range f.Templates {
+			ws[i] = Weight{Name: t.Instance, Weight: t.Weight}
+		}
+		fa.Instances = assignDimension(n, ws, rng)
+	}
+	fa.Regions = assignDimension(n, f.Regions, rng)
+	fa.Providers = assignDimension(n, f.Providers, rng)
+	return fa
+}
+
+// assignDimension splits n slots across weighted names: each name gets
+// ⌊n·w/W⌋ slots, the remainder goes to the largest fractional parts
+// (ties to the earlier entry), and the resulting block assignment is
+// shuffled.
+func assignDimension(n int, ws []Weight, rng *rand.Rand) []string {
+	if len(ws) == 0 {
+		return nil
+	}
+	var total float64
+	for _, w := range ws {
+		total += w.Weight
+	}
+	counts := make([]int, len(ws))
+	fracs := make([]float64, len(ws))
+	assigned := 0
+	for i, w := range ws {
+		exact := float64(n) * w.Weight / total
+		counts[i] = int(exact)
+		fracs[i] = exact - float64(counts[i])
+		assigned += counts[i]
+	}
+	order := make([]int, len(ws))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return fracs[order[a]] > fracs[order[b]] })
+	for k := 0; assigned < n; k++ {
+		counts[order[k%len(order)]]++
+		assigned++
+	}
+	out := make([]string, 0, n)
+	for i, w := range ws {
+		for k := 0; k < counts[i]; k++ {
+			out = append(out, w.Name)
+		}
+	}
+	rng.Shuffle(n, func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// compileChaos lowers the declarative chaos entries onto chaos.Schedule
+// events, resolving outage kinds through the fleet assignment.
+func compileChaos(s *Scenario, fleet *FleetAssignment) (chaos.Schedule, error) {
+	var sched chaos.Schedule
+	for i, cc := range s.Chaos {
+		at := simclock.Time(cc.At)
+		switch cc.Kind {
+		case "crash":
+			sched = append(sched, chaos.Event{
+				At: at, Kind: chaos.KindCrash, Ranks: targetRanks(cc), Machine: machineState(cc.State),
+			})
+		case "correlated-crash":
+			sched = append(sched, chaos.Event{
+				At: at, Kind: chaos.KindCorrelatedCrash, Ranks: targetRanks(cc), Machine: machineState(cc.State),
+			})
+		case "partition":
+			sched = append(sched,
+				chaos.Event{At: at, Kind: chaos.KindPartitionStart, Ranks: targetRanks(cc)},
+				chaos.Event{At: at.Add(cc.Duration), Kind: chaos.KindPartitionHeal})
+		case "straggler":
+			ranks := targetRanks(cc)
+			sched = append(sched,
+				chaos.Event{At: at, Kind: chaos.KindStragglerStart, Ranks: ranks, Factor: cc.Factor},
+				chaos.Event{At: at.Add(cc.Duration), Kind: chaos.KindStragglerEnd, Ranks: ranks})
+		case "kv-outage":
+			sched = append(sched,
+				chaos.Event{At: at, Kind: chaos.KindKVOutage},
+				chaos.Event{At: at.Add(cc.Duration), Kind: chaos.KindKVRestore})
+		case "lease-jitter":
+			sched = append(sched, chaos.Event{At: at, Kind: chaos.KindLeaseJitter, Jitter: cc.Jitter})
+		case "region-outage", "provider-outage":
+			if fleet == nil {
+				return nil, fmt.Errorf("scenario: chaos[%d] (%s) needs a fleet section", i, cc.Kind)
+			}
+			name, ranks := cc.Region, fleet.RegionRanks(cc.Region)
+			if cc.Kind == "provider-outage" {
+				name, ranks = cc.Provider, fleet.ProviderRanks(cc.Provider)
+			}
+			if cc.MaxRanks > 0 && len(ranks) > cc.MaxRanks {
+				ranks = ranks[:cc.MaxRanks]
+			}
+			if len(ranks) == 0 {
+				return nil, fmt.Errorf("scenario: chaos[%d] (%s) %q resolves to no machines", i, cc.Kind, name)
+			}
+			kind := chaos.KindCorrelatedCrash
+			if len(ranks) == 1 {
+				kind = chaos.KindCrash
+			}
+			sched = append(sched, chaos.Event{At: at, Kind: kind, Ranks: ranks, Machine: machineState(cc.State)})
+		}
+	}
+	return sched, nil
+}
+
+// targetRanks merges the singular rank and plural ranks fields.
+func targetRanks(cc ChaosConfig) []int {
+	out := append([]int(nil), cc.Ranks...)
+	if cc.Rank >= 0 {
+		out = append(out, cc.Rank)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func machineState(s string) cluster.MachineState {
+	if s == "hardware" {
+		return cluster.HardwareFailed
+	}
+	return cluster.SoftwareFailed
+}
+
+func parallelismByName(name string) training.Parallelism {
+	switch name {
+	case "data-parallel":
+		return training.DataParallel
+	case "pipeline-parallel":
+		return training.PipelineParallel
+	default:
+		return training.ZeRO3
+	}
+}

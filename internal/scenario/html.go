@@ -1,0 +1,160 @@
+package scenario
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"strings"
+)
+
+// WriteHTML renders the report as one self-contained HTML page: no
+// external assets, charts as inline SVG, deterministic output (the page
+// is a pure function of the report, so it inherits the report's
+// worker-count independence).
+func WriteHTML(w io.Writer, r *Report) error {
+	var b strings.Builder
+	esc := html.EscapeString
+	fmt.Fprintf(&b, `<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8">
+<title>%s — campaign report</title>
+<style>
+body { font: 14px/1.5 system-ui, sans-serif; color: #1a1a2e; max-width: 60rem; margin: 2rem auto; padding: 0 1rem; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+table { border-collapse: collapse; margin: 1rem 0; }
+th, td { border: 1px solid #d0d0e0; padding: .3rem .7rem; text-align: right; }
+th:first-child, td:first-child { text-align: left; }
+thead th { background: #eef0f8; }
+.meta td { text-align: left; }
+.hash { font-family: monospace; font-size: .8rem; color: #666; word-break: break-all; }
+figure { margin: 1rem 0; }
+figcaption { font-size: .85rem; color: #555; }
+</style></head><body>
+<h1>Campaign: %s</h1>
+`, esc(r.Scenario), esc(r.Scenario))
+	if r.Description != "" {
+		fmt.Fprintf(&b, "<p>%s</p>\n", esc(r.Description))
+	}
+
+	fmt.Fprintf(&b, `<table class="meta"><tbody>
+<tr><td>Model</td><td>%s on %d× %s, m=%d replicas</td></tr>
+<tr><td>Horizon</td><td>%.3g days × %d variations (seed %d)</td></tr>
+<tr><td>Background failures</td><td>%.4g/day cluster-wide</td></tr>
+<tr><td>Chaos events</td><td>%d</td></tr>
+</tbody></table>
+`, esc(r.Model), r.Machines, esc(r.Instance), r.Replicas,
+		r.HorizonDays, r.Variations, r.Seed, r.FailuresPerDay, r.ChaosEvents)
+
+	b.WriteString("<h2>Effective training time ratio</h2>\n")
+	writeRatioChart(&b, r)
+
+	b.WriteString("<h2>Recovery sources</h2>\n")
+	writeSourceChart(&b, r)
+
+	b.WriteString(`<h2>Statistics</h2>
+<table><thead><tr><th>solution</th><th>ratio mean</th><th>p50</th><th>p90</th><th>p99</th><th>min</th><th>max</th><th>wasted h (mean)</th><th>failures</th><th>in-memory</th></tr></thead><tbody>
+`)
+	for _, sp := range r.Specs {
+		er := sp.EffectiveRatio
+		fmt.Fprintf(&b, "<tr><td>%s</td><td>%.4f</td><td>%.4f</td><td>%.4f</td><td>%.4f</td><td>%.4f</td><td>%.4f</td><td>%.2f</td><td>%d</td><td>%.1f%%</td></tr>\n",
+			esc(sp.Name), er.Mean, er.P50, er.P90, er.P99, er.Min, er.Max,
+			sp.WastedHours.Mean, sp.Failures, sp.InMemoryFraction*100)
+	}
+	fmt.Fprintf(&b, `</tbody></table>
+<p class="hash">report hash: %s</p>
+</body></html>
+`, esc(r.Hash))
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+var specColors = []string{"#4169b0", "#d98032", "#5a9e5a", "#a05ab0", "#b05a5a"}
+
+// writeRatioChart draws one horizontal bar per spec: the mean effective
+// ratio, with a min–max whisker.
+func writeRatioChart(b *strings.Builder, r *Report) {
+	const width, rowH, left = 700, 34, 110
+	plotW := width - left - 60
+	height := rowH*len(r.Specs) + 30
+	fmt.Fprintf(b, `<figure><svg viewBox="0 0 %d %d" width="%d" height="%d" role="img">`+"\n",
+		width, height, width, height)
+	// Gridlines at 0, 0.25 … 1.
+	for g := 0; g <= 4; g++ {
+		x := left + plotW*g/4
+		fmt.Fprintf(b, `<line x1="%d" y1="0" x2="%d" y2="%d" stroke="#e5e5ef"/><text x="%d" y="%d" font-size="11" fill="#777" text-anchor="middle">%.2f</text>`+"\n",
+			x, x, height-20, x, height-6, float64(g)/4)
+	}
+	for i, sp := range r.Specs {
+		y := i * rowH
+		er := sp.EffectiveRatio
+		barW := int(er.Mean * float64(plotW))
+		color := specColors[i%len(specColors)]
+		fmt.Fprintf(b, `<text x="%d" y="%d" font-size="12" text-anchor="end">%s</text>`+"\n",
+			left-8, y+rowH/2+4, html.EscapeString(sp.Name))
+		fmt.Fprintf(b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s" opacity="0.85"/>`+"\n",
+			left, y+7, barW, rowH-14, color)
+		// min–max whisker.
+		x0 := left + int(er.Min*float64(plotW))
+		x1 := left + int(er.Max*float64(plotW))
+		ym := y + rowH/2
+		fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#222" stroke-width="1.5"/>`+"\n", x0, ym, x1, ym)
+		fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#222"/>`+"\n", x0, ym-5, x0, ym+5)
+		fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#222"/>`+"\n", x1, ym-5, x1, ym+5)
+		fmt.Fprintf(b, `<text x="%d" y="%d" font-size="11" fill="#333">%.4f</text>`+"\n",
+			maxInt(barW+left, x1)+6, ym+4, er.Mean)
+	}
+	fmt.Fprintf(b, "</svg><figcaption>Mean effective training time ratio over %d variations; whiskers span min–max.</figcaption></figure>\n", r.Variations)
+}
+
+// writeSourceChart draws a 100%%-stacked bar of recovery sources.
+func writeSourceChart(b *strings.Builder, r *Report) {
+	const width, rowH, left = 700, 34, 110
+	plotW := width - left - 60
+	height := rowH*len(r.Specs) + 34
+	tiers := []struct {
+		name  string
+		color string
+		of    func(SpecReport) int
+	}{
+		{"local CPU", "#2e7d32", func(s SpecReport) int { return s.FromLocal }},
+		{"peer CPU", "#7cb342", func(s SpecReport) int { return s.FromPeer }},
+		{"remote", "#c62828", func(s SpecReport) int { return s.FromRemote }},
+	}
+	fmt.Fprintf(b, `<figure><svg viewBox="0 0 %d %d" width="%d" height="%d" role="img">`+"\n",
+		width, height, width, height)
+	for i, sp := range r.Specs {
+		y := i * rowH
+		total := sp.FromLocal + sp.FromPeer + sp.FromRemote
+		fmt.Fprintf(b, `<text x="%d" y="%d" font-size="12" text-anchor="end">%s</text>`+"\n",
+			left-8, y+rowH/2+4, html.EscapeString(sp.Name))
+		if total == 0 {
+			fmt.Fprintf(b, `<text x="%d" y="%d" font-size="11" fill="#777">no recoveries</text>`+"\n",
+				left, y+rowH/2+4)
+			continue
+		}
+		x := left
+		for _, tier := range tiers {
+			seg := int(float64(tier.of(sp)) / float64(total) * float64(plotW))
+			if seg > 0 {
+				fmt.Fprintf(b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s"/>`+"\n",
+					x, y+7, seg, rowH-14, tier.color)
+			}
+			x += seg
+		}
+	}
+	// Legend.
+	lx := left
+	ly := rowH*len(r.Specs) + 14
+	for _, tier := range tiers {
+		fmt.Fprintf(b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/><text x="%d" y="%d" font-size="11">%s</text>`+"\n",
+			lx, ly, tier.color, lx+14, ly+9, tier.name)
+		lx += 110
+	}
+	fmt.Fprintf(b, "</svg><figcaption>Share of recoveries served from each checkpoint tier, summed over all variations.</figcaption></figure>\n")
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,243 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// parseYAML decodes the YAML subset the scenario format uses into the
+// same value shapes encoding/json produces — map[string]any, []any,
+// float64, bool, string, nil — so one binder serves both formats. The
+// subset covers what declarative scenarios need and nothing more:
+//
+//   - two-or-more-space indentation for nesting (tabs are rejected)
+//   - `key: value` and `key:` + indented block mappings
+//   - `- item` block lists, including `- key: value` mapping items
+//   - inline lists `[a, b, c]`
+//   - double- and single-quoted strings, `#` comments, blank lines
+//   - unquoted scalars: numbers, true/false, null/~, everything else a
+//     string
+//
+// Anchors, aliases, multi-document streams, flow mappings, and
+// multi-line strings are out of scope and fail with a line-numbered
+// error.
+func parseYAML(data []byte) (any, error) {
+	lines, err := yamlLines(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return map[string]any{}, nil
+	}
+	p := &yamlParser{lines: lines}
+	v, err := p.block(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.lines) {
+		return nil, yamlErr(p.lines[p.pos], "content outside the top-level block (check indentation)")
+	}
+	return v, nil
+}
+
+type yamlLine struct {
+	indent int
+	text   string
+	num    int // 1-based source line number
+}
+
+func yamlErr(ln yamlLine, format string, args ...any) error {
+	return fmt.Errorf("scenario: yaml line %d: %s", ln.num, fmt.Sprintf(format, args...))
+}
+
+// yamlLines strips comments and blanks and records indentation.
+func yamlLines(data []byte) ([]yamlLine, error) {
+	var out []yamlLine
+	for i, raw := range strings.Split(string(data), "\n") {
+		ln := yamlLine{num: i + 1}
+		rest := strings.TrimRight(raw, " \r")
+		indent := 0
+		for indent < len(rest) && rest[indent] == ' ' {
+			indent++
+		}
+		rest = rest[indent:]
+		if strings.HasPrefix(rest, "\t") {
+			return nil, yamlErr(yamlLine{num: i + 1}, "tab indentation is not supported (use spaces)")
+		}
+		rest = stripComment(rest)
+		rest = strings.TrimRight(rest, " ")
+		if rest == "" || rest == "---" {
+			continue
+		}
+		ln.indent, ln.text = indent, rest
+		out = append(out, ln)
+	}
+	return out, nil
+}
+
+// stripComment removes a trailing `#` comment, respecting quotes.
+func stripComment(s string) string {
+	var quote byte
+	for i := 0; i < len(s); i++ {
+		switch {
+		case quote != 0:
+			if s[i] == quote {
+				quote = 0
+			}
+		case s[i] == '"' || s[i] == '\'':
+			quote = s[i]
+		case s[i] == '#' && (i == 0 || s[i-1] == ' '):
+			return s[:i]
+		}
+	}
+	return s
+}
+
+type yamlParser struct {
+	lines []yamlLine
+	pos   int
+}
+
+// block parses the value starting at the current line, which must be
+// indented at least min columns; an absent or outdented block is nil.
+func (p *yamlParser) block(min int) (any, error) {
+	if p.pos >= len(p.lines) || p.lines[p.pos].indent < min {
+		return nil, nil
+	}
+	base := p.lines[p.pos].indent
+	if isListItem(p.lines[p.pos].text) {
+		return p.list(base)
+	}
+	return p.mapping(base)
+}
+
+func isListItem(text string) bool {
+	return text == "-" || strings.HasPrefix(text, "- ")
+}
+
+func (p *yamlParser) mapping(indent int) (map[string]any, error) {
+	m := map[string]any{}
+	for p.pos < len(p.lines) {
+		ln := p.lines[p.pos]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, yamlErr(ln, "unexpected indentation (mapping keys must align)")
+		}
+		if isListItem(ln.text) {
+			return nil, yamlErr(ln, "list item inside a mapping")
+		}
+		key, rest, ok := cutKey(ln.text)
+		if !ok {
+			return nil, yamlErr(ln, "expected `key: value` or `key:`")
+		}
+		if _, dup := m[key]; dup {
+			return nil, yamlErr(ln, "duplicate key %q", key)
+		}
+		p.pos++
+		if rest == "" {
+			v, err := p.block(indent + 1)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+		} else {
+			m[key] = yamlScalar(rest)
+		}
+	}
+	return m, nil
+}
+
+func (p *yamlParser) list(indent int) ([]any, error) {
+	out := []any{}
+	for p.pos < len(p.lines) {
+		ln := p.lines[p.pos]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent || !isListItem(ln.text) {
+			return nil, yamlErr(ln, "expected a `- ` list item at column %d", indent+1)
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(ln.text, "-"))
+		switch {
+		case rest == "":
+			p.pos++
+			v, err := p.block(indent + 1)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		case isKeyLine(rest):
+			// A mapping item: re-read the inline `key: value` as the
+			// first key of a mapping indented two past the dash, where
+			// the item's remaining keys physically live.
+			p.lines[p.pos] = yamlLine{indent: indent + 2, text: rest, num: ln.num}
+			v, err := p.mapping(indent + 2)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		default:
+			p.pos++
+			out = append(out, yamlScalar(rest))
+		}
+	}
+	return out, nil
+}
+
+// isKeyLine reports whether a list item's inline content is a mapping
+// key rather than a scalar. Quoted strings are always scalars.
+func isKeyLine(s string) bool {
+	if strings.HasPrefix(s, `"`) || strings.HasPrefix(s, "'") {
+		return false
+	}
+	_, _, ok := cutKey(s)
+	return ok
+}
+
+// cutKey splits `key: value` or `key:`; the key may not contain spaces
+// or quotes.
+func cutKey(s string) (key, rest string, ok bool) {
+	i := strings.IndexByte(s, ':')
+	if i <= 0 || (i+1 < len(s) && s[i+1] != ' ') {
+		return "", "", false
+	}
+	key = s[:i]
+	if strings.ContainsAny(key, " \"'[]{}") {
+		return "", "", false
+	}
+	return key, strings.TrimSpace(s[i+1:]), true
+}
+
+// yamlScalar interprets an inline value.
+func yamlScalar(s string) any {
+	switch {
+	case len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"':
+		return strings.ReplaceAll(s[1:len(s)-1], `\"`, `"`)
+	case len(s) >= 2 && s[0] == '\'' && s[len(s)-1] == '\'':
+		return s[1 : len(s)-1]
+	case len(s) >= 2 && s[0] == '[' && s[len(s)-1] == ']':
+		inner := strings.TrimSpace(s[1 : len(s)-1])
+		if inner == "" {
+			return []any{}
+		}
+		parts := strings.Split(inner, ",")
+		out := make([]any, 0, len(parts))
+		for _, part := range parts {
+			out = append(out, yamlScalar(strings.TrimSpace(part)))
+		}
+		return out
+	case s == "true":
+		return true
+	case s == "false":
+		return false
+	case s == "null" || s == "~":
+		return nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f
+	}
+	return s
+}
