@@ -81,12 +81,34 @@ go run ./cmd/campaign -validate examples/scenarios/chaos-10k.yaml
 CAMP_DIR="$(mktemp -d -t geminicamp.XXXXXX)"
 go run ./cmd/campaign -quiet -json "$CAMP_DIR/smoke.json" -html "$CAMP_DIR/smoke.html" examples/scenarios/smoke-1k.yaml
 grep -q '"hash": "352980d25448928c30d66858cac44f4644e059fff2148565f8e6b55ca9739727"' "$CAMP_DIR/smoke.json"
-go run ./cmd/campaign -quiet -workers 1 -json "$CAMP_DIR/w1.json" -html "$CAMP_DIR/w1.html" examples/scenarios/chaos-10k.yaml
-go run ./cmd/campaign -quiet -workers 8 -json "$CAMP_DIR/w8.json" -html "$CAMP_DIR/w8.html" examples/scenarios/chaos-10k.yaml
+go run ./cmd/campaign -quiet -workers 1 -aggregate -json "$CAMP_DIR/w1.json" -html "$CAMP_DIR/w1.html" -prom "$CAMP_DIR/w1.prom" examples/scenarios/chaos-10k.yaml
+go run ./cmd/campaign -quiet -workers 8 -aggregate -json "$CAMP_DIR/w8.json" -html "$CAMP_DIR/w8.html" -prom "$CAMP_DIR/w8.prom" examples/scenarios/chaos-10k.yaml
 cmp "$CAMP_DIR/w1.json" "$CAMP_DIR/w8.json"
 cmp "$CAMP_DIR/w1.html" "$CAMP_DIR/w8.html"
+cmp "$CAMP_DIR/w1.prom" "$CAMP_DIR/w8.prom"
 rm -rf "$CAMP_DIR"
 go run ./cmd/geminisim -scenario examples/scenarios/smoke-1k.yaml > /dev/null
+
+# Campaign-observability gates. The disabled progress sink and the zero
+# runsim Observer must add no allocations to the hot paths (outside the
+# race detector); the aggregated campaign exposition for the 1k smoke is
+# pinned by sha256 (any drift in the run.* instruments, the merge order,
+# or the histogram exposition fails here) and must satisfy promcheck's
+# histogram contract; and the flight recorder must replay the two worst
+# smoke runs to bit-equal outcomes with lint-clean traces and monotone
+# timelines.
+go test -run='^TestProgressAllocsZero$' -count=1 ./internal/obs
+go test -run='^TestRunZeroObserverAllocs$' -count=1 ./internal/runsim
+OBS_DIR="$(mktemp -d -t geminiobs.XXXXXX)"
+go run ./cmd/campaign -quiet -progress -aggregate -prom "$OBS_DIR/agg.prom" -json "$OBS_DIR/agg.json" examples/scenarios/smoke-1k.yaml 2> /dev/null
+echo "c3b35edc0d0e7f9f0422845ae678c066a11e9ae326c42b9bb58551c073fa1aea  $OBS_DIR/agg.prom" | sha256sum -c - > /dev/null
+go run ./cmd/promcheck -prom "$OBS_DIR/agg.prom" -min-families 10
+go run ./cmd/campaign -quiet -flight 2 -flight-key wasted -flight-dir "$OBS_DIR" -json /dev/null examples/scenarios/smoke-1k.yaml
+for k in 0 1; do
+	go run ./cmd/tracelint -structure-only "$OBS_DIR/outlier-$k.trace.json"
+	go run ./cmd/promcheck -prom "$OBS_DIR/outlier-$k.prom" -csv "$OBS_DIR/outlier-$k.timeline.csv" -min-rows 2
+done
+rm -rf "$OBS_DIR"
 
 # Facade gates: the examples are the documented surface of the options
 # API (WithStrategy/WithTracer/WithMetrics) and must keep running, and

@@ -4,10 +4,14 @@
 //
 //	benchdiff [-threshold pct] old.json new.json
 //
-// With a non-negative -threshold, any benchmark whose ns/op grew by more
-// than pct percent is a regression: benchdiff lists it and exits 1 — the
-// CI shape. A negative threshold disables gating (report only), which is
-// the right mode for comparing snapshots from different machines.
+// With a non-negative -threshold, any benchmark whose ns/op, B/op, or
+// allocs/op grew by more than pct percent is a regression: benchdiff
+// lists it and exits 1 — the CI shape. Memory metrics are gated only
+// when both snapshots report them (the benchmark ran with -benchmem),
+// and an allocs/op growth under one allocation per op is tolerated as
+// counter noise. A negative threshold disables gating (report only),
+// which is the right mode for comparing snapshots from different
+// machines.
 package main
 
 import (
@@ -209,11 +213,7 @@ func main() {
 		}
 		fmt.Fprintf(w, "%-64s %14.0f %14.0f %8s %10s %8s\n",
 			trim(name, 64), o.nsPerOp, n.nsPerOp, fmtDelta(o.nsPerOp, n.nsPerOp), allocsNew, allocsDelta)
-		if *threshold >= 0 && pctDelta(o.nsPerOp, n.nsPerOp) > *threshold {
-			regressions = append(regressions,
-				fmt.Sprintf("%s: %.0f → %.0f ns/op (%s, threshold %.1f%%)",
-					name, o.nsPerOp, n.nsPerOp, fmtDelta(o.nsPerOp, n.nsPerOp), *threshold))
-		}
+		regressions = append(regressions, gate(name, o, n, *threshold)...)
 	}
 	dropped := 0
 	for name := range old {
@@ -232,6 +232,33 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// gate returns the regression lines for one benchmark: ns/op always,
+// B/op and allocs/op when both snapshots measured them. All three share
+// the one threshold. An allocs/op increase below one whole allocation
+// per op never gates — tiny averaged counts (0.1 → 0.2) are pool-warmup
+// noise, not a leak.
+func gate(name string, o, n *metrics, threshold float64) []string {
+	if threshold < 0 {
+		return nil
+	}
+	var out []string
+	if pctDelta(o.nsPerOp, n.nsPerOp) > threshold {
+		out = append(out, fmt.Sprintf("%s: %.0f → %.0f ns/op (%s, threshold %.1f%%)",
+			name, o.nsPerOp, n.nsPerOp, fmtDelta(o.nsPerOp, n.nsPerOp), threshold))
+	}
+	if o.hasBytes && n.hasBytes && pctDelta(o.bytesPerOp, n.bytesPerOp) > threshold {
+		out = append(out, fmt.Sprintf("%s: %.0f → %.0f B/op (%s, threshold %.1f%%)",
+			name, o.bytesPerOp, n.bytesPerOp, fmtDelta(o.bytesPerOp, n.bytesPerOp), threshold))
+	}
+	if o.hasAllocs && n.hasAllocs &&
+		pctDelta(o.allocsPerOp, n.allocsPerOp) > threshold &&
+		n.allocsPerOp-o.allocsPerOp >= 1 {
+		out = append(out, fmt.Sprintf("%s: %.1f → %.1f allocs/op (%s, threshold %.1f%%)",
+			name, o.allocsPerOp, n.allocsPerOp, fmtDelta(o.allocsPerOp, n.allocsPerOp), threshold))
+	}
+	return out
 }
 
 func trim(s string, n int) string {

@@ -5,77 +5,186 @@
 // goroutines, and writes aggregate JSON and HTML reports. For a fixed
 // scenario seed the reports are byte-identical at any -workers value.
 //
+// Observability:
+//
+//   - -progress prints live run counts, failure totals and an ETA to
+//     stderr while the campaign runs.
+//   - -serve addr exposes /metrics (Prometheus), /progress (JSON) and
+//     /debug/pprof/ over HTTP for the campaign's duration.
+//   - -aggregate merges every run's health registry into per-solution
+//     and campaign-wide rollups, landed in the JSON/HTML reports;
+//     -prom additionally writes the campaign-wide rollup as a
+//     Prometheus text-exposition file.
+//   - -flight K re-executes the K worst runs (by -flight-key) with
+//     full tracing after the campaign and writes
+//     outlier-<k>.{trace.json,timeline.csv,prom} files, asserting each
+//     replay reproduces the campaign-recorded outcome exactly.
+//
 // Examples:
 //
 //	campaign examples/scenarios/smoke-1k.yaml
 //	campaign -validate examples/scenarios/chaos-10k.yaml
 //	campaign -workers 8 -json out.json -html out.html examples/scenarios/chaos-10k.yaml
+//	campaign -progress -aggregate -prom out.prom examples/scenarios/chaos-10k.yaml
+//	campaign -flight 3 -flight-key ratio -flight-dir /tmp examples/scenarios/smoke-1k.yaml
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"gemini"
+	"gemini/internal/obs"
 	"gemini/internal/scenario"
 )
 
+// options collects the flag values run needs.
+type options struct {
+	validate   bool
+	workers    int
+	seed       int64
+	variations int
+	jsonOut    string
+	htmlOut    string
+	quiet      bool
+
+	progress  bool
+	serveAddr string
+	aggregate bool
+	promOut   string
+	flight    int
+	flightKey string
+	flightDir string
+}
+
 func main() {
-	var (
-		validate   = flag.Bool("validate", false, "parse, validate and compile the scenario, then exit")
-		workers    = flag.Int("workers", 0, "fan-out concurrency (0 = GOMAXPROCS); never affects results")
-		seed       = flag.Int64("seed", 0, "override the scenario's base seed (0 = keep)")
-		variations = flag.Int("variations", 0, "override the scenario's variation count (0 = keep)")
-		jsonOut    = flag.String("json", "", "JSON report path (overrides the scenario's report.json)")
-		htmlOut    = flag.String("html", "", "HTML report path (overrides the scenario's report.html)")
-		quiet      = flag.Bool("quiet", false, "suppress the stdout summary (reports still written)")
-	)
+	var o options
+	flag.BoolVar(&o.validate, "validate", false, "parse, validate and compile the scenario, then exit")
+	flag.IntVar(&o.workers, "workers", 0, "fan-out concurrency (0 = GOMAXPROCS); never affects results")
+	flag.Int64Var(&o.seed, "seed", 0, "override the scenario's base seed (0 = keep)")
+	flag.IntVar(&o.variations, "variations", 0, "override the scenario's variation count (0 = keep)")
+	flag.StringVar(&o.jsonOut, "json", "", "JSON report path (overrides the scenario's report.json)")
+	flag.StringVar(&o.htmlOut, "html", "", "HTML report path (overrides the scenario's report.html)")
+	flag.BoolVar(&o.quiet, "quiet", false, "suppress the stdout summary (reports still written)")
+	flag.BoolVar(&o.progress, "progress", false, "print live progress lines to stderr while the campaign runs")
+	flag.StringVar(&o.serveAddr, "serve", "", "serve /metrics, /progress and /debug/pprof on this host:port for the campaign's duration")
+	flag.BoolVar(&o.aggregate, "aggregate", false, "merge per-run metric registries into the reports' distribution rollups")
+	flag.StringVar(&o.promOut, "prom", "", "write the aggregated campaign registry as Prometheus text exposition (implies -aggregate)")
+	flag.IntVar(&o.flight, "flight", 0, "after the campaign, replay the K worst runs with full tracing")
+	flag.StringVar(&o.flightKey, "flight-key", "wasted",
+		fmt.Sprintf("outlier ranking for -flight, one of %v", scenario.FlightKeys))
+	flag.StringVar(&o.flightDir, "flight-dir", ".", "directory for the -flight outlier-<k>.* artifacts")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: campaign [flags] scenario.{yaml,json}")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *validate, *workers, *seed, *variations, *jsonOut, *htmlOut, *quiet); err != nil {
+	if err := run(flag.Arg(0), o); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, validate bool, workers int, seed int64, variations int, jsonOut, htmlOut string, quiet bool) error {
+func run(path string, o options) error {
 	s, err := scenario.Load(path)
 	if err != nil {
 		return err
 	}
-	if seed != 0 {
-		s.Seed = seed
+	if o.seed != 0 {
+		s.Seed = o.seed
 	}
 	c, err := s.Compile()
 	if err != nil {
 		return err
 	}
-	if validate {
+	if o.validate {
 		fmt.Printf("%s: ok (%d machines, %d variations, %d chaos events, specs %s)\n",
 			path, s.Job.Machines, s.Variations, len(c.Chaos), strings.Join(s.Run.Specs, ","))
 		return nil
 	}
 
+	copts := scenario.CampaignOptions{
+		Workers:    o.workers,
+		Variations: o.variations,
+		Aggregate:  o.aggregate || o.promOut != "",
+		RecordRuns: o.flight > 0,
+	}
+	if o.progress || o.serveAddr != "" {
+		copts.Progress = obs.NewProgress()
+	}
+	var server *obs.Server
+	if o.serveAddr != "" {
+		live := obs.NewSyncRegistry()
+		copts.Live = live
+		server, err = obs.NewServer(o.serveAddr, copts.Progress, live)
+		if err != nil {
+			return err
+		}
+		defer server.Close()
+		fmt.Fprintf(os.Stderr, "serving /metrics /progress /debug/pprof on http://%s\n", server.Addr())
+	}
+	stopProgress := func() {}
+	if o.progress {
+		stopProgress = streamProgress(copts.Progress)
+	}
+
 	start := time.Now()
-	rep, err := scenario.RunCampaign(context.Background(), c, scenario.CampaignOptions{
-		Workers: workers, Variations: variations,
-	})
+	rep, err := scenario.RunCampaign(context.Background(), c, copts)
+	stopProgress()
 	if err != nil {
 		return err
 	}
 	elapsed := time.Since(start)
+	if o.progress {
+		fmt.Fprintln(os.Stderr, copts.Progress.Snapshot().String())
+	}
 
-	if !quiet {
+	if !o.quiet {
 		printSummary(rep, elapsed)
 	}
+	if err := writeReports(s, rep, o); err != nil {
+		return err
+	}
+	if o.flight > 0 {
+		if err := flightRecord(c, rep, o); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// streamProgress prints one stderr line per second until stopped.
+func streamProgress(p *obs.Progress) (stop func()) {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				fmt.Fprintln(os.Stderr, p.Snapshot().String())
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}
+
+func writeReports(s *scenario.Scenario, rep *scenario.Report, o options) error {
+	jsonOut, htmlOut := o.jsonOut, o.htmlOut
 	if jsonOut == "" {
 		jsonOut = s.Report.JSON
 	}
@@ -90,7 +199,7 @@ func run(path string, validate bool, workers int, seed int64, variations int, js
 		if err := os.WriteFile(jsonOut, append(data, '\n'), 0o644); err != nil {
 			return err
 		}
-		if !quiet {
+		if !o.quiet {
 			fmt.Printf("wrote %s\n", jsonOut)
 		}
 	}
@@ -106,8 +215,66 @@ func run(path string, validate bool, workers int, seed int64, variations int, js
 		if err := f.Close(); err != nil {
 			return err
 		}
-		if !quiet {
+		if !o.quiet {
 			fmt.Printf("wrote %s\n", htmlOut)
+		}
+	}
+	if o.promOut != "" {
+		f, err := os.Create(o.promOut)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteAggregatedProm(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if !o.quiet {
+			fmt.Printf("wrote %s\n", o.promOut)
+		}
+	}
+	return nil
+}
+
+// flightRecord replays the worst runs with full observability and lands
+// one trace/timeline/prom triple per outlier. Replay errors (including
+// a re-run that diverges from the campaign-recorded outcome) abort.
+func flightRecord(c *scenario.Compiled, rep *scenario.Report, o options) error {
+	worst, err := scenario.Outliers(rep, o.flightKey, o.flight)
+	if err != nil {
+		return err
+	}
+	for k, rec := range worst {
+		fr, err := c.Replay(rec)
+		if err != nil {
+			return err
+		}
+		base := filepath.Join(o.flightDir, fmt.Sprintf("outlier-%d", k))
+		for _, out := range []struct {
+			path  string
+			write func(w io.Writer) error
+		}{
+			{base + ".trace.json", fr.WriteTrace},
+			{base + ".timeline.csv", fr.WriteTimeline},
+			{base + ".prom", fr.WriteProm},
+		} {
+			f, err := os.Create(out.path)
+			if err != nil {
+				return err
+			}
+			if err := out.write(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+		if !o.quiet {
+			fmt.Printf("flight %d: variation %d spec %s (%s): wasted %.0fs ratio %.4f → %s.{trace.json,timeline.csv,prom}\n",
+				k, rec.Variation, rec.Spec, o.flightKey, rec.WastedSeconds, rec.EffectiveRatio, base)
 		}
 	}
 	return nil

@@ -1,9 +1,13 @@
 // Command promcheck validates the run health monitor's two export
 // formats: a Prometheus text-exposition file (-prom) and a sampled
-// sim-time timeline CSV (-csv). ci.sh runs it against the geminisim
-// -metrics/-timeline smoke outputs so a refactor that breaks the
-// exposition syntax or stops the recorder sampling fails the build
-// instead of shipping an unscrapeable endpoint or an empty timeline.
+// sim-time timeline CSV (-csv). Beyond line syntax it enforces the
+// histogram exposition contract — strictly increasing le bounds ending
+// at +Inf, cumulative bucket counts, +Inf bucket equal to _count — for
+// every family declared `# TYPE ... histogram`. ci.sh runs it against
+// the geminisim -metrics/-timeline smoke outputs and the aggregated
+// campaign exposition so a refactor that breaks the exposition syntax
+// or stops the recorder sampling fails the build instead of shipping an
+// unscrapeable endpoint or an empty timeline.
 //
 // Usage:
 //
@@ -14,6 +18,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"regexp"
 	"strconv"
@@ -51,10 +56,20 @@ func main() {
 	}
 }
 
+// sample is one parsed exposition line, kept for the post-pass
+// histogram checks.
+type sample struct {
+	name   string
+	labels string // raw {...} block, may be empty
+	value  float64
+	line   int
+}
+
 // checkProm enforces the exposition-format shape our exporter promises:
 // every non-comment line is `name[{labels}] value` with a parseable
-// float, every # TYPE names a valid family with a known kind, and at
-// least minFamilies families appear.
+// float, every # TYPE names a valid family with a known kind, at least
+// minFamilies families appear, and every histogram family is internally
+// consistent (see checkHistogram).
 func checkProm(path string, minFamilies int) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -62,7 +77,7 @@ func checkProm(path string, minFamilies int) error {
 	}
 	defer f.Close()
 	families := map[string]string{}
-	samples := 0
+	var samples []sample
 	sc := bufio.NewScanner(f)
 	for line := 1; sc.Scan(); line++ {
 		text := sc.Text()
@@ -94,22 +109,107 @@ func checkProm(path string, minFamilies int) error {
 			if m == nil {
 				return fmt.Errorf("line %d: malformed sample %q", line, text)
 			}
-			if _, err := strconv.ParseFloat(m[3], 64); err != nil {
+			v, err := strconv.ParseFloat(m[3], 64)
+			if err != nil {
 				return fmt.Errorf("line %d: sample %s has non-float value %q", line, m[1], m[3])
 			}
-			samples++
+			samples = append(samples, sample{name: m[1], labels: m[2], value: v, line: line})
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return err
 	}
-	if samples == 0 {
+	if len(samples) == 0 {
 		return fmt.Errorf("no samples")
 	}
 	if len(families) < minFamilies {
 		return fmt.Errorf("%d metric families, want ≥ %d", len(families), minFamilies)
 	}
-	fmt.Printf("%s: %d families, %d samples\n", path, len(families), samples)
+	histograms := 0
+	for name, kind := range families {
+		if kind != "histogram" {
+			continue
+		}
+		histograms++
+		if err := checkHistogram(name, samples); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("%s: %d families (%d histograms), %d samples\n", path, len(families), histograms, len(samples))
+	return nil
+}
+
+// leValue extracts the le label from a _bucket sample's label block.
+// +Inf maps to math.Inf(1), which makes the ordering check uniform.
+func leValue(labels string) (float64, error) {
+	const key = `le="`
+	i := strings.Index(labels, key)
+	if i < 0 {
+		return 0, fmt.Errorf("no le label in %q", labels)
+	}
+	rest := labels[i+len(key):]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return 0, fmt.Errorf("unterminated le label in %q", labels)
+	}
+	if rest[:j] == "+Inf" {
+		return math.Inf(1), nil
+	}
+	return strconv.ParseFloat(rest[:j], 64)
+}
+
+// checkHistogram enforces the histogram exposition contract for one
+// family: at least one _bucket sample plus _sum and _count series,
+// strictly increasing le bounds ending at +Inf, cumulative
+// (monotonically non-decreasing) bucket counts, and a +Inf bucket that
+// equals _count — the invariant scrapers rely on to compute quantiles.
+func checkHistogram(name string, samples []sample) error {
+	var (
+		prevLE    = math.Inf(-1)
+		lastLE    float64
+		prevCount = -1.0
+		infCount  = -1.0
+		buckets   int
+		count     = -1.0
+		hasSum    bool
+	)
+	for _, s := range samples {
+		switch s.name {
+		case name + "_bucket":
+			le, err := leValue(s.labels)
+			if err != nil {
+				return fmt.Errorf("line %d: histogram %s: %v", s.line, name, err)
+			}
+			if le <= prevLE {
+				return fmt.Errorf("line %d: histogram %s: le bound %v not above previous %v", s.line, name, le, prevLE)
+			}
+			if s.value < prevCount {
+				return fmt.Errorf("line %d: histogram %s: bucket count %v below previous %v (buckets must be cumulative)",
+					s.line, name, s.value, prevCount)
+			}
+			prevLE, prevCount, lastLE = le, s.value, le
+			if math.IsInf(le, 1) {
+				infCount = s.value
+			}
+			buckets++
+		case name + "_sum":
+			hasSum = true
+		case name + "_count":
+			count = s.value
+		}
+	}
+	switch {
+	case buckets == 0:
+		return fmt.Errorf("histogram %s: no _bucket samples", name)
+	case !math.IsInf(lastLE, 1):
+		return fmt.Errorf("histogram %s: last bucket le=%v, want +Inf", name, lastLE)
+	case !hasSum:
+		return fmt.Errorf("histogram %s: missing _sum", name)
+	case count < 0:
+		return fmt.Errorf("histogram %s: missing _count", name)
+	case infCount != count:
+		return fmt.Errorf("histogram %s: +Inf bucket %v != _count %v", name, infCount, count)
+	}
 	return nil
 }
 

@@ -1,8 +1,11 @@
-// Command tracelint validates an exported Chrome trace-event JSON file:
-// it must parse, contain events, and cover at least a minimum number of
-// distinct subsystem categories. ci.sh runs it against the geminisim
-// -trace smoke output so a refactor that silently unwires a subsystem's
-// tracing fails the build instead of shipping an empty track.
+// Command tracelint validates an exported Chrome trace-event JSON file
+// in two passes: coverage (it must parse, contain events, and cover at
+// least a minimum number of distinct subsystem categories) and
+// structure (balanced Begin/End span nesting, no counter events on
+// unnamed threads). ci.sh runs it against the geminisim -trace smoke
+// output and against the campaign flight recorder's outlier traces, so
+// a refactor that silently unwires a subsystem's tracing — or emits a
+// malformed track — fails the build instead of shipping.
 //
 // Usage:
 //
@@ -21,9 +24,10 @@ import (
 func main() {
 	minCats := flag.Int("min-categories", 4, "minimum distinct event categories required")
 	minEvents := flag.Int("min-events", 1, "minimum non-metadata events required")
+	structOnly := flag.Bool("structure-only", false, "skip the coverage thresholds, keep the structural checks")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tracelint [-min-categories n] [-min-events n] <trace.json>")
+		fmt.Fprintln(os.Stderr, "usage: tracelint [-min-categories n] [-min-events n] [-structure-only] <trace.json>")
 		os.Exit(2)
 	}
 	path := flag.Arg(0)
@@ -37,13 +41,27 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tracelint: %s: %v\n", path, err)
 		os.Exit(1)
 	}
+	issues, err := trace.Lint(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracelint: %s: %v\n", path, err)
+		os.Exit(1)
+	}
 	cats := make([]string, 0, len(st.Categories))
 	for c := range st.Categories {
 		cats = append(cats, c)
 	}
 	sort.Strings(cats)
-	fmt.Printf("%s: %d events, %d processes, %d categories %v\n",
-		path, st.Events, len(st.Processes), len(cats), cats)
+	fmt.Printf("%s: %d events, %d processes, %d categories %v, %d structural issues\n",
+		path, st.Events, len(st.Processes), len(cats), cats, len(issues))
+	if len(issues) > 0 {
+		for _, is := range issues {
+			fmt.Fprintf(os.Stderr, "tracelint: %s\n", is)
+		}
+		os.Exit(1)
+	}
+	if *structOnly {
+		return
+	}
 	if st.Events < *minEvents {
 		fmt.Fprintf(os.Stderr, "tracelint: %d events, want ≥ %d\n", st.Events, *minEvents)
 		os.Exit(1)

@@ -53,6 +53,7 @@ import (
 	"gemini/internal/failure"
 	"gemini/internal/metrics"
 	"gemini/internal/model"
+	"gemini/internal/obs"
 	"gemini/internal/placement"
 	"gemini/internal/runsim"
 	"gemini/internal/scenario"
@@ -478,7 +479,9 @@ func NewMetricsRecorder(reg *MetricsRegistry, capacity int) *MetricsRecorder {
 }
 
 // WriteMetricsProm renders the registry's instruments in Prometheus text
-// exposition format (counters, gauges, histograms as summaries).
+// exposition format: counters, gauges, and native histograms with
+// cumulative `le` buckets (the +Inf bucket always equals _count, as
+// cmd/promcheck enforces).
 func WriteMetricsProm(w io.Writer, reg *MetricsRegistry) error { return metrics.WriteProm(w, reg) }
 
 // WriteTimelineCSV renders the recorder's sampled series as a CSV
@@ -527,6 +530,66 @@ func ParseScenario(data []byte) (*Scenario, error) { return scenario.Parse(data)
 func RunCampaign(ctx context.Context, c *CompiledScenario, opts CampaignOptions) (*CampaignReport, error) {
 	return scenario.RunCampaign(ctx, c, opts)
 }
+
+// Campaign observability: a concurrent-safe progress sink and live
+// registry that workers update while a campaign runs, an HTTP server
+// exposing both, and the post-campaign flight recorder. See DESIGN.md
+// §14 and examples/campaignobs.
+type (
+	// CampaignProgress counts campaign work live; safe for any number of
+	// concurrent writers and readers, nil-disabled.
+	CampaignProgress = obs.Progress
+	// ProgressSnapshot is a point-in-time view of campaign progress.
+	ProgressSnapshot = obs.Snapshot
+	// LiveRegistry is a mutex-guarded registry workers merge per-run
+	// results into, for serving while a campaign runs. Arrival-order —
+	// use the report's deterministic rollup for goldens.
+	LiveRegistry = obs.SyncRegistry
+	// ObsServer serves /metrics, /progress and /debug/pprof over HTTP.
+	ObsServer = obs.Server
+	// RunRecord is one (variation, spec) outcome kept for the flight
+	// recorder (CampaignOptions.RecordRuns).
+	RunRecord = scenario.RunRecord
+	// FlightRun is one outlier re-executed with full observability
+	// attached; it carries the trace, registry and timeline writers.
+	FlightRun = scenario.FlightRun
+	// TraceLintIssue is one structural defect trace linting found.
+	TraceLintIssue = trace.LintIssue
+)
+
+// NewCampaignProgress returns an enabled campaign progress sink for
+// CampaignOptions.Progress.
+func NewCampaignProgress() *CampaignProgress { return obs.NewProgress() }
+
+// NewLiveRegistry returns an enabled live registry for
+// CampaignOptions.Live.
+func NewLiveRegistry() *LiveRegistry { return obs.NewSyncRegistry() }
+
+// ServeObservability starts the campaign observability HTTP server on
+// addr (":0" picks a free port; read it back with Addr). Either
+// argument may be nil.
+func ServeObservability(addr string, prog *CampaignProgress, live *LiveRegistry) (*ObsServer, error) {
+	return obs.NewServer(addr, prog, live)
+}
+
+// FlightKeys lists the badness rankings CampaignOutliers accepts.
+func FlightKeys() []string { return append([]string(nil), scenario.FlightKeys...) }
+
+// CampaignOutliers ranks a report's recorded runs (RecordRuns must have
+// been set) by the given key and returns the worst k.
+func CampaignOutliers(rep *CampaignReport, key string, k int) ([]RunRecord, error) {
+	return scenario.Outliers(rep, key, k)
+}
+
+// ReplayRun deterministically re-executes a recorded run with tracer,
+// metrics and timeline taps attached, erroring if the re-run's outcome
+// differs from the record in any bit.
+func ReplayRun(c *CompiledScenario, rec RunRecord) (*FlightRun, error) { return c.Replay(rec) }
+
+// LintTrace checks an exported trace JSON document for structural
+// defects: unbalanced begin/end span nesting and counter samples on
+// unnamed tracks. Traces written by WriteTrace always lint clean.
+func LintTrace(data []byte) ([]TraceLintIssue, error) { return trace.Lint(data) }
 
 // WriteCampaignHTML renders the report as a self-contained HTML page.
 func WriteCampaignHTML(w io.Writer, r *CampaignReport) error { return scenario.WriteHTML(w, r) }

@@ -10,6 +10,7 @@ package metrics
 import (
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 )
 
@@ -38,15 +39,11 @@ func promValue(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
-// promQuantiles are the quantile labels a histogram exports as a summary.
-var promQuantiles = []struct {
-	label string
-	p     float64
-}{{"0.5", 0.50}, {"0.9", 0.90}, {"0.99", 0.99}}
-
 // WriteProm renders the registry in Prometheus text exposition format:
-// counters as `counter`, gauges as `gauge`, histograms as `summary`
-// (quantiles from the streaming buckets, plus _sum and _count).
+// counters as `counter`, gauges as `gauge`, histograms as native
+// `histogram` families — cumulative `_bucket{le="..."}` samples over the
+// occupied base-2 buckets (each le is the bucket's upper bound), a
+// mandatory `+Inf` bucket equal to `_count`, then `_sum` and `_count`.
 // Instruments appear in registration order. A nil registry writes
 // nothing.
 func WriteProm(w io.Writer, r *Registry) error {
@@ -62,13 +59,24 @@ func WriteProm(w io.Writer, r *Registry) error {
 		case kindGauge:
 			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, promValue(in.g.Value()))
 		case kindHistogram:
-			if _, err = fmt.Fprintf(w, "# TYPE %s summary\n", name); err != nil {
+			if _, err = fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
 				return err
 			}
-			for _, q := range promQuantiles {
-				if _, err = fmt.Fprintf(w, "%s{quantile=%q} %s\n", name, q.label, promValue(in.h.Quantile(q.p))); err != nil {
+			var cum uint64
+			for i, n := range in.h.buckets {
+				if n == 0 {
+					continue
+				}
+				cum += n
+				// Bucket i spans [2^(i-histOffset), 2^(i-histOffset+1)),
+				// so its exposition boundary is the upper edge.
+				le := math.Ldexp(1, i-histOffset+1)
+				if _, err = fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, promValue(le), cum); err != nil {
 					return err
 				}
+			}
+			if _, err = fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, in.h.Count()); err != nil {
+				return err
 			}
 			_, err = fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, promValue(in.h.Sum()), name, in.h.Count())
 		}
@@ -102,7 +110,14 @@ func WriteCSV(w io.Writer, r *Recorder) error {
 	if r == nil {
 		return nil
 	}
-	series := r.Series()
+	return WriteSeriesCSV(w, r.Series())
+}
+
+// WriteSeriesCSV renders hand-assembled series (the flight recorder's
+// per-recovery timelines, which have no Recorder behind them) in the
+// same CSV shape as WriteCSV: a `time` column from the first series'
+// points plus one column per series, all required to be point-aligned.
+func WriteSeriesCSV(w io.Writer, series []*Series) error {
 	if _, err := io.WriteString(w, "time"); err != nil {
 		return err
 	}

@@ -73,8 +73,12 @@ func TestWritePromGolden(t *testing.T) {
 	for _, want := range []string{
 		"# TYPE health_recoveries counter\n",
 		"# TYPE health_replica_coverage gauge\nhealth_replica_coverage 1\n",
-		"# TYPE health_wasted_seconds summary\n",
-		`health_wasted_seconds{quantile="0.5"}`,
+		"# TYPE health_wasted_seconds histogram\n",
+		// 241.5 lands in [128,256), 388 in [256,512): two cumulative
+		// buckets, then the mandatory +Inf bucket equal to _count.
+		`health_wasted_seconds_bucket{le="256"} 1` + "\n",
+		`health_wasted_seconds_bucket{le="512"} 2` + "\n",
+		`health_wasted_seconds_bucket{le="+Inf"} 2` + "\n",
 		"health_wasted_seconds_sum 629.5\n",
 		"health_wasted_seconds_count 2\n",
 	} {

@@ -161,6 +161,32 @@ func (h *Histogram) Max() float64 {
 	return h.max
 }
 
+// Merge folds src's observations into h: counts, sums, NaN counts and
+// bucket counts add; min/max combine. Merging the same histograms in
+// the same order always produces the identical result, which is what
+// makes campaign rollups worker-count independent (the campaign merges
+// per-run histograms in variation order, after the parallel fan-out).
+// Nil receiver or nil src no-ops.
+func (h *Histogram) Merge(src *Histogram) {
+	if h == nil || src == nil {
+		return
+	}
+	if src.count > 0 {
+		if h.count == 0 || src.min < h.min {
+			h.min = src.min
+		}
+		if h.count == 0 || src.max > h.max {
+			h.max = src.max
+		}
+		h.count += src.count
+		h.sum += src.sum
+		for i, n := range src.buckets {
+			h.buckets[i] += n
+		}
+	}
+	h.nans += src.nans
+}
+
 // Quantile returns the approximate p-quantile (p in [0, 1]): the
 // geometric midpoint of the bucket holding the p-th observation, clamped
 // to the observed range. 0 for nil or empty.
@@ -273,6 +299,42 @@ func (r *Registry) Histogram(name string) *Histogram {
 	h := &Histogram{}
 	r.add(instrument{name: name, kind: kindHistogram, h: h})
 	return h
+}
+
+// Merge folds src into r: counters add, histograms merge bucket-wise,
+// gauges take src's value (last merged wins). Instruments missing from
+// r are registered in src order, so merging the same sources in the
+// same order yields a registry whose Snapshot and WriteProm renderings
+// are byte-identical — the determinism contract campaign aggregation
+// relies on. A name registered with different kinds panics, same as
+// the accessors. Nil receiver or nil src no-ops.
+func (r *Registry) Merge(src *Registry) {
+	if r == nil || src == nil {
+		return
+	}
+	for _, in := range src.order {
+		switch in.kind {
+		case kindCounter:
+			r.Counter(in.name).Add(in.c.Value())
+		case kindGauge:
+			r.Gauge(in.name).Set(in.g.Value())
+		case kindHistogram:
+			r.Histogram(in.name).Merge(in.h)
+		}
+	}
+}
+
+// Visit calls f for every instrument in registration order; exactly one
+// of c, g, h is non-nil per call. It exposes instrument kinds without
+// flattening (Snapshot forgets them), which report builders need to
+// render histograms as distribution rows. Nil no-ops.
+func (r *Registry) Visit(f func(name string, c *CounterVar, g *Gauge, h *Histogram)) {
+	if r == nil {
+		return
+	}
+	for _, in := range r.order {
+		f(in.name, in.c, in.g, in.h)
+	}
 }
 
 // Snapshot renders every instrument into a CounterSet in registration

@@ -284,3 +284,146 @@ func TestHistogramEmptyAggregates(t *testing.T) {
 		}
 	}
 }
+
+// Merge determinism: merging the same per-run registries in the same
+// order must yield byte-identical Snapshot/WriteProm renderings however
+// the runs were computed — the contract campaign aggregation builds on.
+func TestRegistryMergeDeterministic(t *testing.T) {
+	mkRun := func(seed int) *Registry {
+		r := NewRegistry()
+		r.Counter("run.failures").Add(float64(seed))
+		r.Gauge("run.effective_ratio").Set(1 / float64(seed+1))
+		h := r.Histogram("run.wasted_seconds")
+		for i := 0; i < seed+2; i++ {
+			h.Observe(float64(30 * (i + seed)))
+		}
+		return r
+	}
+	merge := func() string {
+		agg := NewRegistry()
+		for seed := 0; seed < 4; seed++ {
+			agg.Merge(mkRun(seed))
+		}
+		var buf strings.Builder
+		if err := WriteProm(&buf, agg); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := merge(), merge()
+	if a != b {
+		t.Fatalf("merge rendering unstable:\n%s\nvs:\n%s", a, b)
+	}
+	if !strings.Contains(a, "run_failures 6") {
+		t.Fatalf("counters did not add across merges:\n%s", a)
+	}
+}
+
+func TestHistogramMergeAggregates(t *testing.T) {
+	a, b := &Histogram{}, &Histogram{}
+	for _, v := range []float64{1, 8} {
+		a.Observe(v)
+	}
+	for _, v := range []float64{0.25, 100} {
+		b.Observe(v)
+	}
+	b.Observe(math.NaN())
+	a.Merge(b)
+	if a.Count() != 4 || a.NaNs() != 1 {
+		t.Fatalf("count=%d nans=%d, want 4/1", a.Count(), a.NaNs())
+	}
+	if a.Min() != 0.25 || a.Max() != 100 || a.Sum() != 109.25 {
+		t.Fatalf("min=%v max=%v sum=%v", a.Min(), a.Max(), a.Sum())
+	}
+	// Bucket counts added: p100 must now sit in b's top bucket range.
+	if q := a.Quantile(1); q < 64 || q > 100 {
+		t.Fatalf("merged p100 = %v, want within [64, 100]", q)
+	}
+}
+
+// Merging into an empty histogram copies min/max instead of treating
+// the receiver's zero values as observations.
+func TestHistogramMergeIntoEmpty(t *testing.T) {
+	src := &Histogram{}
+	src.Observe(5)
+	src.Observe(9)
+	dst := &Histogram{}
+	dst.Merge(src)
+	if dst.Count() != 2 || dst.Min() != 5 || dst.Max() != 9 || dst.Sum() != 14 {
+		t.Fatalf("merge into empty: count=%d min=%v max=%v sum=%v",
+			dst.Count(), dst.Min(), dst.Max(), dst.Sum())
+	}
+	// Merging an empty source must not disturb the receiver.
+	dst.Merge(&Histogram{})
+	if dst.Count() != 2 || dst.Min() != 5 {
+		t.Fatalf("merge of empty source disturbed receiver: count=%d min=%v",
+			dst.Count(), dst.Min())
+	}
+	// Nil combinations no-op.
+	var nilH *Histogram
+	nilH.Merge(src)
+	dst.Merge(nil)
+	if dst.Count() != 2 {
+		t.Fatalf("nil merge disturbed receiver: count=%d", dst.Count())
+	}
+}
+
+func TestRegistryMergeSemantics(t *testing.T) {
+	dst := NewRegistry()
+	dst.Counter("c").Add(2)
+	dst.Gauge("g").Set(1)
+
+	src := NewRegistry()
+	src.Counter("c").Add(3)
+	src.Gauge("g").Set(0.5)
+	src.Histogram("h").Observe(7)
+	src.Counter("only_src").Inc()
+
+	dst.Merge(src)
+	if v := dst.Counter("c").Value(); v != 5 {
+		t.Errorf("counter merged to %v, want 5 (add)", v)
+	}
+	if v := dst.Gauge("g").Value(); v != 0.5 {
+		t.Errorf("gauge merged to %v, want 0.5 (last merged wins)", v)
+	}
+	if n := dst.Histogram("h").Count(); n != 1 {
+		t.Errorf("histogram merged count %d, want 1", n)
+	}
+	if v := dst.Counter("only_src").Value(); v != 1 {
+		t.Errorf("missing instrument not registered: %v", v)
+	}
+	// New instruments land after dst's own, in src order.
+	var names []string
+	dst.Visit(func(name string, _ *CounterVar, _ *Gauge, _ *Histogram) {
+		names = append(names, name)
+	})
+	want := []string{"c", "g", "h", "only_src"}
+	if len(names) != len(want) {
+		t.Fatalf("order %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("order %v, want %v", names, want)
+		}
+	}
+	// Nil combinations no-op.
+	var nilR *Registry
+	nilR.Merge(src)
+	dst.Merge(nil)
+	nilR.Visit(func(string, *CounterVar, *Gauge, *Histogram) {
+		t.Fatal("nil registry visited an instrument")
+	})
+}
+
+func TestRegistryMergeKindClashPanics(t *testing.T) {
+	dst := NewRegistry()
+	dst.Counter("x")
+	src := NewRegistry()
+	src.Gauge("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind clash on merge did not panic")
+		}
+	}()
+	dst.Merge(src)
+}

@@ -196,3 +196,48 @@ func TestRecorderSampleAllocsZero(t *testing.T) {
 		t.Fatalf("Recorder.Sample allocates %v bytes/op in steady state, want 0", n)
 	}
 }
+
+// Ring-drop counting at exact capacity boundaries: filling to exactly
+// capacity drops nothing, the very next append drops exactly one, and a
+// capacity-1 ring degenerates to "keep last, drop the rest".
+func TestSeriesDropCountAtCapacityBoundary(t *testing.T) {
+	s := NewSeries("x", 4)
+	for i := 0; i < 4; i++ {
+		s.Append(simclock.Time(i), float64(i))
+		if s.Dropped() != 0 {
+			t.Fatalf("dropped %d after %d appends at capacity 4, want 0", s.Dropped(), i+1)
+		}
+	}
+	if s.Len() != 4 {
+		t.Fatalf("len %d at exact capacity, want 4", s.Len())
+	}
+	if got := s.Point(0); got != (Point{0, 0}) {
+		t.Fatalf("oldest point %+v at exact capacity, want {0 0}", got)
+	}
+	s.Append(4, 4)
+	if s.Len() != 4 || s.Dropped() != 1 {
+		t.Fatalf("len=%d dropped=%d one past capacity, want 4/1", s.Len(), s.Dropped())
+	}
+	if got := s.Point(0); got != (Point{1, 1}) {
+		t.Fatalf("oldest point %+v after first eviction, want {1 1}", got)
+	}
+	s.Append(5, 5)
+	if s.Dropped() != 2 {
+		t.Fatalf("dropped %d after second eviction, want 2", s.Dropped())
+	}
+
+	one := NewSeries("y", 1)
+	one.Append(1, 10)
+	if one.Len() != 1 || one.Dropped() != 0 {
+		t.Fatalf("capacity-1 fresh: len=%d dropped=%d", one.Len(), one.Dropped())
+	}
+	for i := 2; i <= 5; i++ {
+		one.Append(simclock.Time(i), float64(i*10))
+	}
+	if one.Len() != 1 || one.Dropped() != 4 {
+		t.Fatalf("capacity-1 after 5 appends: len=%d dropped=%d, want 1/4", one.Len(), one.Dropped())
+	}
+	if last, ok := one.Last(); !ok || last != (Point{5, 50}) {
+		t.Fatalf("capacity-1 last = %+v/%v, want {5 50}", last, ok)
+	}
+}

@@ -1,0 +1,131 @@
+// Package obs is the campaign-scale observability layer: a live
+// Progress sink the parallel fan-out updates from worker goroutines, a
+// mutex-guarded SyncRegistry for cross-run aggregation served while a
+// campaign runs, and an HTTP server exposing both (plus pprof) — the
+// first brick of the ROADMAP's service-mode daemon.
+//
+// Everything here follows the repo's nil-is-disabled convention: a nil
+// *Progress or *SyncRegistry no-ops without allocating, so hot paths
+// update observability unconditionally (gated by alloc tests, like the
+// nil tracer and nil registry before it).
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Progress counts campaign work as it happens. Unlike metrics.Registry
+// (a per-run, single-goroutine sink) Progress is updated concurrently
+// by every worker, so it is built from atomics and safe for any number
+// of writers and readers. The zero value is ready; a nil *Progress is
+// the disabled sink.
+type Progress struct {
+	startNanos atomic.Int64  // wall-clock start, unix nanos (0 = not begun)
+	totalRuns  atomic.Int64  // runs expected this campaign
+	started    atomic.Int64  // runs handed to a worker
+	done       atomic.Int64  // runs completed
+	failures   atomic.Int64  // failures replayed across completed runs
+	simDone    atomic.Uint64 // float64 bits: simulated seconds completed
+	simPerRun  atomic.Uint64 // float64 bits: simulated seconds per run
+}
+
+// NewProgress returns an enabled progress sink.
+func NewProgress() *Progress { return &Progress{} }
+
+// Begin marks the campaign start: totalRuns runs, each simulating
+// simSecondsPerRun of cluster time. The ETA estimator weights completed
+// work by that simulated cost. Begin resets all counters, so one sink
+// can serve consecutive campaigns.
+func (p *Progress) Begin(totalRuns int, simSecondsPerRun float64) {
+	if p == nil {
+		return
+	}
+	p.totalRuns.Store(int64(totalRuns))
+	p.started.Store(0)
+	p.done.Store(0)
+	p.failures.Store(0)
+	p.simDone.Store(0)
+	p.simPerRun.Store(math.Float64bits(simSecondsPerRun))
+	p.startNanos.Store(time.Now().UnixNano())
+}
+
+// RunStarted records a run being handed to a worker.
+func (p *Progress) RunStarted() {
+	if p == nil {
+		return
+	}
+	p.started.Add(1)
+}
+
+// RunDone records a completed run: the failures it replayed and the
+// simulated seconds it covered.
+func (p *Progress) RunDone(failures int, simSeconds float64) {
+	if p == nil {
+		return
+	}
+	p.done.Add(1)
+	p.failures.Add(int64(failures))
+	for {
+		old := p.simDone.Load()
+		next := math.Float64bits(math.Float64frombits(old) + simSeconds)
+		if p.simDone.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Snapshot is a point-in-time view of campaign progress.
+type Snapshot struct {
+	TotalRuns       int64   `json:"total_runs"`
+	StartedRuns     int64   `json:"started_runs"`
+	DoneRuns        int64   `json:"done_runs"`
+	Failures        int64   `json:"failures_replayed"`
+	SimSecondsDone  float64 `json:"sim_seconds_done"`
+	SimSecondsTotal float64 `json:"sim_seconds_total"`
+	ElapsedSeconds  float64 `json:"elapsed_seconds"`
+	ETASeconds      float64 `json:"eta_seconds"` // 0 until a run completes
+}
+
+// Snapshot reads the current counters. The ETA scales elapsed wall time
+// by the ratio of remaining to completed simulated seconds — i.e. it
+// assumes wall cost is proportional to simulated cost, which holds for
+// the event-walk kernel. Nil yields the zero snapshot.
+func (p *Progress) Snapshot() Snapshot {
+	if p == nil {
+		return Snapshot{}
+	}
+	s := Snapshot{
+		TotalRuns:      p.totalRuns.Load(),
+		StartedRuns:    p.started.Load(),
+		DoneRuns:       p.done.Load(),
+		Failures:       p.failures.Load(),
+		SimSecondsDone: math.Float64frombits(p.simDone.Load()),
+	}
+	s.SimSecondsTotal = math.Float64frombits(p.simPerRun.Load()) * float64(s.TotalRuns)
+	if start := p.startNanos.Load(); start > 0 {
+		s.ElapsedSeconds = time.Since(time.Unix(0, start)).Seconds()
+	}
+	if s.SimSecondsDone > 0 && s.SimSecondsTotal > s.SimSecondsDone {
+		s.ETASeconds = s.ElapsedSeconds * (s.SimSecondsTotal - s.SimSecondsDone) / s.SimSecondsDone
+	}
+	return s
+}
+
+// String renders the snapshot as the one-line form cmd/campaign prints
+// to stderr: runs done/total, failures replayed, simulated coverage,
+// elapsed wall time, and the ETA once one run has completed.
+func (s Snapshot) String() string {
+	pct := 0.0
+	if s.TotalRuns > 0 {
+		pct = 100 * float64(s.DoneRuns) / float64(s.TotalRuns)
+	}
+	out := fmt.Sprintf("runs %d/%d (%.0f%%) · failures %d · sim %.3gs · elapsed %.1fs",
+		s.DoneRuns, s.TotalRuns, pct, s.Failures, s.SimSecondsDone, s.ElapsedSeconds)
+	if s.ETASeconds > 0 {
+		out += fmt.Sprintf(" · eta %.1fs", s.ETASeconds)
+	}
+	return out
+}

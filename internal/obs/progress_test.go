@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestProgressCounts(t *testing.T) {
+	p := NewProgress()
+	p.Begin(4, 1000)
+	p.RunStarted()
+	p.RunStarted()
+	p.RunDone(3, 1000)
+	p.RunDone(5, 1000)
+	s := p.Snapshot()
+	if s.TotalRuns != 4 || s.StartedRuns != 2 || s.DoneRuns != 2 || s.Failures != 8 {
+		t.Fatalf("snapshot %+v", s)
+	}
+	if s.SimSecondsDone != 2000 || s.SimSecondsTotal != 4000 {
+		t.Fatalf("sim seconds %v/%v, want 2000/4000", s.SimSecondsDone, s.SimSecondsTotal)
+	}
+	if s.ElapsedSeconds < 0 {
+		t.Fatalf("elapsed %v", s.ElapsedSeconds)
+	}
+	// Half the simulated work is done, so ETA ≈ elapsed.
+	if s.ETASeconds < 0 || s.ETASeconds > 10*s.ElapsedSeconds+1 {
+		t.Fatalf("eta %v vs elapsed %v", s.ETASeconds, s.ElapsedSeconds)
+	}
+	line := s.String()
+	for _, want := range []string{"runs 2/4 (50%)", "failures 8"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("String() = %q, missing %q", line, want)
+		}
+	}
+}
+
+func TestProgressConcurrentUpdates(t *testing.T) {
+	p := NewProgress()
+	p.Begin(64, 100)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				p.RunStarted()
+				p.RunDone(2, 100)
+				_ = p.Snapshot() // readers race writers under -race
+			}
+		}()
+	}
+	wg.Wait()
+	s := p.Snapshot()
+	if s.StartedRuns != 64 || s.DoneRuns != 64 || s.Failures != 128 {
+		t.Fatalf("snapshot after concurrent updates: %+v", s)
+	}
+	if s.SimSecondsDone != 6400 {
+		t.Fatalf("sim seconds %v, want 6400 (float adds of equal values are exact)", s.SimSecondsDone)
+	}
+}
+
+func TestNilProgressIsDisabled(t *testing.T) {
+	var p *Progress
+	p.Begin(10, 100)
+	p.RunStarted()
+	p.RunDone(1, 100)
+	if s := p.Snapshot(); s != (Snapshot{}) {
+		t.Fatalf("nil progress snapshot %+v, want zero", s)
+	}
+}
+
+// Both the disabled (nil) and enabled paths must be allocation-free —
+// RunStarted/RunDone sit inside the campaign's per-run loop. Gated in
+// ci.sh outside the race detector.
+func TestProgressAllocsZero(t *testing.T) {
+	var disabled *Progress
+	if n := testing.AllocsPerRun(200, func() {
+		disabled.RunStarted()
+		disabled.RunDone(3, 1000)
+	}); n != 0 {
+		t.Fatalf("disabled progress allocates %.1f/op, want 0", n)
+	}
+	enabled := NewProgress()
+	enabled.Begin(1<<20, 1000)
+	if n := testing.AllocsPerRun(200, func() {
+		enabled.RunStarted()
+		enabled.RunDone(3, 1000)
+	}); n != 0 {
+		t.Fatalf("enabled progress allocates %.1f/op, want 0", n)
+	}
+}
+
+func TestBeginResetsCounters(t *testing.T) {
+	p := NewProgress()
+	p.Begin(4, 100)
+	p.RunStarted()
+	p.RunDone(7, 100)
+	p.Begin(2, 50)
+	s := p.Snapshot()
+	if s.TotalRuns != 2 || s.StartedRuns != 0 || s.DoneRuns != 0 || s.Failures != 0 || s.SimSecondsDone != 0 {
+		t.Fatalf("Begin did not reset: %+v", s)
+	}
+	if s.SimSecondsTotal != 100 {
+		t.Fatalf("sim total %v, want 100", s.SimSecondsTotal)
+	}
+}

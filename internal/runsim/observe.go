@@ -1,0 +1,114 @@
+package runsim
+
+// Observation taps for the event walk. The flight recorder's promise —
+// "re-run the outlier and the deep observability is free" — rests on
+// Run being a *pure observer* host: attaching any combination of taps
+// never changes Result, and the zero Observer adds no allocations to
+// the walk (gated by an alloc test, like the nil tracer and nil
+// registry before it).
+
+import (
+	"fmt"
+
+	"gemini/internal/baselines"
+	"gemini/internal/failure"
+	"gemini/internal/metrics"
+	"gemini/internal/simclock"
+	"gemini/internal/trace"
+)
+
+// Observer collects what a run can tell about itself. Every field is
+// optional; the zero Observer is fully disabled.
+type Observer struct {
+	// Tracer receives the Perfetto view: a run/recovery track with one
+	// span per recovery (category "recovery", named by source), an
+	// instant per injected failure, and a cumulative wasted-seconds
+	// counter sampled at each resumption.
+	Tracer *trace.Tracer
+	// Metrics receives run.* instruments: failure/recovery/source
+	// counters, per-recovery wasted/lost/downtime histograms, and
+	// single-observation effective-ratio and stall histograms (so
+	// cross-run merges yield distributions).
+	Metrics *metrics.Registry
+	// Wasted and Ratio receive one point per recovery at its resumption
+	// time: cumulative wasted seconds, and progress-so-far divided by
+	// elapsed sim time. Resumption times are strictly increasing
+	// (downtime is always positive), so the timeline CSV these render
+	// into is strictly time-ordered. Callers size the rings.
+	Wasted *metrics.Series
+	Ratio  *metrics.Series
+}
+
+// runTaps holds the resolved per-run instruments. Resolving them once
+// up front keeps the walk free of map lookups; on a disabled observer
+// every field is nil and every call below no-ops without allocating.
+type runTaps struct {
+	track *trace.Track
+	reg   *metrics.Registry
+
+	failures, recoveries            *metrics.CounterVar
+	fromLocal, fromPeer, fromRemote *metrics.CounterVar
+	wastedH, lostH, downH           *metrics.Histogram
+
+	wastedSeries, ratioSeries *metrics.Series
+	cumWasted                 float64
+}
+
+func (o Observer) taps() runTaps {
+	reg := o.Metrics
+	return runTaps{
+		track:        o.Tracer.Track("run", "recovery"),
+		reg:          reg,
+		failures:     reg.Counter("run.failures"),
+		recoveries:   reg.Counter("run.recoveries"),
+		fromLocal:    reg.Counter("run.from_local"),
+		fromPeer:     reg.Counter("run.from_peer"),
+		fromRemote:   reg.Counter("run.from_remote"),
+		wastedH:      reg.Histogram("run.wasted_seconds"),
+		lostH:        reg.Histogram("run.lost_seconds"),
+		downH:        reg.Histogram("run.downtime_seconds"),
+		wastedSeries: o.Wasted,
+		ratioSeries:  o.Ratio,
+	}
+}
+
+func (t *runTaps) failure(ev failure.Event) {
+	t.failures.Add(1)
+	if t.track.Enabled() {
+		t.track.InstantArgsAt("failure", ev.Kind.String(), ev.At,
+			fmt.Sprintf("rank=%d", ev.Rank))
+	}
+}
+
+func (t *runTaps) recovery(src baselines.RecoverySource, start, resume simclock.Time,
+	rollback float64, down simclock.Duration, progress float64) {
+	t.recoveries.Add(1)
+	switch src {
+	case baselines.FromLocal:
+		t.fromLocal.Add(1)
+	case baselines.FromPeer:
+		t.fromPeer.Add(1)
+	default:
+		t.fromRemote.Add(1)
+	}
+	wasted := rollback + down.Seconds()
+	t.wastedH.Observe(wasted)
+	t.lostH.Observe(rollback)
+	t.downH.Observe(down.Seconds())
+	t.cumWasted += wasted
+	if t.track.Enabled() {
+		t.track.SpanArgs("recovery", src.String(), start, resume,
+			fmt.Sprintf("lost=%.0fs down=%s", rollback, down))
+		t.track.SampleAt("wasted_seconds", resume, t.cumWasted)
+	}
+	t.wastedSeries.Append(resume, t.cumWasted)
+	t.ratioSeries.Append(resume, progress/float64(resume))
+}
+
+// finish lands the whole-run outcomes. They are histograms with a
+// single observation (not gauges) so that merging many runs' registries
+// yields their cross-run distribution instead of last-merged-wins.
+func (t *runTaps) finish(res *Result) {
+	t.reg.Histogram("run.effective_ratio").Observe(res.EffectiveRatio)
+	t.reg.Histogram("run.stall_seconds").Observe(res.StallTime.Seconds())
+}

@@ -57,6 +57,10 @@ type Config struct {
 	// recovery (they are "simultaneous" in the Corollary 1 sense).
 	// Zero selects the recovery downtime itself as the window.
 	SimultaneityWindow simclock.Duration
+	// Obs optionally taps the walk (tracer spans, run.* metrics,
+	// per-recovery timelines). Pure observer: Result is bit-identical
+	// with or without it, and the zero Observer costs nothing.
+	Obs Observer
 }
 
 func (c Config) validate() error {
@@ -180,6 +184,7 @@ func Run(cfg Config) (*Result, error) {
 
 	events := cfg.Failures
 	i := 0
+	taps := cfg.Obs.taps()
 	// Failure-window scratch for the bitset survival kernel, reused
 	// across windows and pooled across runs: a rank list plus a FailSet
 	// sized to the cluster. The pool invariant is all-bits-clear, so a
@@ -221,6 +226,7 @@ func Run(cfg Config) (*Result, error) {
 				}
 			}
 			res.Failures++
+			taps.failure(ev)
 		}
 		at := events[i].At
 		if at < resume {
@@ -279,6 +285,7 @@ func Run(cfg Config) (*Result, error) {
 		res.TotalDowntime += down
 		res.WastedSamples = append(res.WastedSamples, wasted.Seconds())
 		resume = at.Add(down)
+		taps.recovery(src, at, resume, rollback, down, progress)
 		recoveries++
 		i = j
 	}
@@ -296,6 +303,7 @@ func Run(cfg Config) (*Result, error) {
 	if recoveries > 0 {
 		res.MeanWasted = res.TotalWasted / simclock.Duration(recoveries)
 	}
+	taps.finish(res)
 	return res, nil
 }
 

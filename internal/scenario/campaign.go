@@ -6,8 +6,10 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 
 	"gemini/internal/metrics"
+	"gemini/internal/obs"
 	"gemini/internal/parallel"
 	"gemini/internal/runsim"
 	"gemini/internal/simclock"
@@ -21,20 +23,39 @@ type CampaignOptions struct {
 	Workers int
 	// Variations overrides the scenario's width when positive.
 	Variations int
+	// Progress optionally receives live lifecycle events (one "run" =
+	// one variation, covering every spec). Nil is off and costs
+	// nothing; the sink is updated from worker goroutines.
+	Progress *obs.Progress
+	// Aggregate collects each (variation, spec) run's health registry
+	// and merges them — post-barrier, in variation order — into
+	// per-solution and campaign-wide rollups (Report.Aggregates, plus
+	// the live registries behind Report.WriteAggregatedProm). Off by
+	// default: the extra fields would change the report bytes existing
+	// golden hashes pin.
+	Aggregate bool
+	// RecordRuns keeps every (variation, spec) run's scalar outcome in
+	// Report.Runs — the flight recorder ranks these and replays the
+	// worst offenders. Off by default, same reason as Aggregate.
+	RecordRuns bool
+	// Live, when non-nil, receives each run's registry as it finishes
+	// (arrival order — for serving /metrics while the campaign runs,
+	// not for golden files; the deterministic rollup is Aggregates).
+	Live *obs.SyncRegistry
 }
 
 // Report is a campaign's aggregate result. It contains no wall-clock or
 // host-dependent data, so for a fixed scenario and seed the marshalled
 // report is byte-identical at any worker count; Hash seals it.
 type Report struct {
-	Scenario    string `json:"scenario"`
-	Description string `json:"description,omitempty"`
-	Seed        int64  `json:"seed"`
-	Variations  int    `json:"variations"`
-	Model       string `json:"model"`
-	Instance    string `json:"instance"`
-	Machines    int    `json:"machines"`
-	Replicas    int    `json:"replicas"`
+	Scenario    string  `json:"scenario"`
+	Description string  `json:"description,omitempty"`
+	Seed        int64   `json:"seed"`
+	Variations  int     `json:"variations"`
+	Model       string  `json:"model"`
+	Instance    string  `json:"instance"`
+	Machines    int     `json:"machines"`
+	Replicas    int     `json:"replicas"`
 	HorizonDays float64 `json:"horizon_days"`
 	// FailuresPerDay is the expected (Poisson) or exact (fixed)
 	// cluster-wide background failure rate.
@@ -42,9 +63,92 @@ type Report struct {
 	// ChaosEvents counts compiled chaos schedule entries.
 	ChaosEvents int          `json:"chaos_events"`
 	Specs       []SpecReport `json:"specs"`
+	// Aggregates holds the cross-run metric rollups when the campaign
+	// ran with Aggregate; omitted otherwise so default reports keep
+	// their historical bytes.
+	Aggregates *AggregateReport `json:"aggregates,omitempty"`
+	// Runs holds every (variation, spec) outcome when the campaign ran
+	// with RecordRuns — the flight recorder's input.
+	Runs []RunRecord `json:"runs,omitempty"`
 	// Hash is the SHA-256 of this report marshalled with Hash empty —
 	// the campaign's deterministic fingerprint.
 	Hash string `json:"hash"`
+
+	// Merged live registries behind Aggregates (campaign-wide, then one
+	// per spec in spec order). Unexported: they serve WriteAggregatedProm
+	// and never enter the JSON or the hash.
+	agg      *metrics.Registry
+	specAggs []*metrics.Registry
+}
+
+// AggregateReport is the cross-run metric rollup: one table for the
+// whole campaign and one per solution. Tables render every merged
+// instrument in registration order — deterministic because the merge
+// happens post-barrier in variation order.
+type AggregateReport struct {
+	Campaign []AggregateRow  `json:"campaign"`
+	Specs    []SpecAggregate `json:"specs"`
+}
+
+// SpecAggregate is one solution's rollup table.
+type SpecAggregate struct {
+	Name string         `json:"name"`
+	Rows []AggregateRow `json:"rows"`
+}
+
+// AggregateRow is one merged instrument. Counters and gauges carry
+// Value; histograms carry the distribution columns.
+type AggregateRow struct {
+	Name  string  `json:"name"`
+	Kind  string  `json:"kind"`
+	Value float64 `json:"value,omitempty"`
+	Count uint64  `json:"count,omitempty"`
+	Mean  float64 `json:"mean,omitempty"`
+	P50   float64 `json:"p50,omitempty"`
+	P99   float64 `json:"p99,omitempty"`
+	Max   float64 `json:"max,omitempty"`
+	Sum   float64 `json:"sum,omitempty"`
+}
+
+// aggregateRows flattens a merged registry into report rows.
+func aggregateRows(reg *metrics.Registry) []AggregateRow {
+	var rows []AggregateRow
+	reg.Visit(func(name string, c *metrics.CounterVar, g *metrics.Gauge, h *metrics.Histogram) {
+		switch {
+		case c != nil:
+			rows = append(rows, AggregateRow{Name: name, Kind: "counter", Value: c.Value()})
+		case g != nil:
+			rows = append(rows, AggregateRow{Name: name, Kind: "gauge", Value: g.Value()})
+		case h != nil:
+			rows = append(rows, AggregateRow{
+				Name: name, Kind: "histogram",
+				Count: h.Count(), Mean: h.Mean(),
+				P50: h.Quantile(0.50), P99: h.Quantile(0.99),
+				Max: h.Max(), Sum: h.Sum(),
+			})
+		}
+	})
+	return rows
+}
+
+// WriteAggregatedProm renders the campaign-wide merged registry in
+// Prometheus text exposition format — byte-stable at any worker count.
+// It errors when the campaign did not run with Aggregate (or the report
+// was loaded from JSON, which does not carry the live registries).
+func (r *Report) WriteAggregatedProm(w io.Writer) error {
+	if r.agg == nil {
+		return fmt.Errorf("scenario: report has no aggregated registry (run the campaign with Aggregate)")
+	}
+	return metrics.WriteProm(w, r.agg)
+}
+
+// SpecRegistry returns the merged per-solution registry for spec index
+// si; nil when aggregation was off or the index is out of range.
+func (r *Report) SpecRegistry(si int) *metrics.Registry {
+	if si < 0 || si >= len(r.specAggs) {
+		return nil
+	}
+	return r.specAggs[si]
 }
 
 // SpecReport aggregates one solution across all variations.
@@ -89,6 +193,9 @@ type variationResult struct {
 	local  []int
 	peer   []int
 	remote []int
+	// records and regs are populated only under RecordRuns/Aggregate.
+	records []RunRecord
+	regs    []*metrics.Registry
 }
 
 // RunCampaign expands the compiled scenario into its seeded variations,
@@ -106,8 +213,25 @@ func RunCampaign(ctx context.Context, c *Compiled, opts CampaignOptions) (*Repor
 		return nil, fmt.Errorf("scenario: no specs to run")
 	}
 
+	collectRegs := opts.Aggregate || opts.Live != nil
+	simPerRun := s.Horizon.Seconds() * float64(nspecs)
+	opts.Progress.Begin(variations, simPerRun)
+
 	slots := make([]variationResult, variations)
-	err := parallel.ForEachErr(ctx, opts.Workers, variations, func(v int) error {
+	hooks := parallel.RunHooks{}
+	if opts.Progress != nil {
+		hooks.Started = func(int) { opts.Progress.RunStarted() }
+		// Done fires after fn stored slots[v], so the failure totals are
+		// ready to read.
+		hooks.Done = func(v int) {
+			fails := 0
+			for _, n := range slots[v].fails {
+				fails += n
+			}
+			opts.Progress.RunDone(fails, simPerRun)
+		}
+	}
+	err := parallel.ForEachErrHooks(ctx, opts.Workers, variations, hooks, func(v int) error {
 		fs, err := c.FailureSchedule(v)
 		if err != nil {
 			return err
@@ -119,6 +243,12 @@ func RunCampaign(ctx context.Context, c *Compiled, opts CampaignOptions) (*Repor
 			local:  make([]int, nspecs),
 			peer:   make([]int, nspecs),
 			remote: make([]int, nspecs),
+		}
+		if opts.RecordRuns {
+			vr.records = make([]RunRecord, nspecs)
+		}
+		if collectRegs {
+			vr.regs = make([]*metrics.Registry, nspecs)
 		}
 		for si, spec := range c.Specs {
 			cfg := runsim.Config{
@@ -132,6 +262,11 @@ func RunCampaign(ctx context.Context, c *Compiled, opts CampaignOptions) (*Repor
 			if spec.UsesCPUMemory {
 				cfg.Placement = c.Job.Placement
 			}
+			var reg *metrics.Registry
+			if collectRegs {
+				reg = metrics.NewRegistry()
+				cfg.Obs.Metrics = reg
+			}
 			res, err := runsim.Run(cfg)
 			if err != nil {
 				return fmt.Errorf("scenario: variation %d spec %s: %w", v, spec.Name, err)
@@ -142,6 +277,13 @@ func RunCampaign(ctx context.Context, c *Compiled, opts CampaignOptions) (*Repor
 			vr.local[si] = res.FromLocal
 			vr.peer[si] = res.FromPeer
 			vr.remote[si] = res.FromRemote
+			if opts.RecordRuns {
+				vr.records[si] = makeRecord(v, spec.Name, res)
+			}
+			if collectRegs {
+				vr.regs[si] = reg
+				opts.Live.Merge(reg)
+			}
 			res.Release()
 		}
 		slots[v] = vr
@@ -188,6 +330,34 @@ func RunCampaign(ctx context.Context, c *Compiled, opts CampaignOptions) (*Repor
 			sr.InMemoryFraction = float64(sr.FromLocal+sr.FromPeer) / float64(total)
 		}
 		rep.Specs = append(rep.Specs, sr)
+	}
+	if opts.RecordRuns {
+		rep.Runs = make([]RunRecord, 0, variations*nspecs)
+		for v := range slots {
+			rep.Runs = append(rep.Runs, slots[v].records...)
+		}
+	}
+	if opts.Aggregate {
+		// Deterministic rollup: merge per-run registries strictly in
+		// (variation, spec) order, after the parallel barrier — the
+		// resulting registration order, and therefore every rendering,
+		// is independent of the worker count.
+		rep.agg = metrics.NewRegistry()
+		rep.specAggs = make([]*metrics.Registry, nspecs)
+		for si := range c.Specs {
+			rep.specAggs[si] = metrics.NewRegistry()
+		}
+		for v := range slots {
+			for si, reg := range slots[v].regs {
+				rep.agg.Merge(reg)
+				rep.specAggs[si].Merge(reg)
+			}
+		}
+		ar := &AggregateReport{Campaign: aggregateRows(rep.agg)}
+		for si, spec := range c.Specs {
+			ar.Specs = append(ar.Specs, SpecAggregate{Name: spec.Name, Rows: aggregateRows(rep.specAggs[si])})
+		}
+		rep.Aggregates = ar
 	}
 	rep.Hash = rep.ComputeHash()
 	return rep, nil

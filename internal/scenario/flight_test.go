@@ -1,0 +1,272 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"gemini/internal/obs"
+	"gemini/internal/trace"
+)
+
+func compiledSmall(t *testing.T) *Compiled {
+	t.Helper()
+	s, err := Parse([]byte(smallYAML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// The headline acceptance criterion: with aggregation and records on,
+// the JSON/HTML reports and the aggregated Prometheus exposition are
+// byte-identical at workers=1 and workers=8.
+func TestCampaignAggregationDeterministicAcrossWorkers(t *testing.T) {
+	c := compiledSmall(t)
+	runWith := func(workers int) *Report {
+		rep, err := RunCampaign(context.Background(), c, CampaignOptions{
+			Workers: workers, Aggregate: true, RecordRuns: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	r1, r8 := runWith(1), runWith(8)
+	j1, _ := r1.JSON()
+	j8, _ := r8.JSON()
+	if !bytes.Equal(j1, j8) {
+		t.Fatalf("worker count changed the aggregated report:\n%s\nvs\n%s", j1, j8)
+	}
+	var p1, p8 bytes.Buffer
+	if err := r1.WriteAggregatedProm(&p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r8.WriteAggregatedProm(&p8); err != nil {
+		t.Fatal(err)
+	}
+	if p1.Len() == 0 || !bytes.Equal(p1.Bytes(), p8.Bytes()) {
+		t.Fatalf("worker count changed the aggregated prom exposition:\n%s\nvs\n%s", p1.String(), p8.String())
+	}
+	var h1, h8 bytes.Buffer
+	if err := WriteHTML(&h1, r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteHTML(&h8, r8); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(h1.Bytes(), h8.Bytes()) {
+		t.Error("worker count changed the aggregated HTML report")
+	}
+	if !strings.Contains(h1.String(), "Aggregated run metrics") {
+		t.Error("HTML report missing the aggregates section")
+	}
+
+	// Shape checks on the rollup.
+	if r1.Aggregates == nil || len(r1.Aggregates.Specs) != 3 {
+		t.Fatalf("aggregates = %+v", r1.Aggregates)
+	}
+	var wastedCount, ratioCount uint64
+	for _, row := range r1.Aggregates.Campaign {
+		switch row.Name {
+		case "run.wasted_seconds":
+			wastedCount = row.Count
+		case "run.effective_ratio":
+			ratioCount = row.Count
+		}
+	}
+	if ratioCount != uint64(r1.Variations*3) {
+		t.Errorf("campaign-wide ratio count %d, want %d (one per run)", ratioCount, r1.Variations*3)
+	}
+	if wastedCount == 0 {
+		t.Error("campaign-wide wasted histogram is empty")
+	}
+	if len(r1.Runs) != r1.Variations*3 {
+		t.Fatalf("%d run records, want %d", len(r1.Runs), r1.Variations*3)
+	}
+	// The per-spec registries partition the campaign-wide one.
+	var specTotal uint64
+	for si := range r1.Aggregates.Specs {
+		for _, row := range r1.Aggregates.Specs[si].Rows {
+			if row.Name == "run.wasted_seconds" {
+				specTotal += row.Count
+			}
+		}
+	}
+	if specTotal != wastedCount {
+		t.Errorf("per-spec wasted counts sum to %d, campaign-wide has %d", specTotal, wastedCount)
+	}
+}
+
+// Default options must keep the report exactly as before: no aggregate
+// or runs keys in the JSON (the ci.sh pinned hash depends on it).
+func TestCampaignDefaultReportUnchangedByNewFields(t *testing.T) {
+	c := compiledSmall(t)
+	rep, err := RunCampaign(context.Background(), c, CampaignOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, _ := rep.JSON()
+	for _, forbidden := range []string{`"aggregates"`, `"runs"`} {
+		if bytes.Contains(j, []byte(forbidden)) {
+			t.Errorf("default report contains %s:\n%s", forbidden, j)
+		}
+	}
+	if err := rep.WriteAggregatedProm(&bytes.Buffer{}); err == nil {
+		t.Error("WriteAggregatedProm without Aggregate did not error")
+	}
+}
+
+func TestCampaignProgressSink(t *testing.T) {
+	c := compiledSmall(t)
+	prog := obs.NewProgress()
+	live := obs.NewSyncRegistry()
+	rep, err := RunCampaign(context.Background(), c, CampaignOptions{
+		Workers: 4, Progress: prog, Live: live,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := prog.Snapshot()
+	if snap.TotalRuns != int64(rep.Variations) || snap.DoneRuns != int64(rep.Variations) {
+		t.Fatalf("progress %+v, want %d runs done", snap, rep.Variations)
+	}
+	var wantFails int64
+	for _, sp := range rep.Specs {
+		wantFails += int64(sp.Failures)
+	}
+	if snap.Failures != wantFails {
+		t.Errorf("progress failures %d, want %d", snap.Failures, wantFails)
+	}
+	if snap.SimSecondsDone != snap.SimSecondsTotal || snap.SimSecondsDone == 0 {
+		t.Errorf("sim seconds %v/%v, want all done", snap.SimSecondsDone, snap.SimSecondsTotal)
+	}
+	// The live registry saw every run, whatever the arrival order.
+	if v, ok := live.Snapshot().Get("run.effective_ratio.count"); !ok || v != float64(rep.Variations*3) {
+		t.Errorf("live ratio count %v/%v, want %d", v, ok, rep.Variations*3)
+	}
+}
+
+func TestOutliersRanking(t *testing.T) {
+	rep := &Report{Runs: []RunRecord{
+		{Variation: 0, Spec: "A", WastedSeconds: 100, EffectiveRatio: 0.99},
+		{Variation: 1, Spec: "A", WastedSeconds: 300, EffectiveRatio: 0.97},
+		{Variation: 0, Spec: "B", WastedSeconds: 900, EffectiveRatio: 0.91},
+		{Variation: 1, Spec: "B", WastedSeconds: 950, EffectiveRatio: 0.90},
+	}}
+	worst, err := Outliers(rep, "wasted", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst[0].WastedSeconds != 950 || worst[1].WastedSeconds != 900 {
+		t.Fatalf("wasted ranking %+v", worst)
+	}
+	worst, err = Outliers(rep, "ratio", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst[0].EffectiveRatio != 0.90 {
+		t.Fatalf("ratio ranking %+v", worst)
+	}
+	// wasted-vs-spec: A's worst is +100 over its mean of 200; B's is +25
+	// over 925 — so the A run is the bigger outlier for its spec.
+	worst, err = Outliers(rep, "wasted-vs-spec", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst[0].Spec != "A" || worst[0].Variation != 1 {
+		t.Fatalf("wasted-vs-spec ranking %+v", worst)
+	}
+	if _, err := Outliers(rep, "bogus", 1); err == nil {
+		t.Fatal("unknown key did not error")
+	}
+	if _, err := Outliers(&Report{}, "wasted", 1); err == nil {
+		t.Fatal("record-less report did not error")
+	}
+	// k beyond the record count returns everything.
+	all, err := Outliers(rep, "wasted", 99)
+	if err != nil || len(all) != 4 {
+		t.Fatalf("k=99: %d records, err=%v", len(all), err)
+	}
+}
+
+// The flight-recorder replay contract: re-execution reproduces the
+// campaign-recorded result exactly and emits a lint-clean trace plus a
+// time-ordered timeline.
+func TestFlightReplayMatchesRecord(t *testing.T) {
+	c := compiledSmall(t)
+	rep, err := RunCampaign(context.Background(), c, CampaignOptions{Workers: 8, RecordRuns: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst, err := Outliers(rep, "wasted", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range worst {
+		fr, err := c.Replay(rec)
+		if err != nil {
+			t.Fatalf("replay of %+v: %v", rec, err)
+		}
+		var traceBuf bytes.Buffer
+		if err := fr.WriteTrace(&traceBuf); err != nil {
+			t.Fatal(err)
+		}
+		issues, err := trace.Lint(traceBuf.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(issues) != 0 {
+			t.Fatalf("flight trace has lint issues: %v", issues)
+		}
+		st, err := trace.StatsFromJSON(traceBuf.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Failures > 0 && st.Events == 0 {
+			t.Fatal("flight trace has no events despite recorded failures")
+		}
+		var csv bytes.Buffer
+		if err := fr.WriteTimeline(&csv); err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimRight(csv.String(), "\n"), "\n")
+		if lines[0] != "time,wasted_seconds,effective_ratio" {
+			t.Fatalf("timeline header %q", lines[0])
+		}
+		recoveries := rec.FromLocal + rec.FromPeer + rec.FromRemote
+		if len(lines)-1 != recoveries {
+			t.Fatalf("%d timeline rows, want %d recoveries", len(lines)-1, recoveries)
+		}
+		var prom bytes.Buffer
+		if err := fr.WriteProm(&prom); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(prom.String(), "run_failures") {
+			t.Fatalf("flight prom missing run_failures:\n%s", prom.String())
+		}
+	}
+}
+
+func TestFlightReplayDetectsDivergence(t *testing.T) {
+	c := compiledSmall(t)
+	rep, err := RunCampaign(context.Background(), c, CampaignOptions{Workers: 2, RecordRuns: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := rep.Runs[0]
+	rec.WastedSeconds += 1 // corrupt the record
+	if _, err := c.Replay(rec); err == nil || !strings.Contains(err.Error(), "diverged") {
+		t.Fatalf("corrupted record replay err = %v, want divergence", err)
+	}
+	rec = rep.Runs[0]
+	rec.Spec = "nope"
+	if _, err := c.Replay(rec); err == nil {
+		t.Fatal("unknown spec replay did not error")
+	}
+}

@@ -59,12 +59,42 @@ figcaption { font-size: .85rem; color: #555; }
 			esc(sp.Name), er.Mean, er.P50, er.P90, er.P99, er.Min, er.Max,
 			sp.WastedHours.Mean, sp.Failures, sp.InMemoryFraction*100)
 	}
-	fmt.Fprintf(&b, `</tbody></table>
-<p class="hash">report hash: %s</p>
+	b.WriteString("</tbody></table>\n")
+	if r.Aggregates != nil {
+		writeAggregates(&b, r.Aggregates)
+	}
+	fmt.Fprintf(&b, `<p class="hash">report hash: %s</p>
 </body></html>
 `, esc(r.Hash))
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// writeAggregates renders the cross-run metric rollups: the
+// campaign-wide distribution table, then one per solution. Rows follow
+// merged registration order, so the section is as worker-count
+// independent as the rest of the page.
+func writeAggregates(b *strings.Builder, ar *AggregateReport) {
+	b.WriteString("<h2>Aggregated run metrics</h2>\n")
+	writeAggregateTable(b, "campaign-wide", ar.Campaign)
+	for _, sp := range ar.Specs {
+		writeAggregateTable(b, sp.Name, sp.Rows)
+	}
+}
+
+func writeAggregateTable(b *strings.Builder, title string, rows []AggregateRow) {
+	fmt.Fprintf(b, "<h3>%s</h3>\n", html.EscapeString(title))
+	b.WriteString("<table><thead><tr><th>metric</th><th>kind</th><th>value / count</th><th>mean</th><th>p50</th><th>p99</th><th>max</th><th>sum</th></tr></thead><tbody>\n")
+	for _, row := range rows {
+		if row.Kind == "histogram" {
+			fmt.Fprintf(b, "<tr><td>%s</td><td>%s</td><td>%d</td><td>%.4g</td><td>%.4g</td><td>%.4g</td><td>%.4g</td><td>%.4g</td></tr>\n",
+				html.EscapeString(row.Name), row.Kind, row.Count, row.Mean, row.P50, row.P99, row.Max, row.Sum)
+			continue
+		}
+		fmt.Fprintf(b, "<tr><td>%s</td><td>%s</td><td>%.6g</td><td></td><td></td><td></td><td></td><td></td></tr>\n",
+			html.EscapeString(row.Name), row.Kind, row.Value)
+	}
+	b.WriteString("</tbody></table>\n")
 }
 
 var specColors = []string{"#4169b0", "#d98032", "#5a9e5a", "#a05ab0", "#b05a5a"}

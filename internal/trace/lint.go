@@ -1,0 +1,95 @@
+package trace
+
+// Structural lint for Chrome trace-event JSON. WriteJSON itself cannot
+// produce these defects (it emits only complete "X" events and names
+// every lane), but traces also arrive from hand-built corpora and from
+// refactors of the exporter — cmd/tracelint gates both, and the flight
+// recorder's outlier traces pass through it in CI.
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// LintIssue is one structural defect in a trace document.
+type LintIssue struct {
+	// Code identifies the defect class: "unmatched-end" (an "E" with no
+	// open "B" on its thread), "unclosed-begin" (a "B" never ended), or
+	// "orphan-counter" (a "C" event on a thread with no thread_name
+	// metadata — Perfetto renders such counters detached from any named
+	// track).
+	Code     string
+	Pid, Tid int
+	// Name is the offending event's name (the begin name for
+	// unclosed-begin, the counter name for orphan-counter).
+	Name string
+}
+
+func (i LintIssue) String() string {
+	return fmt.Sprintf("%s: pid %d tid %d event %q", i.Code, i.Pid, i.Tid, i.Name)
+}
+
+// Lint checks a Chrome trace-event document (object form, as WriteJSON
+// produces) for unbalanced Begin/End span nesting and counter events on
+// unnamed threads. Issues come back in deterministic order: document
+// order for unmatched ends and orphan counters (one per thread+name),
+// then still-open begins in document order of their "B" events. An
+// empty slice means the trace is clean.
+func Lint(data []byte) ([]LintIssue, error) {
+	var doc chromeDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("trace: invalid chrome trace JSON: %w", err)
+	}
+	type threadKey struct{ pid, tid int }
+	type openBegin struct {
+		key  threadKey
+		name string
+	}
+	var issues []LintIssue
+	stacks := make(map[threadKey][]int) // per-thread LIFO of begin indices
+	named := make(map[threadKey]bool)
+	seenOrphan := make(map[string]bool) // "pid/tid/name" dedupe for counters
+	var begins []openBegin              // every B in document order
+
+	for _, ev := range doc.TraceEvents {
+		key := threadKey{ev.Pid, ev.Tid}
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "thread_name" {
+				named[key] = true
+			}
+		case "B":
+			stacks[key] = append(stacks[key], len(begins))
+			begins = append(begins, openBegin{key, ev.Name})
+		case "E":
+			st := stacks[key]
+			if len(st) == 0 {
+				issues = append(issues, LintIssue{Code: "unmatched-end", Pid: ev.Pid, Tid: ev.Tid, Name: ev.Name})
+				continue
+			}
+			stacks[key] = st[:len(st)-1]
+		case "C":
+			if !named[key] {
+				id := fmt.Sprintf("%d/%d/%s", ev.Pid, ev.Tid, ev.Name)
+				if !seenOrphan[id] {
+					seenOrphan[id] = true
+					issues = append(issues, LintIssue{Code: "orphan-counter", Pid: ev.Pid, Tid: ev.Tid, Name: ev.Name})
+				}
+			}
+		}
+	}
+	// Surviving stack entries are exactly the never-ended begins; report
+	// them in document order of their "B" events.
+	unclosed := make(map[int]bool)
+	for _, st := range stacks {
+		for _, bi := range st {
+			unclosed[bi] = true
+		}
+	}
+	for bi, b := range begins {
+		if unclosed[bi] {
+			issues = append(issues, LintIssue{Code: "unclosed-begin", Pid: b.key.pid, Tid: b.key.tid, Name: b.name})
+		}
+	}
+	return issues, nil
+}

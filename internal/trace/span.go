@@ -198,6 +198,24 @@ func (tk *Track) InstantArgs(cat, name, args string) {
 	tk.instants = append(tk.instants, Instant{Name: name, Cat: cat, At: tk.tracer.now(), Args: args})
 }
 
+// InstantAt records a point event with an explicit timestamp — for
+// producers that walk precomputed event lists (runsim) rather than a
+// live clock.
+func (tk *Track) InstantAt(cat, name string, at simclock.Time) {
+	if tk == nil {
+		return
+	}
+	tk.instants = append(tk.instants, Instant{Name: name, Cat: cat, At: at})
+}
+
+// InstantArgsAt is InstantAt with a preformatted argument string.
+func (tk *Track) InstantArgsAt(cat, name string, at simclock.Time, args string) {
+	if tk == nil {
+		return
+	}
+	tk.instants = append(tk.instants, Instant{Name: name, Cat: cat, At: at, Args: args})
+}
+
 // Sample records a counter observation at the current time; exported as
 // a Perfetto counter track.
 func (tk *Track) Sample(name string, value float64) {
@@ -205,6 +223,14 @@ func (tk *Track) Sample(name string, value float64) {
 		return
 	}
 	tk.samples = append(tk.samples, Sample{Name: name, At: tk.tracer.now(), Value: value})
+}
+
+// SampleAt is Sample with an explicit timestamp.
+func (tk *Track) SampleAt(name string, at simclock.Time, value float64) {
+	if tk == nil {
+		return
+	}
+	tk.samples = append(tk.samples, Sample{Name: name, At: at, Value: value})
 }
 
 // Spans returns the completed spans in completion order.
